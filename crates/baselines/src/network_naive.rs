@@ -1,0 +1,131 @@
+//! The naive road-network baseline: a fresh Incremental Network Expansion
+//! at every timestamp.
+
+use insq_core::{CoreError, MovingKnn, QueryStats, TickOutcome};
+use insq_roadnet::ine::network_knn_with_stats;
+use insq_roadnet::{NetPosition, RoadNetwork, SiteIdx, SiteSet};
+
+/// Recompute-per-tick network moving kNN.
+#[derive(Debug)]
+pub struct NetNaiveProcessor<'a> {
+    net: &'a RoadNetwork,
+    sites: &'a SiteSet,
+    k: usize,
+    knn: Vec<(SiteIdx, f64)>,
+    stats: QueryStats,
+}
+
+impl<'a> NetNaiveProcessor<'a> {
+    /// Creates the processor; fails on `k = 0` or `k > m`.
+    pub fn new(
+        net: &'a RoadNetwork,
+        sites: &'a SiteSet,
+        k: usize,
+    ) -> Result<NetNaiveProcessor<'a>, CoreError> {
+        if k == 0 {
+            return Err(CoreError::BadConfig {
+                reason: "k must be at least 1",
+            });
+        }
+        if k > sites.len() {
+            return Err(CoreError::BadConfig {
+                reason: "k exceeds the number of data objects",
+            });
+        }
+        Ok(NetNaiveProcessor {
+            net,
+            sites,
+            k,
+            knn: Vec::new(),
+            stats: QueryStats::default(),
+        })
+    }
+
+    /// Current kNN with network distances.
+    pub fn current_knn_with_dists(&self) -> &[(SiteIdx, f64)] {
+        &self.knn
+    }
+}
+
+impl MovingKnn<NetPosition, SiteIdx> for NetNaiveProcessor<'_> {
+    fn name(&self) -> &'static str {
+        "Naive-road"
+    }
+
+    fn tick(&mut self, pos: NetPosition) -> TickOutcome {
+        let (res, st) = network_knn_with_stats(self.net, self.sites, pos, self.k);
+        self.stats.search_ops += st.settled as u64;
+        self.stats.comm_objects += res.len() as u64;
+        let changed = {
+            let mut a: Vec<SiteIdx> = self.knn.iter().map(|&(s, _)| s).collect();
+            let mut b: Vec<SiteIdx> = res.iter().map(|&(s, _)| s).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            a != b
+        };
+        self.knn = res;
+        let outcome = if changed {
+            TickOutcome::Recompute
+        } else {
+            TickOutcome::Valid
+        };
+        self.stats.record(outcome);
+        outcome
+    }
+
+    fn current_knn(&self) -> Vec<SiteIdx> {
+        self.knn.iter().map(|&(s, _)| s).collect()
+    }
+
+    fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = QueryStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
+    use insq_roadnet::VertexId;
+
+    fn setup() -> (RoadNetwork, SiteSet) {
+        let net = grid_network(&GridConfig::default(), 3).unwrap();
+        let sv = random_site_vertices(&net, 15, 3).unwrap();
+        let sites = SiteSet::new(&net, sv).unwrap();
+        (net, sites)
+    }
+
+    #[test]
+    fn comm_is_k_per_tick() {
+        let (net, sites) = setup();
+        let mut p = NetNaiveProcessor::new(&net, &sites, 3).unwrap();
+        for v in 0..20u32 {
+            p.tick(NetPosition::Vertex(VertexId(v)));
+        }
+        assert_eq!(p.stats().comm_objects, 60);
+        assert!(p.stats().search_ops > 0);
+    }
+
+    #[test]
+    fn results_sorted() {
+        let (net, sites) = setup();
+        let mut p = NetNaiveProcessor::new(&net, &sites, 5).unwrap();
+        p.tick(NetPosition::Vertex(VertexId(50)));
+        let res = p.current_knn_with_dists();
+        assert_eq!(res.len(), 5);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn bad_configs() {
+        let (net, sites) = setup();
+        assert!(NetNaiveProcessor::new(&net, &sites, 0).is_err());
+        assert!(NetNaiveProcessor::new(&net, &sites, 16).is_err());
+    }
+}

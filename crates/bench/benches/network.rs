@@ -1,0 +1,62 @@
+//! E7 as a criterion bench: end-to-end per-tick cost of the road-network
+//! processors (100 ticks per iteration along a fixed tour).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use insq_baselines::NetNaiveProcessor;
+use insq_core::{MovingKnn, NetInsConfig, NetInsProcessor};
+use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
+use insq_roadnet::{NetPosition, NetTrajectory, NetworkVoronoi, SiteSet};
+use std::hint::black_box;
+
+const TICKS: usize = 100;
+
+fn bench_network_methods(c: &mut Criterion) {
+    let net = grid_network(
+        &GridConfig {
+            cols: 40,
+            rows: 40,
+            ..GridConfig::default()
+        },
+        2016,
+    )
+    .unwrap();
+    let sites = SiteSet::new(&net, random_site_vertices(&net, 120, 7).unwrap()).unwrap();
+    let nvd = NetworkVoronoi::build(&net, &sites);
+    let tour = NetTrajectory::random_tour(&net, 15, 3).unwrap();
+    let positions: Vec<NetPosition> = (0..TICKS)
+        .map(|i| tour.position_looped(&net, 0.03 * i as f64))
+        .collect();
+
+    let mut group = c.benchmark_group("network_per_tick");
+    group.throughput(Throughput::Elements(TICKS as u64));
+    group.sample_size(30);
+    for k in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("INS-road", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut p =
+                    NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(k, 1.6)).unwrap();
+                for &pos in &positions {
+                    black_box(p.tick(pos));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("Naive-road", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut p = NetNaiveProcessor::new(&net, &sites, k).unwrap();
+                for &pos in &positions {
+                    black_box(p.tick(pos));
+                }
+            })
+        });
+    }
+
+    // The NVD build itself (amortised preprocessing).
+    group.sample_size(20);
+    group.bench_function("nvd_preprocess", |b| {
+        b.iter(|| black_box(NetworkVoronoi::build(&net, &sites)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_methods);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! The experiment report generator.
+//!
+//! Regenerates every figure/table of the INSQ paper evaluation:
+//!
+//! ```text
+//! report                  # run everything at full effort
+//! report --quick          # reduced sizes (CI smoke run)
+//! report --exp e1,e4      # only selected experiments
+//! report --list           # list experiment ids
+//! ```
+
+use insq_bench::{experiments, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = Effort::Full;
+    let mut selected: Option<Vec<String>> = None;
+    let mut list_only = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--list" => list_only = true,
+            "--exp" => {
+                let Some(ids) = it.next() else {
+                    eprintln!("--exp requires a comma-separated id list");
+                    std::process::exit(2);
+                };
+                selected = Some(ids.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: report [--quick] [--exp id1,id2,...] [--list]\n\nexperiments:"
+                );
+                for e in experiments() {
+                    println!("  {:<9} {}", e.id, e.title);
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let all = experiments();
+    if list_only {
+        for e in &all {
+            println!("{:<9} {}", e.id, e.title);
+        }
+        return;
+    }
+    if let Some(sel) = &selected {
+        for id in sel {
+            if !all.iter().any(|e| e.id == id) {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let started = std::time::Instant::now();
+    for e in &all {
+        if let Some(sel) = &selected {
+            if !sel.iter().any(|id| id == e.id) {
+                continue;
+            }
+        }
+        println!("================================================================");
+        println!("[{}] {}", e.id, e.title);
+        println!("================================================================");
+        let t0 = std::time::Instant::now();
+        let body = (e.run)(effort);
+        println!("{body}");
+        println!("({} finished in {:.1?})\n", e.id, t0.elapsed());
+    }
+    println!("report complete in {:.1?}", started.elapsed());
+}

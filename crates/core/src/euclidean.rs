@@ -1,0 +1,613 @@
+//! The INS moving-kNN processor for 2-D Euclidean space (paper §III).
+//!
+//! Lifecycle per query:
+//!
+//! 1. **Initial computation** — retrieve `R`, the `⌊ρk⌋` nearest objects
+//!    (`ρ ≥ 1` is the *prefetch ratio*), together with `I(R)` from the
+//!    VoR-tree. The top-k of `R` is the kNN result; everything else held
+//!    client-side guards it.
+//! 2. **Validation per timestamp** — a linear scan (paper §III-A): the
+//!    farthest current kNN (`r.delete`) vs the nearest guard object
+//!    (`r.candidate`). While the former is not farther, the result is
+//!    provably still the global kNN (the guard set contains `I(kNN) ⊇
+//!    MIS(kNN)`).
+//! 3. **Update on invalidation** (paper §III-B) — case (i): the query
+//!    entered an adjacent order-k cell and one swap repairs the result;
+//!    case (ii): the new kNN can still be assembled from held objects;
+//!    case (iii): full recomputation of `R` and `I(R)` — the only case
+//!    that costs a client↔server round trip.
+//!
+//! The processor certifies *every* answer it returns: an answer is adopted
+//! only after the influential-set predicate holds for it, so the result
+//! equals the brute-force kNN at every tick (integration tests assert
+//! this).
+
+use insq_geom::{Circle, ConvexPolygon, Point};
+use insq_index::VorTree;
+use insq_voronoi::{order_k_cell, SiteId};
+
+use crate::influential::{influential_neighbor_set, validate_by_distance};
+use crate::metrics::{QueryStats, TickOutcome};
+use crate::processor::MovingKnn;
+use crate::CoreError;
+
+/// Configuration of the Euclidean INS processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsConfig {
+    /// Number of nearest neighbors to maintain (k ≥ 1).
+    pub k: usize,
+    /// Prefetch ratio ρ ≥ 1: `⌊ρk⌋` objects are retrieved per
+    /// recomputation to trade communication volume against recomputation
+    /// frequency (paper §III).
+    pub rho: f64,
+    /// Extension (off by default, not in the paper): when a local update
+    /// needs influential neighbors the client does not hold, fetch just
+    /// those objects instead of performing a full recomputation. This
+    /// turns the processor into an incremental neighbor-crawler that
+    /// almost never pays a full round trip, at the cost of an unbounded
+    /// client buffer. The ablation bench quantifies the trade-off.
+    pub incremental_fetch: bool,
+}
+
+impl InsConfig {
+    /// A configuration with the given k and ρ (paper protocol).
+    pub fn new(k: usize, rho: f64) -> InsConfig {
+        InsConfig {
+            k,
+            rho,
+            incremental_fetch: false,
+        }
+    }
+
+    /// A configuration with the paper's demo default ρ = 1.6.
+    pub fn with_k(k: usize) -> InsConfig {
+        Self::new(k, 1.6)
+    }
+
+    /// Enables the incremental-fetch extension (see the field docs).
+    pub fn incremental(mut self) -> InsConfig {
+        self.incremental_fetch = true;
+        self
+    }
+
+    /// The prefetch count `max(k, ⌊ρk⌋)`.
+    pub fn prefetch_count(&self) -> usize {
+        ((self.rho * self.k as f64).floor() as usize).max(self.k)
+    }
+}
+
+/// The INS moving-kNN processor over a [`VorTree`].
+#[derive(Debug, Clone)]
+pub struct InsProcessor<'a> {
+    index: &'a VorTree,
+    cfg: InsConfig,
+    /// Last processed query position.
+    q: Point,
+    /// Current kNN, ascending by distance from the last position.
+    knn: Vec<SiteId>,
+    /// Client-side object cache: `R ∪ I(R)` plus everything fetched since
+    /// the last full recomputation. `cached[s]` mirrors membership of
+    /// `cached_list` for O(1) tests.
+    cached: Vec<bool>,
+    cached_list: Vec<SiteId>,
+    stats: QueryStats,
+    initialized: bool,
+}
+
+impl<'a> InsProcessor<'a> {
+    /// Creates a processor; fails on `k = 0`, `k > n`, or `ρ < 1`.
+    pub fn new(index: &'a VorTree, cfg: InsConfig) -> Result<InsProcessor<'a>, CoreError> {
+        if cfg.k == 0 {
+            return Err(CoreError::BadConfig {
+                reason: "k must be at least 1",
+            });
+        }
+        if cfg.k > index.len() {
+            return Err(CoreError::BadConfig {
+                reason: "k exceeds the number of data objects",
+            });
+        }
+        if !(cfg.rho >= 1.0 && cfg.rho.is_finite()) {
+            return Err(CoreError::BadConfig {
+                reason: "prefetch ratio rho must be finite and >= 1",
+            });
+        }
+        Ok(InsProcessor {
+            index,
+            cfg,
+            q: Point::ORIGIN,
+            knn: Vec::new(),
+            cached: vec![false; index.len()],
+            cached_list: Vec::new(),
+            stats: QueryStats::default(),
+            initialized: false,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> InsConfig {
+        self.cfg
+    }
+
+    /// The current kNN with distances from the last position, ascending.
+    pub fn current_knn_with_dists(&self) -> Vec<(SiteId, f64)> {
+        self.knn
+            .iter()
+            .map(|&s| (s, self.index.point(s).distance(self.q)))
+            .collect()
+    }
+
+    /// The influential neighbor set `I(kNN)` of the current result.
+    pub fn influential_set(&self) -> Vec<SiteId> {
+        influential_neighbor_set(self.index.voronoi(), &self.knn)
+    }
+
+    /// The guard set used for validation: every held object that is not a
+    /// current kNN (the paper's `IS = I(R) ∪ R \ NNk(q)`).
+    pub fn guard_set(&self) -> Vec<SiteId> {
+        self.cached_list
+            .iter()
+            .copied()
+            .filter(|s| !self.knn.contains(s))
+            .collect()
+    }
+
+    /// All objects currently held client-side.
+    pub fn held_objects(&self) -> &[SiteId] {
+        &self.cached_list
+    }
+
+    /// The implicit safe region of the current result — the order-k
+    /// Voronoi cell `V^k(kNN)`, materialised by clipping against the INS
+    /// (exact, because `MIS ⊆ INS`). This is the cyan polygon of the
+    /// demo's 2D-plane mode; the INS algorithm itself never constructs it.
+    pub fn safe_region(&self) -> ConvexPolygon {
+        let voronoi = self.index.voronoi();
+        let ins = self.influential_set();
+        order_k_cell(voronoi.points(), &self.knn, &ins, &voronoi.bounds())
+    }
+
+    /// The demo's two validation circles around the last position: green
+    /// through the farthest kNN (must enclose all kNN), red through the
+    /// nearest guard (must exclude all guards). The result is valid while
+    /// the green circle is inside the red one.
+    pub fn validation_circles(&self) -> Option<(Circle, Circle)> {
+        let knn_far = self
+            .knn
+            .iter()
+            .map(|&s| self.index.point(s).distance(self.q))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let guard = self.guard_set();
+        let guard_near = guard
+            .iter()
+            .map(|&s| self.index.point(s).distance(self.q))
+            .fold(f64::INFINITY, f64::min);
+        if !knn_far.is_finite() || !guard_near.is_finite() {
+            return None;
+        }
+        Some((
+            Circle::new(self.q, knn_far),
+            Circle::new(self.q, guard_near),
+        ))
+    }
+
+    /// Drops all client-side state (cache, guards, current result),
+    /// forcing a full recomputation at the next [`MovingKnn::tick`].
+    ///
+    /// Use after any out-of-band event that voids the guards' certificate
+    /// — most importantly a data-object update on the server (paper §III:
+    /// "If there are data object updates, we also update the kNN set and
+    /// the IS"): inserted objects may be nearer than any held guard, and
+    /// deleted guards certify nothing.
+    pub fn invalidate(&mut self) {
+        self.drop_cache();
+        self.knn.clear();
+        self.initialized = false;
+    }
+
+    /// Rebinds the processor to a rebuilt index after data-object updates
+    /// (the server reconstructs the Voronoi diagram and VoR-tree; the
+    /// client continues the same moving query against the new data set).
+    /// Implies [`InsProcessor::invalidate`]. Statistics are preserved so a
+    /// run's totals include the update's recomputation cost.
+    pub fn rebind(&mut self, index: &'a VorTree) {
+        self.index = index;
+        self.cached = vec![false; index.len()];
+        self.cached_list.clear();
+        self.knn.clear();
+        self.initialized = false;
+    }
+
+    fn fetch(&mut self, sites: &[SiteId]) {
+        for &s in sites {
+            if !self.cached[s.idx()] {
+                self.cached[s.idx()] = true;
+                self.cached_list.push(s);
+                self.stats.comm_objects += 1;
+            }
+        }
+    }
+
+    fn drop_cache(&mut self) {
+        for &s in &self.cached_list {
+            self.cached[s.idx()] = false;
+        }
+        self.cached_list.clear();
+    }
+
+    /// Full recomputation (update case (iii) / initial computation).
+    fn recompute(&mut self, q: Point) {
+        let m = self.cfg.prefetch_count().min(self.index.len());
+        let r = self.index.knn(q, m);
+        self.stats.search_ops += m as u64;
+        let r_ids: Vec<SiteId> = r.iter().map(|&(s, _)| s).collect();
+        let ins_r = influential_neighbor_set(self.index.voronoi(), &r_ids);
+        self.stats.construction_ops += (r_ids.len() + ins_r.len()) as u64;
+
+        // Replace the client cache by R ∪ I(R); only genuinely new objects
+        // cost communication.
+        let mut newly = 0u64;
+        let mut next_list = Vec::with_capacity(r_ids.len() + ins_r.len());
+        for &s in r_ids.iter().chain(ins_r.iter()) {
+            if !self.cached[s.idx()] {
+                newly += 1;
+            }
+            next_list.push(s);
+        }
+        self.drop_cache();
+        for &s in &next_list {
+            if !self.cached[s.idx()] {
+                self.cached[s.idx()] = true;
+                self.cached_list.push(s);
+            }
+        }
+        self.stats.comm_objects += newly;
+
+        self.knn = r_ids[..self.cfg.k].to_vec();
+        self.q = q;
+    }
+
+    /// Attempts a local repair from held objects (update cases (i)/(ii)).
+    /// Returns the outcome, or `None` when a full recomputation is needed.
+    ///
+    /// Soundness: the candidate is the top-k of the held objects, so every
+    /// held non-member is farther than the candidate's k-th member by
+    /// construction. If additionally `I(cand)` is entirely held, the guard
+    /// set contains `I(cand) ⊇ MIS(cand)`, and the MIS constraints alone
+    /// carve out exactly the order-k Voronoi cell `V^k(cand)` (redundant
+    /// bisector constraints do not change a convex intersection) — so the
+    /// predicate holding certifies `cand = NNk(q)` globally.
+    fn try_local_update(&mut self, q: Point) -> Option<TickOutcome> {
+        // Re-rank the held objects at the new position (case (i) is the
+        // special case where this changes exactly one member).
+        let mut ranked: Vec<(SiteId, f64)> = self
+            .cached_list
+            .iter()
+            .map(|&s| (s, self.index.point(s).distance_sq(q)))
+            .collect();
+        self.stats.search_ops += ranked.len() as u64;
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let cand: Vec<SiteId> = ranked[..self.cfg.k.min(ranked.len())]
+            .iter()
+            .map(|&(s, _)| s)
+            .collect();
+        if cand.len() < self.cfg.k {
+            return None;
+        }
+
+        // The candidate can only be certified against its own INS.
+        let ins_cand = influential_neighbor_set(self.index.voronoi(), &cand);
+        self.stats.construction_ops += (cand.len() + ins_cand.len()) as u64;
+        let missing: Vec<SiteId> = ins_cand
+            .iter()
+            .copied()
+            .filter(|s| !self.cached[s.idx()])
+            .collect();
+        if !missing.is_empty() {
+            if !self.cfg.incremental_fetch {
+                // Paper protocol: local updates use held objects only;
+                // anything else is a full recomputation (case (iii)).
+                return None;
+            }
+            // Extension: fetch exactly the missing influential neighbors
+            // (their coordinates travel with the VoR-tree neighbor
+            // pointers) and re-certify below.
+            self.fetch(&missing);
+        }
+
+        // Certification scan (see the soundness note above). When nothing
+        // was fetched this is guaranteed to pass — the scan stays to keep
+        // the certified-result invariant explicit and to account the
+        // paper's O(k + |IS|) validation cost of the update cases.
+        let guard: Vec<SiteId> = self
+            .cached_list
+            .iter()
+            .copied()
+            .filter(|s| !cand.contains(s))
+            .collect();
+        let val = validate_by_distance(self.index.voronoi().points(), q, &cand, &guard);
+        self.stats.validation_ops += val.ops;
+        if !val.valid {
+            return None;
+        }
+
+        let shared = cand.iter().filter(|s| self.knn.contains(s)).count();
+        let outcome = if shared + 1 == self.cfg.k {
+            TickOutcome::Swap
+        } else {
+            TickOutcome::LocalRerank
+        };
+        self.knn = cand;
+        self.q = q;
+        Some(outcome)
+    }
+}
+
+impl MovingKnn<Point, SiteId> for InsProcessor<'_> {
+    fn name(&self) -> &'static str {
+        "INS"
+    }
+
+    fn tick(&mut self, pos: Point) -> TickOutcome {
+        if !self.initialized {
+            self.recompute(pos);
+            self.initialized = true;
+            let outcome = TickOutcome::Recompute;
+            self.stats.record(outcome);
+            return outcome;
+        }
+
+        // §III-A validation scan.
+        self.q = pos;
+        let guard = self.guard_set();
+        let val = validate_by_distance(self.index.voronoi().points(), pos, &self.knn, &guard);
+        self.stats.validation_ops += val.ops;
+        let outcome = if val.valid {
+            TickOutcome::Valid
+        } else {
+            match self.try_local_update(pos) {
+                Some(outcome) => outcome,
+                None => {
+                    self.recompute(pos);
+                    TickOutcome::Recompute
+                }
+            }
+        };
+        self.stats.record(outcome);
+        outcome
+    }
+
+    fn current_knn(&self) -> Vec<SiteId> {
+        let mut ids: Vec<(SiteId, f64)> = self.current_knn_with_dists();
+        ids.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        ids.into_iter().map(|(s, _)| s).collect()
+    }
+
+    fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = QueryStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insq_geom::Aabb;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    fn build_index(n: usize, seed: u64) -> VorTree {
+        let mut next = lcg(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect();
+        VorTree::build(
+            points,
+            Aabb::new(Point::new(-10.0, -10.0), Point::new(110.0, 110.0)),
+        )
+        .unwrap()
+    }
+
+    fn brute_knn(index: &VorTree, q: Point, k: usize) -> Vec<SiteId> {
+        index.voronoi().knn_brute(q, k)
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let idx = build_index(20, 1);
+        assert!(InsProcessor::new(&idx, InsConfig::new(0, 1.5)).is_err());
+        assert!(InsProcessor::new(&idx, InsConfig::new(21, 1.5)).is_err());
+        assert!(InsProcessor::new(&idx, InsConfig::new(3, 0.5)).is_err());
+        assert!(InsProcessor::new(&idx, InsConfig::new(3, f64::NAN)).is_err());
+        assert!(InsProcessor::new(&idx, InsConfig::new(3, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn prefetch_count_floor() {
+        assert_eq!(InsConfig::new(5, 1.6).prefetch_count(), 8);
+        assert_eq!(InsConfig::new(4, 1.0).prefetch_count(), 4);
+        assert_eq!(InsConfig::new(3, 2.5).prefetch_count(), 7);
+    }
+
+    #[test]
+    fn matches_brute_force_along_walk() {
+        let idx = build_index(300, 42);
+        let mut p = InsProcessor::new(&idx, InsConfig::new(5, 1.6)).unwrap();
+        let mut next = lcg(7);
+        // A random-waypoint walk with small steps.
+        let mut pos = Point::new(50.0, 50.0);
+        let mut target = Point::new(next() * 100.0, next() * 100.0);
+        for _ in 0..600 {
+            if pos.distance(target) < 1.0 {
+                target = Point::new(next() * 100.0, next() * 100.0);
+            }
+            let dir = (target - pos).normalized().unwrap_or(insq_geom::Vector::ZERO);
+            pos += dir * 0.8;
+            p.tick(pos);
+            let mut got = p.current_knn();
+            got.sort_unstable();
+            let mut want = brute_knn(&idx, pos, 5);
+            want.sort_unstable();
+            assert_eq!(got, want, "kNN mismatch at {pos:?}");
+        }
+        // The whole point of INS: recomputations must be rare on a smooth
+        // trajectory.
+        let s = p.stats();
+        assert!(s.valid_ticks > s.ticks / 2, "{s:?}");
+        assert!(s.recomputations < s.ticks / 5, "{s:?}");
+    }
+
+    #[test]
+    fn teleporting_query_forces_recompute() {
+        let idx = build_index(200, 5);
+        let mut p = InsProcessor::new(&idx, InsConfig::new(3, 1.6)).unwrap();
+        p.tick(Point::new(10.0, 10.0));
+        let outcome = p.tick(Point::new(90.0, 90.0));
+        assert_eq!(outcome, TickOutcome::Recompute);
+        let mut got = p.current_knn();
+        got.sort_unstable();
+        let mut want = brute_knn(&idx, Point::new(90.0, 90.0), 3);
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stationary_query_stays_valid() {
+        let idx = build_index(100, 9);
+        let mut p = InsProcessor::new(&idx, InsConfig::new(4, 1.6)).unwrap();
+        let q = Point::new(40.0, 60.0);
+        p.tick(q);
+        for _ in 0..10 {
+            assert_eq!(p.tick(q), TickOutcome::Valid);
+        }
+        assert_eq!(p.stats().valid_ticks, 10);
+        assert_eq!(p.stats().recomputations, 1); // only the initial one
+    }
+
+    #[test]
+    fn guard_set_and_ins_relationship() {
+        let idx = build_index(150, 13);
+        let mut p = InsProcessor::new(&idx, InsConfig::new(4, 2.0)).unwrap();
+        p.tick(Point::new(50.0, 50.0));
+        let ins = p.influential_set();
+        let guard = p.guard_set();
+        // Every INS member is held as a guard after a recompute.
+        for s in &ins {
+            assert!(guard.contains(s), "INS member {s} must be guarded");
+        }
+        // No kNN member is in either set.
+        for s in p.current_knn() {
+            assert!(!ins.contains(&s));
+            assert!(!guard.contains(&s));
+        }
+    }
+
+    #[test]
+    fn safe_region_contains_query_and_characterizes_knn() {
+        let idx = build_index(80, 21);
+        let mut p = InsProcessor::new(&idx, InsConfig::new(3, 1.6)).unwrap();
+        let q = Point::new(55.0, 45.0);
+        p.tick(q);
+        let region = p.safe_region();
+        assert!(region.contains(q), "query inside its own safe region");
+        // Points inside the region share the kNN set.
+        let mut knn_sorted = p.current_knn();
+        knn_sorted.sort_unstable();
+        if let Some(c) = region.centroid() {
+            let mut at_centroid = brute_knn(&idx, c, 3);
+            at_centroid.sort_unstable();
+            assert_eq!(at_centroid, knn_sorted);
+        }
+    }
+
+    #[test]
+    fn validation_circles_nested_while_valid() {
+        let idx = build_index(120, 33);
+        let mut p = InsProcessor::new(&idx, InsConfig::new(5, 1.6)).unwrap();
+        let q = Point::new(30.0, 70.0);
+        p.tick(q);
+        let (green, red) = p.validation_circles().unwrap();
+        assert!(green.radius <= red.radius, "valid state: green inside red");
+        assert_eq!(green.center, q);
+        assert_eq!(red.center, q);
+    }
+
+    #[test]
+    fn rho_one_still_correct() {
+        let idx = build_index(100, 77);
+        let mut p = InsProcessor::new(&idx, InsConfig::new(2, 1.0)).unwrap();
+        let mut next = lcg(3);
+        for _ in 0..100 {
+            let q = Point::new(next() * 100.0, next() * 100.0);
+            p.tick(q);
+            let mut got = p.current_knn();
+            got.sort_unstable();
+            let mut want = brute_knn(&idx, q, 2);
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn invalidate_forces_recompute_and_stays_correct() {
+        let idx = build_index(120, 3);
+        let mut p = InsProcessor::new(&idx, InsConfig::new(4, 1.6)).unwrap();
+        let q = Point::new(50.0, 50.0);
+        p.tick(q);
+        assert_eq!(p.tick(q), TickOutcome::Valid);
+        p.invalidate();
+        assert!(p.held_objects().is_empty());
+        assert_eq!(p.tick(q), TickOutcome::Recompute);
+        let mut got = p.current_knn();
+        got.sort_unstable();
+        let mut want = brute_knn(&idx, q, 4);
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rebind_switches_data_sets() {
+        // Two different data sets model a server-side object update; the
+        // same moving query continues across the rebind.
+        let idx_a = build_index(100, 7);
+        let idx_b = build_index(140, 8);
+        let mut p = InsProcessor::new(&idx_a, InsConfig::new(3, 1.6)).unwrap();
+        let q = Point::new(40.0, 60.0);
+        p.tick(q);
+        let before_recomputes = p.stats().recomputations;
+        p.rebind(&idx_b);
+        assert_eq!(p.tick(q), TickOutcome::Recompute);
+        assert_eq!(p.stats().recomputations, before_recomputes + 1);
+        let mut got = p.current_knn();
+        got.sort_unstable();
+        let mut want = idx_b.voronoi().knn_brute(q, 3);
+        want.sort_unstable();
+        assert_eq!(got, want, "results come from the new data set");
+        // Subsequent ticks validate against the new guards.
+        assert_eq!(p.tick(q), TickOutcome::Valid);
+    }
+
+    #[test]
+    fn k_equals_n_never_invalidates() {
+        let idx = build_index(10, 2);
+        let mut p = InsProcessor::new(&idx, InsConfig::new(10, 1.0)).unwrap();
+        let mut next = lcg(11);
+        p.tick(Point::new(0.0, 0.0));
+        for _ in 0..20 {
+            let q = Point::new(next() * 100.0, next() * 100.0);
+            let outcome = p.tick(q);
+            // All objects are the kNN: the guard set is empty, so the
+            // result can never be invalidated.
+            assert_eq!(outcome, TickOutcome::Valid);
+        }
+    }
+}

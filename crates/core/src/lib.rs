@@ -1,0 +1,61 @@
+//! # insq-core
+//!
+//! The Influential Neighbor Set (INS) moving-kNN algorithm — the primary
+//! contribution of *INSQ: An Influential Neighbor Set Based Moving kNN
+//! Query Processing System* (Li et al., ICDE 2016) — for both 2-D
+//! Euclidean space and road networks.
+//!
+//! Map from the paper to this crate:
+//!
+//! | Paper concept | Here |
+//! |---|---|
+//! | Influential set `S` of `O'` (Def. 1) | [`influential::validate_by_distance`] — the guarding predicate |
+//! | Minimal influential set (Def. 2) | [`mis`] — exact MIS via tagged order-k cells (oracle) |
+//! | Voronoi neighbor set (Def. 3) | `insq_voronoi::Voronoi::neighbors` |
+//! | Influential neighbor set (Def. 4) | [`influential::influential_neighbor_set`] |
+//! | Query processing (§III) | [`euclidean::InsProcessor`] |
+//! | INS in road networks (§IV, Thms. 1–2) | [`network::NetInsProcessor`] |
+//!
+//! Every processor implements [`MovingKnn`], shared with the baselines in
+//! `insq-baselines`, and certifies each returned result via the
+//! influential-set predicate — so results provably equal the brute-force
+//! kNN at every timestamp.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod continuous;
+pub mod euclidean;
+pub mod influential;
+pub mod metrics;
+pub mod mis;
+pub mod network;
+pub mod processor;
+
+pub use continuous::{knn_change_events, KnnEvent, MotionTrace};
+pub use euclidean::{InsConfig, InsProcessor};
+pub use influential::{influential_neighbor_set, validate_by_distance, Validation};
+pub use metrics::{QueryStats, TickOutcome};
+pub use mis::{minimal_influential_set, mis_via_ins, mis_with_candidates};
+pub use network::{influential_neighbor_set_net, NetInsConfig, NetInsProcessor};
+pub use processor::MovingKnn;
+
+/// Errors from processor construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Invalid configuration.
+    BadConfig {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

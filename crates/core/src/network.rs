@@ -1,0 +1,484 @@
+//! The INS moving-kNN processor for road networks (paper §IV).
+//!
+//! Differences from the Euclidean processor:
+//!
+//! * distances are network distances — no constant-time evaluation exists,
+//!   so the per-tick validation runs a *restricted* Incremental Network
+//!   Expansion confined to the subnetwork formed by the Voronoi cells of
+//!   `kNN ∪ I(kNN)` (Theorem 2: if that restricted search returns the
+//!   current kNN set, the set is globally valid);
+//! * the influential neighbor set comes from the precomputed *network*
+//!   Voronoi diagram's adjacency (Theorem 1: `MIS ⊆ INS` holds under
+//!   network distance as well);
+//! * on invalidation, the candidate produced by the restricted search is
+//!   re-certified on its own `cand ∪ I(cand)` subnetwork before being
+//!   adopted (update cases (i)/(ii)); only when that fails is a full INE
+//!   recomputation performed (case (iii)).
+
+use insq_roadnet::ine::network_knn_with_stats;
+use insq_roadnet::order_k::knn_sets_equal;
+use insq_roadnet::subnetwork::restricted_knn;
+use insq_roadnet::{NetPosition, NetworkVoronoi, RoadNetwork, SiteIdx, SiteMask, SiteSet};
+
+use crate::metrics::{QueryStats, TickOutcome};
+use crate::processor::MovingKnn;
+use crate::CoreError;
+
+/// Configuration of the network INS processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetInsConfig {
+    /// Number of nearest neighbors to maintain (k ≥ 1).
+    pub k: usize,
+    /// Prefetch ratio ρ ≥ 1 (see the Euclidean processor).
+    pub rho: f64,
+}
+
+impl NetInsConfig {
+    /// A configuration with the given k and ρ.
+    pub fn new(k: usize, rho: f64) -> NetInsConfig {
+        NetInsConfig { k, rho }
+    }
+
+    /// Demo default ρ = 1.6.
+    pub fn with_k(k: usize) -> NetInsConfig {
+        NetInsConfig { k, rho: 1.6 }
+    }
+
+    /// The prefetch count `max(k, ⌊ρk⌋)`.
+    pub fn prefetch_count(&self) -> usize {
+        ((self.rho * self.k as f64).floor() as usize).max(self.k)
+    }
+}
+
+/// The INS moving-kNN processor on a road network.
+#[derive(Debug)]
+pub struct NetInsProcessor<'a> {
+    net: &'a RoadNetwork,
+    sites: &'a SiteSet,
+    nvd: &'a NetworkVoronoi,
+    cfg: NetInsConfig,
+    /// Current kNN, ascending by network distance at the last maintenance
+    /// point.
+    knn: Vec<(SiteIdx, f64)>,
+    /// Theorem-2 mask: Voronoi cells of `kNN ∪ I(kNN)`.
+    mask: SiteMask,
+    /// Client-held objects (communication accounting).
+    cached: Vec<bool>,
+    cached_count: usize,
+    stats: QueryStats,
+    initialized: bool,
+}
+
+impl<'a> NetInsProcessor<'a> {
+    /// Creates a processor over a prebuilt network Voronoi diagram.
+    pub fn new(
+        net: &'a RoadNetwork,
+        sites: &'a SiteSet,
+        nvd: &'a NetworkVoronoi,
+        cfg: NetInsConfig,
+    ) -> Result<NetInsProcessor<'a>, CoreError> {
+        if cfg.k == 0 {
+            return Err(CoreError::BadConfig {
+                reason: "k must be at least 1",
+            });
+        }
+        if cfg.k > sites.len() {
+            return Err(CoreError::BadConfig {
+                reason: "k exceeds the number of data objects",
+            });
+        }
+        if !(cfg.rho >= 1.0 && cfg.rho.is_finite()) {
+            return Err(CoreError::BadConfig {
+                reason: "prefetch ratio rho must be finite and >= 1",
+            });
+        }
+        Ok(NetInsProcessor {
+            net,
+            sites,
+            nvd,
+            cfg,
+            knn: Vec::new(),
+            mask: SiteMask::new(sites.len()),
+            cached: vec![false; sites.len()],
+            cached_count: 0,
+            stats: QueryStats::default(),
+            initialized: false,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> NetInsConfig {
+        self.cfg
+    }
+
+    /// Current kNN with network distances (as of the last tick).
+    pub fn current_knn_with_dists(&self) -> &[(SiteIdx, f64)] {
+        &self.knn
+    }
+
+    /// The influential neighbor set of the current kNN (network Voronoi
+    /// adjacency, Definition 4 + Theorem 1).
+    pub fn influential_set(&self) -> Vec<SiteIdx> {
+        let ids: Vec<SiteIdx> = self.knn.iter().map(|&(s, _)| s).collect();
+        influential_neighbor_set_net(self.nvd, &ids)
+    }
+
+    /// The sites whose cells form the Theorem-2 validation subnetwork.
+    pub fn subnetwork_sites(&self) -> &[SiteIdx] {
+        self.mask.members()
+    }
+
+    /// Drops all client-side state, forcing a full recomputation at the
+    /// next tick — the client half of a data-object update (paper §III).
+    pub fn invalidate(&mut self) {
+        self.cached.iter_mut().for_each(|c| *c = false);
+        self.cached_count = 0;
+        self.knn.clear();
+        self.mask.set(std::iter::empty());
+        self.initialized = false;
+    }
+
+    /// Rebinds the processor to a rebuilt site set / network Voronoi
+    /// diagram after data-object updates (the network itself must be
+    /// unchanged). Implies [`NetInsProcessor::invalidate`]; statistics are
+    /// preserved.
+    pub fn rebind(&mut self, sites: &'a SiteSet, nvd: &'a NetworkVoronoi) {
+        self.sites = sites;
+        self.nvd = nvd;
+        self.cached = vec![false; sites.len()];
+        self.cached_count = 0;
+        self.mask = SiteMask::new(sites.len());
+        self.knn.clear();
+        self.initialized = false;
+    }
+
+    fn fetch(&mut self, sites: &[SiteIdx]) {
+        for &s in sites {
+            if !self.cached[s.idx()] {
+                self.cached[s.idx()] = true;
+                self.cached_count += 1;
+                self.stats.comm_objects += 1;
+            }
+        }
+    }
+
+    fn reset_cache_to(&mut self, sites: &[SiteIdx]) {
+        // Count new objects before swapping the cache contents.
+        let newly: u64 = sites
+            .iter()
+            .filter(|s| !self.cached[s.idx()])
+            .count() as u64;
+        self.cached.iter_mut().for_each(|c| *c = false);
+        self.cached_count = 0;
+        for &s in sites {
+            if !self.cached[s.idx()] {
+                self.cached[s.idx()] = true;
+                self.cached_count += 1;
+            }
+        }
+        self.stats.comm_objects += newly;
+    }
+
+    /// Full recomputation via INE (initial computation / case (iii)).
+    fn recompute(&mut self, pos: NetPosition) {
+        let m = self.cfg.prefetch_count().min(self.sites.len());
+        let (r, st) = network_knn_with_stats(self.net, self.sites, pos, m);
+        self.stats.search_ops += st.settled as u64;
+
+        let knn: Vec<(SiteIdx, f64)> = r[..self.cfg.k.min(r.len())].to_vec();
+        let knn_ids: Vec<SiteIdx> = knn.iter().map(|&(s, _)| s).collect();
+        let ins = influential_neighbor_set_net(self.nvd, &knn_ids);
+        self.stats.construction_ops += (knn_ids.len() + ins.len()) as u64;
+
+        // Client cache := R ∪ I(kNN).
+        let mut held: Vec<SiteIdx> = r.iter().map(|&(s, _)| s).collect();
+        held.extend_from_slice(&ins);
+        self.reset_cache_to(&held);
+
+        self.mask
+            .set(knn_ids.iter().copied().chain(ins.iter().copied()));
+        self.knn = knn;
+    }
+
+    /// Certifies a candidate k-set by Theorem 2 on its own subnetwork.
+    /// On success, installs it and returns the classified outcome.
+    fn try_adopt(
+        &mut self,
+        pos: NetPosition,
+        cand: &[(SiteIdx, f64)],
+    ) -> Option<TickOutcome> {
+        if cand.len() < self.cfg.k {
+            return None;
+        }
+        let cand_ids: Vec<SiteIdx> = cand.iter().map(|&(s, _)| s).collect();
+        let ins = influential_neighbor_set_net(self.nvd, &cand_ids);
+        self.stats.construction_ops += (cand_ids.len() + ins.len()) as u64;
+
+        let mut cand_mask = SiteMask::new(self.sites.len());
+        cand_mask.set(cand_ids.iter().copied().chain(ins.iter().copied()));
+        let (res, st) = restricted_knn(
+            self.net,
+            self.sites,
+            self.nvd,
+            &cand_mask,
+            pos,
+            self.cfg.k,
+        );
+        self.stats.search_ops += st.settled as u64;
+        let res_ids: Vec<SiteIdx> = res.iter().map(|&(s, _)| s).collect();
+        if !knn_sets_equal(&res_ids, &cand_ids) {
+            return None;
+        }
+
+        // Certified. Account communication for objects not yet held, then
+        // classify the outcome.
+        let prev_ids: Vec<SiteIdx> = self.knn.iter().map(|&(s, _)| s).collect();
+        let was_local = cand_ids.iter().all(|s| self.cached[s.idx()]);
+        self.fetch(&cand_ids);
+        self.fetch(&ins);
+        let shared = cand_ids.iter().filter(|s| prev_ids.contains(s)).count();
+        let outcome = if shared + 1 == self.cfg.k && was_local {
+            TickOutcome::Swap
+        } else if was_local {
+            TickOutcome::LocalRerank
+        } else {
+            // Needed fresh objects: semantically a (partial) recomputation.
+            TickOutcome::Recompute
+        };
+        self.mask = cand_mask;
+        self.knn = res;
+        Some(outcome)
+    }
+}
+
+/// The network influential neighbor set: union of NVD neighbor lists of
+/// the kNN members, minus the members (Definition 4 on network Voronoi
+/// cells).
+pub fn influential_neighbor_set_net(nvd: &NetworkVoronoi, knn: &[SiteIdx]) -> Vec<SiteIdx> {
+    let mut ins: Vec<SiteIdx> = Vec::with_capacity(knn.len() * 4);
+    for &s in knn {
+        ins.extend_from_slice(nvd.neighbors(s));
+    }
+    ins.sort_unstable();
+    ins.dedup();
+    ins.retain(|s| !knn.contains(s));
+    ins
+}
+
+impl MovingKnn<NetPosition, SiteIdx> for NetInsProcessor<'_> {
+    fn name(&self) -> &'static str {
+        "INS-road"
+    }
+
+    fn tick(&mut self, pos: NetPosition) -> TickOutcome {
+        if !self.initialized {
+            self.recompute(pos);
+            self.initialized = true;
+            let outcome = TickOutcome::Recompute;
+            self.stats.record(outcome);
+            return outcome;
+        }
+
+        // Theorem-2 validation: restricted INE on the kNN ∪ INS
+        // subnetwork must return the current kNN set.
+        let (res, st) = restricted_knn(
+            self.net,
+            self.sites,
+            self.nvd,
+            &self.mask,
+            pos,
+            self.cfg.k,
+        );
+        self.stats.validation_ops += st.settled as u64;
+        let res_ids: Vec<SiteIdx> = res.iter().map(|&(s, _)| s).collect();
+        let cur_ids: Vec<SiteIdx> = self.knn.iter().map(|&(s, _)| s).collect();
+
+        let outcome = if knn_sets_equal(&res_ids, &cur_ids) {
+            // Refresh stored distances for observers.
+            self.knn = res;
+            TickOutcome::Valid
+        } else {
+            // The restricted result is the natural candidate (the first
+            // object to displace a kNN member is an INS member).
+            match self.try_adopt(pos, &res) {
+                Some(outcome) => outcome,
+                None => {
+                    self.recompute(pos);
+                    TickOutcome::Recompute
+                }
+            }
+        };
+        self.stats.record(outcome);
+        outcome
+    }
+
+    fn current_knn(&self) -> Vec<SiteIdx> {
+        self.knn.iter().map(|&(s, _)| s).collect()
+    }
+
+    fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = QueryStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
+    use insq_roadnet::ine::network_knn;
+    use insq_roadnet::NetTrajectory;
+
+    fn setup(seed: u64) -> (RoadNetwork, SiteSet) {
+        let net = grid_network(
+            &GridConfig {
+                cols: 12,
+                rows: 12,
+                ..GridConfig::default()
+            },
+            seed,
+        )
+        .unwrap();
+        let sv = random_site_vertices(&net, 30, seed).unwrap();
+        let sites = SiteSet::new(&net, sv).unwrap();
+        (net, sites)
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let (net, sites) = setup(1);
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        assert!(NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(0, 1.5)).is_err());
+        assert!(
+            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(31, 1.5)).is_err()
+        );
+        assert!(
+            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 0.9)).is_err()
+        );
+        assert!(NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn matches_global_ine_along_tour() {
+        let (net, sites) = setup(42);
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        let mut p =
+            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(4, 1.6)).unwrap();
+        let tour = NetTrajectory::random_tour(&net, 8, 42).unwrap();
+        let steps = 400;
+        for i in 0..=steps {
+            let s = tour.length() * i as f64 / steps as f64;
+            let pos = tour.position(&net, s);
+            p.tick(pos);
+            let got: Vec<SiteIdx> = p.current_knn();
+            let want: Vec<SiteIdx> = network_knn(&net, &sites, pos, 4)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
+            assert!(
+                knn_sets_equal(&got, &want),
+                "mismatch at step {i}: {got:?} vs {want:?}"
+            );
+        }
+        let s = p.stats();
+        assert!(s.valid_ticks > s.ticks / 2, "mostly valid: {s:?}");
+        assert!(
+            s.recomputations < s.ticks / 4,
+            "recomputations rare: {s:?}"
+        );
+    }
+
+    #[test]
+    fn communication_far_below_naive() {
+        // The LBS-critical metric (paper §I): the INS client contacts the
+        // server only on recomputation, while a naive client receives k
+        // objects every timestamp.
+        let (net, sites) = setup(7);
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        let mut p =
+            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 1.6)).unwrap();
+        let tour = NetTrajectory::random_tour(&net, 6, 9).unwrap();
+        let steps = 200u64;
+        for i in 0..=steps {
+            let pos = tour.position(&net, tour.length() * i as f64 / steps as f64);
+            p.tick(pos);
+        }
+        let naive_comm = 3 * (steps + 1);
+        let ins_comm = p.stats().comm_objects;
+        assert!(
+            ins_comm * 2 < naive_comm,
+            "INS comm {ins_comm} not well below naive {naive_comm}"
+        );
+        // And most ticks validate without any recomputation at all.
+        assert!(p.stats().valid_ticks * 2 > p.stats().ticks, "{:?}", p.stats());
+    }
+
+    #[test]
+    fn stationary_stays_valid() {
+        let (net, sites) = setup(3);
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        let mut p =
+            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(5, 1.6)).unwrap();
+        let pos = NetPosition::Vertex(insq_roadnet::VertexId(60));
+        p.tick(pos);
+        for _ in 0..10 {
+            assert_eq!(p.tick(pos), TickOutcome::Valid);
+        }
+        assert_eq!(p.stats().recomputations, 1);
+    }
+
+    #[test]
+    fn invalidate_and_rebind_handle_site_updates() {
+        let (net, sites_a) = setup(19);
+        let nvd_a = NetworkVoronoi::build(&net, &sites_a);
+        // A second site set on the same network: the "after update" world.
+        let sv_b = insq_roadnet::generators::random_site_vertices(&net, 24, 77).unwrap();
+        let sites_b = SiteSet::new(&net, sv_b).unwrap();
+        let nvd_b = NetworkVoronoi::build(&net, &sites_b);
+
+        let mut p =
+            NetInsProcessor::new(&net, &sites_a, &nvd_a, NetInsConfig::new(3, 1.6)).unwrap();
+        let pos = NetPosition::Vertex(insq_roadnet::VertexId(70));
+        p.tick(pos);
+        assert_eq!(p.tick(pos), TickOutcome::Valid);
+
+        p.invalidate();
+        assert_eq!(p.tick(pos), TickOutcome::Recompute);
+
+        p.rebind(&sites_b, &nvd_b);
+        assert_eq!(p.tick(pos), TickOutcome::Recompute);
+        let got = p.current_knn();
+        let want: Vec<SiteIdx> = network_knn(&net, &sites_b, pos, 3)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert!(
+            knn_sets_equal(&got, &want),
+            "results come from the new site set"
+        );
+        assert_eq!(p.tick(pos), TickOutcome::Valid);
+    }
+
+    #[test]
+    fn influential_set_excludes_knn() {
+        let (net, sites) = setup(11);
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        let mut p =
+            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(4, 1.6)).unwrap();
+        p.tick(NetPosition::Vertex(insq_roadnet::VertexId(0)));
+        let knn = p.current_knn();
+        let ins = p.influential_set();
+        for s in &knn {
+            assert!(!ins.contains(s));
+        }
+        // The subnetwork mask is exactly kNN ∪ INS.
+        let mut expect: Vec<SiteIdx> = knn.iter().copied().chain(ins.iter().copied()).collect();
+        expect.sort_unstable();
+        let mut got: Vec<SiteIdx> = p.subnetwork_sites().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}

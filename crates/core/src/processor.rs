@@ -1,0 +1,29 @@
+//! The common interface of every moving-kNN processor.
+
+use crate::metrics::{QueryStats, TickOutcome};
+
+/// A continuous kNN processor driven by position updates.
+///
+/// `P` is the position type ([`insq_geom::Point`] in the Euclidean plane,
+/// [`insq_roadnet::NetPosition`] on road networks) and `Id` the data-object
+/// identifier type. The simulation engine in `insq-sim` drives any
+/// implementor along a trajectory and harvests its [`QueryStats`].
+pub trait MovingKnn<P, Id> {
+    /// Short human-readable method name ("INS", "Naive", "OkV", "V*").
+    fn name(&self) -> &'static str;
+
+    /// Advances the query object to `pos` and maintains the result,
+    /// reporting what had to be done.
+    fn tick(&mut self, pos: P) -> TickOutcome;
+
+    /// The current kNN ids, ascending by distance from the last position
+    /// (ties broken by id).
+    fn current_knn(&self) -> Vec<Id>;
+
+    /// Cumulative statistics since construction or the last
+    /// [`MovingKnn::reset_stats`].
+    fn stats(&self) -> &QueryStats;
+
+    /// Clears the statistics (keeps query state).
+    fn reset_stats(&mut self);
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the geometric primitives: clipping, polygon
+//! invariants, segment kernels and trajectories.
+
+use insq_geom::{Aabb, ConvexPolygon, HalfPlane, Point, Segment, Trajectory, Vector};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn small_box() -> impl Strategy<Value = Aabb> {
+    (pt(), 1.0f64..50.0, 1.0f64..50.0).prop_map(|(c, w, h)| {
+        Aabb::new(c, Point::new(c.x + w, c.y + h))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    // ------------------------------------------------------------- AABB
+
+    #[test]
+    fn aabb_union_contains_both(a in small_box(), b in small_box()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_box(&a));
+        prop_assert!(u.contains_box(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn aabb_intersection_is_symmetric_and_contained(a in small_box(), b in small_box()) {
+        let i1 = a.intersection(&b);
+        let i2 = b.intersection(&a);
+        prop_assert_eq!(i1, i2);
+        if let Some(i) = i1 {
+            prop_assert!(a.contains_box(&i));
+            prop_assert!(b.contains_box(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn aabb_min_dist_consistent_with_contains(bb in small_box(), p in pt()) {
+        let d = bb.min_dist_sq(p);
+        prop_assert_eq!(d == 0.0, bb.contains(p));
+        prop_assert!(d <= bb.max_dist_sq(p));
+        // min_dist is a valid lower bound to every corner distance.
+        for c in bb.corners() {
+            prop_assert!(d <= p.distance_sq(c) + 1e-9);
+        }
+    }
+
+    // ---------------------------------------------------------- segments
+
+    #[test]
+    fn segment_distance_symmetry_and_bounds(a in pt(), b in pt(), p in pt()) {
+        let s = Segment::new(a, b);
+        let d = s.distance(p);
+        // Bounded by the endpoint distances.
+        prop_assert!(d <= p.distance(a) + 1e-9);
+        prop_assert!(d <= p.distance(b) + 1e-9);
+        // The closest point is on the segment (within its bbox).
+        let c = s.closest_point(p);
+        prop_assert!(s.bounding_box().inflated(1e-9).contains(c));
+        // Reversal invariance.
+        prop_assert!((s.reversed().distance(p) - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_intersection_symmetry(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+        if let Some(x) = s1.intersection(&s2) {
+            // The reported crossing lies (nearly) on both segments.
+            prop_assert!(s1.distance(x) < 1e-6);
+            prop_assert!(s2.distance(x) < 1e-6);
+            prop_assert!(s1.intersects(&s2));
+        }
+    }
+
+    // ---------------------------------------------------- half-plane clip
+
+    #[test]
+    fn clip_is_monotone_and_sound(bb in small_box(), p in pt(), q in pt()) {
+        prop_assume!(p != q);
+        let poly = ConvexPolygon::from_aabb(&bb);
+        let h = HalfPlane::closer_to(p, q);
+        let clipped = poly.clip_halfplane(&h);
+        // Clipping never grows the region.
+        prop_assert!(clipped.area() <= poly.area() + 1e-9);
+        // Every vertex of the result is inside both constraints (up to eps).
+        for v in clipped.vertices() {
+            prop_assert!(h.eval(*v) <= 1e-6, "vertex outside half-plane");
+            prop_assert!(bb.inflated(1e-9).contains(*v));
+        }
+        // Complementary clips partition the area.
+        let other = poly.clip_halfplane(&h.flipped());
+        prop_assert!((clipped.area() + other.area() - poly.area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeated_clipping_stays_convex(bb in small_box(), pts in prop::collection::vec((pt(), pt()), 1..8)) {
+        let mut poly = ConvexPolygon::from_aabb(&bb);
+        let mut scratch = Vec::new();
+        for (p, q) in pts {
+            if p == q {
+                continue;
+            }
+            poly.clip_halfplane_in_place(&HalfPlane::closer_to(p, q), &mut scratch);
+            if poly.is_empty() {
+                break;
+            }
+            // Convexity: every triple of consecutive vertices turns left
+            // or is collinear.
+            let vs = poly.vertices();
+            let n = vs.len();
+            for i in 0..n {
+                let o = insq_geom::orient2d(vs[i], vs[(i + 1) % n], vs[(i + 2) % n]);
+                prop_assert_ne!(o, insq_geom::Orientation::Clockwise);
+            }
+            // Area is consistent with the shoelace of its own vertices.
+            prop_assert!(poly.area() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn polygon_contains_centroid(bb in small_box(), p in pt(), q in pt()) {
+        prop_assume!(p.distance(q) > 1e-6);
+        let poly = ConvexPolygon::from_aabb(&bb).clip_halfplane(&HalfPlane::closer_to(p, q));
+        if !poly.is_empty() {
+            let c = poly.centroid().expect("non-empty");
+            prop_assert!(poly.contains(c), "convex polygon contains its centroid");
+        }
+    }
+
+    // --------------------------------------------------------- halfplane
+
+    #[test]
+    fn closer_to_agrees_with_distance(p in pt(), q in pt(), x in pt()) {
+        prop_assume!(p != q);
+        let h = HalfPlane::closer_to(p, q);
+        prop_assert_eq!(h.contains(x), x.distance_sq(p) <= x.distance_sq(q));
+    }
+
+    // -------------------------------------------------------- trajectory
+
+    #[test]
+    fn trajectory_positions_monotone(waypoints in prop::collection::vec(pt(), 2..10), steps in 2usize..50) {
+        let Ok(t) = Trajectory::new(waypoints) else {
+            return Ok(()); // degenerate inputs rejected is fine
+        };
+        let len = t.length();
+        let mut travelled = 0.0;
+        let mut prev = t.position(0.0);
+        // Total distance along sampled positions never exceeds arc length,
+        // and sampling the full range traverses exactly the length.
+        for i in 1..=steps {
+            let s = len * i as f64 / steps as f64;
+            let p = t.position(s);
+            travelled += prev.distance(p);
+            prev = p;
+        }
+        prop_assert!(travelled <= len + 1e-6);
+        prop_assert_eq!(t.position(len), *t.waypoints().last().unwrap());
+        prop_assert_eq!(t.position(0.0), *t.waypoints().first().unwrap());
+    }
+
+    #[test]
+    fn trajectory_loop_is_periodic(waypoints in prop::collection::vec(pt(), 2..8), s in 0.0f64..500.0) {
+        let Ok(t) = Trajectory::new(waypoints) else {
+            return Ok(());
+        };
+        let len = t.length();
+        let a = t.position_looped(s);
+        let b = t.position_looped(s + len);
+        prop_assert!(a.distance(b) < 1e-6, "period {len}: {a:?} vs {b:?}");
+    }
+
+    // ------------------------------------------------------------ vector
+
+    #[test]
+    fn vector_rotation_preserves_norm(x in -100.0f64..100.0, y in -100.0f64..100.0) {
+        let v = Vector::new(x, y);
+        prop_assert!((v.perp().norm() - v.norm()).abs() < 1e-9);
+        prop_assert!(v.perp().dot(v).abs() < 1e-9);
+    }
+}

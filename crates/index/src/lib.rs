@@ -1,0 +1,21 @@
+//! # insq-index
+//!
+//! Spatial indexes for the INSQ moving-kNN system:
+//!
+//! * [`RTree`] — a dynamic point R-tree (STR bulk load, insert/remove,
+//!   range queries, best-first kNN), used directly by the naive baseline
+//!   that recomputes the kNN set at every timestamp;
+//! * [`VorTree`] — the VoR-tree of Sharifzadeh & Shahabi (reference \[7\] of
+//!   the paper): the same R-tree bundled with the precomputed Voronoi
+//!   diagram, so kNN search can expand Voronoi neighbor links after a
+//!   single best-first descent and the INS construction gets its neighbor
+//!   lists for free.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod rtree;
+pub mod vortree;
+
+pub use rtree::{Entry, RTree};
+pub use vortree::VorTree;

@@ -1,0 +1,213 @@
+//! The VoR-tree: an R-tree whose entries carry Voronoi information
+//! (Sharifzadeh & Shahabi, PVLDB 2010 — reference \[7\] of the INSQ paper).
+//!
+//! The INSQ system "precompute\[s\] the Voronoi diagram of O and index\[es\] it
+//! with an VoR-tree" (paper §III). The practical payoff is twofold:
+//!
+//! * kNN search: after locating the 1NN with a best-first R-tree descent,
+//!   the remaining k−1 neighbors are found by expanding Voronoi neighbor
+//!   links only — the second-nearest neighbor is always a Voronoi neighbor
+//!   of the first, and inductively the (i+1)-th nearest is a Voronoi
+//!   neighbor of one of the first i (the classical VoR-tree property).
+//! * the neighbor lists retrieved along the way are exactly what the INS
+//!   construction `I(R) = ⋃ N_O(p) \ R` needs, with no extra I/O.
+
+use insq_geom::{Aabb, Point};
+use insq_voronoi::{SiteId, Voronoi, VoronoiError};
+
+use crate::rtree::{Entry, RTree};
+
+/// An R-tree over Voronoi sites, bundled with the diagram it indexes.
+#[derive(Debug, Clone)]
+pub struct VorTree {
+    rtree: RTree,
+    voronoi: Voronoi,
+}
+
+impl VorTree {
+    /// Builds the Voronoi diagram of `points` (clipped to `bounds`) and
+    /// bulk-loads an R-tree over the sites.
+    pub fn build(points: Vec<Point>, bounds: Aabb) -> Result<VorTree, VoronoiError> {
+        let voronoi = Voronoi::build(points, bounds)?;
+        Ok(Self::from_voronoi(voronoi))
+    }
+
+    /// Wraps an existing Voronoi diagram.
+    pub fn from_voronoi(voronoi: Voronoi) -> VorTree {
+        let entries: Vec<Entry> = voronoi
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Entry {
+                point: p,
+                id: i as u32,
+            })
+            .collect();
+        VorTree {
+            rtree: RTree::bulk_load(entries),
+            voronoi,
+        }
+    }
+
+    /// The underlying Voronoi diagram.
+    #[inline]
+    pub fn voronoi(&self) -> &Voronoi {
+        &self.voronoi
+    }
+
+    /// The underlying R-tree.
+    #[inline]
+    pub fn rtree(&self) -> &RTree {
+        &self.rtree
+    }
+
+    /// Number of sites.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.voronoi.len()
+    }
+
+    /// Whether the index is empty (never true once built).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.voronoi.is_empty()
+    }
+
+    /// Position of a site.
+    #[inline]
+    pub fn point(&self, s: SiteId) -> Point {
+        self.voronoi.point(s)
+    }
+
+    /// The k nearest sites to `q`, ascending by distance, found by the
+    /// VoR-tree strategy: one best-first R-tree descent for the 1NN, then
+    /// incremental expansion over Voronoi neighbor links.
+    ///
+    /// Ties are broken by site id, matching [`RTree::knn`].
+    pub fn knn(&self, q: Point, k: usize) -> Vec<(SiteId, f64)> {
+        let mut result: Vec<(SiteId, f64)> = Vec::with_capacity(k);
+        if k == 0 || self.voronoi.is_empty() {
+            return result;
+        }
+        let (first, first_dist) = match self.rtree.nearest(q) {
+            Some((e, d)) => (SiteId(e.id), d),
+            None => return result,
+        };
+
+        // Min-heap of frontier sites keyed by distance (ties by id).
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapSite>> =
+            std::collections::BinaryHeap::new();
+        let mut enqueued = vec![false; self.voronoi.len()];
+        heap.push(std::cmp::Reverse(HeapSite {
+            dist: first_dist,
+            site: first,
+        }));
+        enqueued[first.idx()] = true;
+
+        while let Some(std::cmp::Reverse(HeapSite { dist, site })) = heap.pop() {
+            result.push((site, dist));
+            if result.len() == k {
+                break;
+            }
+            for &nb in self.voronoi.neighbors(site) {
+                if !enqueued[nb.idx()] {
+                    enqueued[nb.idx()] = true;
+                    heap.push(std::cmp::Reverse(HeapSite {
+                        dist: self.voronoi.point(nb).distance(q),
+                        site: nb,
+                    }));
+                }
+            }
+        }
+        result
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapSite {
+    dist: f64,
+    site: SiteId,
+}
+
+impl Eq for HeapSite {}
+impl PartialOrd for HeapSite {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapSite {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.site.cmp(&other.site))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    fn build_random(n: usize, seed: u64) -> VorTree {
+        let mut next = lcg(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect();
+        let bounds = Aabb::new(Point::new(-10.0, -10.0), Point::new(110.0, 110.0));
+        VorTree::build(points, bounds).unwrap()
+    }
+
+    #[test]
+    fn knn_matches_rtree_knn() {
+        let tree = build_random(300, 2024);
+        let mut next = lcg(1);
+        for _ in 0..50 {
+            let q = Point::new(next() * 100.0, next() * 100.0);
+            for k in [1usize, 4, 16] {
+                let via_voronoi: Vec<u32> =
+                    tree.knn(q, k).into_iter().map(|(s, _)| s.0).collect();
+                let via_rtree: Vec<u32> =
+                    tree.rtree().knn(q, k).into_iter().map(|(e, _)| e.id).collect();
+                assert_eq!(via_voronoi, via_rtree, "k={k} q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_outside_data_region() {
+        // Query far outside the hull: the expansion must still find the
+        // true k nearest.
+        let tree = build_random(100, 5);
+        let q = Point::new(-500.0, 900.0);
+        let via_voronoi: Vec<u32> = tree.knn(q, 10).into_iter().map(|(s, _)| s.0).collect();
+        let via_rtree: Vec<u32> = tree.rtree().knn(q, 10).into_iter().map(|(e, _)| e.id).collect();
+        assert_eq!(via_voronoi, via_rtree);
+    }
+
+    #[test]
+    fn knn_k_exceeds_sites() {
+        let tree = build_random(10, 8);
+        let res = tree.knn(Point::new(50.0, 50.0), 50);
+        assert_eq!(res.len(), 10, "expansion reaches every site");
+    }
+
+    #[test]
+    fn distances_ascending_and_consistent() {
+        let tree = build_random(200, 77);
+        let q = Point::new(33.0, 66.0);
+        let res = tree.knn(q, 25);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        for (s, d) in res {
+            assert!((tree.point(s).distance(q) - d).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! # insq-roadnet
+//!
+//! The road-network substrate of the INSQ moving-kNN system (paper §IV):
+//!
+//! * [`RoadNetwork`] — connected undirected weighted graphs in compact CSR
+//!   form, with [`NetPosition`]s on vertices or edge interiors;
+//! * [`dijkstra`] — single-source, multi-source and k-label shortest paths;
+//! * [`NetworkVoronoi`] — the network Voronoi diagram: vertex/edge
+//!   ownership, border ("mid-") points, per-site cell fragments and the
+//!   network **Voronoi neighbor sets** the INS is built from;
+//! * [`ine`] — Incremental Network Expansion kNN (the recompute path);
+//! * [`subnetwork`] — cell-restricted kNN search implementing the
+//!   Theorem-2 validation ("we just need to consider the (smaller) road
+//!   network formed by the current kNN set and the INS");
+//! * [`order_k`] — exact network order-k Voronoi segments (the labelled
+//!   edge segments of Fig. 2) and the network MIS of Definition 2;
+//! * [`generators`] / [`trajectory`] — synthetic street networks and
+//!   network-constrained query trajectories for the demo and benchmarks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod astar;
+pub mod dijkstra;
+pub mod generators;
+pub mod graph;
+pub mod ine;
+pub mod nvd;
+pub mod order_k;
+pub mod position;
+pub mod sites;
+pub mod subnetwork;
+pub mod trajectory;
+
+pub use graph::{EdgeId, EdgeRec, RoadNetwork, VertexId};
+pub use nvd::{BorderPoint, EdgeFragment, EdgeOwnership, NetworkVoronoi};
+pub use position::NetPosition;
+pub use sites::{SiteIdx, SiteSet};
+pub use subnetwork::SiteMask;
+pub use trajectory::NetTrajectory;
+
+/// Errors from road-network construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadNetError {
+    /// The network has no vertices.
+    Empty,
+    /// A vertex coordinate is NaN or infinite.
+    NonFiniteCoordinate {
+        /// Offending vertex index.
+        vertex: usize,
+    },
+    /// An edge references a vertex out of range.
+    EdgeOutOfRange {
+        /// Offending edge index.
+        edge: usize,
+    },
+    /// An edge connects a vertex to itself.
+    SelfLoop {
+        /// Offending edge index.
+        edge: usize,
+    },
+    /// An edge length is non-positive or non-finite.
+    BadEdgeLength {
+        /// Offending edge index.
+        edge: usize,
+        /// The bad length.
+        len: f64,
+    },
+    /// The graph is not connected.
+    Disconnected,
+    /// A position offset is NaN or infinite.
+    BadOffset {
+        /// The bad offset.
+        offset: f64,
+    },
+    /// A site set was empty.
+    NoSites,
+    /// A site references a vertex out of range.
+    SiteOutOfRange {
+        /// Offending site index.
+        site: usize,
+    },
+    /// Two sites share a vertex.
+    DuplicateSite {
+        /// Index of the first site at the vertex.
+        first: usize,
+        /// Index of the duplicate.
+        second: usize,
+    },
+    /// A trajectory needs at least two vertices.
+    TrajectoryTooShort {
+        /// Number of vertices supplied.
+        got: usize,
+    },
+    /// Two consecutive trajectory vertices are not adjacent.
+    NotAdjacent {
+        /// First vertex.
+        u: VertexId,
+        /// Second vertex.
+        v: VertexId,
+    },
+    /// A generator was configured with invalid parameters.
+    BadGeneratorConfig {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoadNetError::Empty => write!(f, "network has no vertices"),
+            RoadNetError::NonFiniteCoordinate { vertex } => {
+                write!(f, "non-finite coordinate at vertex {vertex}")
+            }
+            RoadNetError::EdgeOutOfRange { edge } => {
+                write!(f, "edge {edge} references an out-of-range vertex")
+            }
+            RoadNetError::SelfLoop { edge } => write!(f, "edge {edge} is a self loop"),
+            RoadNetError::BadEdgeLength { edge, len } => {
+                write!(f, "edge {edge} has invalid length {len}")
+            }
+            RoadNetError::Disconnected => write!(f, "network is not connected"),
+            RoadNetError::BadOffset { offset } => write!(f, "invalid edge offset {offset}"),
+            RoadNetError::NoSites => write!(f, "site set is empty"),
+            RoadNetError::SiteOutOfRange { site } => {
+                write!(f, "site {site} references an out-of-range vertex")
+            }
+            RoadNetError::DuplicateSite { first, second } => {
+                write!(f, "sites {first} and {second} share a vertex")
+            }
+            RoadNetError::TrajectoryTooShort { got } => {
+                write!(f, "trajectory needs at least 2 vertices, got {got}")
+            }
+            RoadNetError::NotAdjacent { u, v } => {
+                write!(f, "trajectory vertices {u} and {v} are not adjacent")
+            }
+            RoadNetError::BadGeneratorConfig { reason } => {
+                write!(f, "bad generator config: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoadNetError {}

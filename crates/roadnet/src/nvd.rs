@@ -1,0 +1,392 @@
+//! The network Voronoi diagram (NVD).
+//!
+//! One multi-source Dijkstra from all sites assigns every vertex to its
+//! nearest site; each edge is then either wholly owned by one site or split
+//! at a *border point* `b` equidistant from the two endpoint owners — the
+//! "mid-point" of the paper's Fig. 2, whose existence drives the proof of
+//! Theorem 1 (`MIS ⊆ INS` in road networks).
+//!
+//! The diagram also yields the network **Voronoi neighbor sets** (sites
+//! whose cells share a border point), which is exactly what the network INS
+//! is built from, and per-site **cell edge fragments**, which is what the
+//! demo renders as the green/yellow edge sets.
+
+use crate::dijkstra::multi_source;
+use crate::graph::{EdgeId, RoadNetwork, VertexId};
+use crate::sites::{SiteIdx, SiteSet};
+
+/// How a single edge is partitioned between network Voronoi cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeOwnership {
+    /// The whole edge lies in one site's cell.
+    Whole(SiteIdx),
+    /// The edge is split at `border` (network units from the edge's `u`
+    /// endpoint): `[0, border]` belongs to `owner_u`, `[border, len]` to
+    /// `owner_v`.
+    Split {
+        /// Owner of the `u`-side fragment.
+        owner_u: SiteIdx,
+        /// Owner of the `v`-side fragment.
+        owner_v: SiteIdx,
+        /// Distance of the border point from `u` along the edge.
+        border: f64,
+    },
+}
+
+/// A border point between two adjacent network Voronoi cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BorderPoint {
+    /// The edge the border lies on.
+    pub edge: EdgeId,
+    /// Offset from the edge's `u` endpoint.
+    pub offset: f64,
+    /// Cell on the `u` side.
+    pub site_u: SiteIdx,
+    /// Cell on the `v` side.
+    pub site_v: SiteIdx,
+}
+
+/// A contiguous fragment of an edge belonging to one Voronoi cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeFragment {
+    /// The edge.
+    pub edge: EdgeId,
+    /// Fragment start (offset from `u`).
+    pub from: f64,
+    /// Fragment end (offset from `u`), `from < to`.
+    pub to: f64,
+}
+
+/// The network Voronoi diagram of a site set.
+#[derive(Debug, Clone)]
+pub struct NetworkVoronoi {
+    /// Per-vertex distance to the nearest site.
+    dist: Vec<f64>,
+    /// Per-vertex owner site.
+    owner: Vec<SiteIdx>,
+    /// Per-edge ownership.
+    edge_ownership: Vec<EdgeOwnership>,
+    /// CSR adjacency over sites (network Voronoi neighbors).
+    nbr_offsets: Vec<u32>,
+    nbr_adjacency: Vec<SiteIdx>,
+}
+
+impl NetworkVoronoi {
+    /// Builds the NVD with one multi-source Dijkstra plus a linear edge
+    /// scan.
+    pub fn build(net: &RoadNetwork, sites: &SiteSet) -> NetworkVoronoi {
+        let (dist, owner_raw) = multi_source(net, sites.vertices());
+        let owner: Vec<SiteIdx> = owner_raw.into_iter().map(SiteIdx).collect();
+
+        let mut edge_ownership = Vec::with_capacity(net.num_edges());
+        let mut pairs: Vec<(SiteIdx, SiteIdx)> = Vec::new();
+        for rec in net.edges() {
+            let ou = owner[rec.u.idx()];
+            let ov = owner[rec.v.idx()];
+            if ou == ov {
+                edge_ownership.push(EdgeOwnership::Whole(ou));
+                continue;
+            }
+            // Border where dist(u) + t == dist(v) + (len - t).
+            let border = 0.5 * (rec.len + dist[rec.v.idx()] - dist[rec.u.idx()]);
+            let border = border.clamp(0.0, rec.len);
+            edge_ownership.push(EdgeOwnership::Split {
+                owner_u: ou,
+                owner_v: ov,
+                border,
+            });
+            let (a, b) = if ou < ov { (ou, ov) } else { (ov, ou) };
+            pairs.push((a, b));
+        }
+
+        // CSR over sites from the (deduplicated) adjacency pairs.
+        pairs.sort_unstable();
+        pairs.dedup();
+        let m = sites.len();
+        let mut degree = vec![0u32; m];
+        for &(a, b) in &pairs {
+            degree[a.idx()] += 1;
+            degree[b.idx()] += 1;
+        }
+        let mut nbr_offsets = Vec::with_capacity(m + 1);
+        nbr_offsets.push(0u32);
+        for d in &degree {
+            nbr_offsets.push(nbr_offsets.last().expect("non-empty") + d);
+        }
+        let mut nbr_adjacency =
+            vec![SiteIdx(0); *nbr_offsets.last().expect("non-empty") as usize];
+        let mut cursor: Vec<u32> = nbr_offsets[..m].to_vec();
+        for &(a, b) in &pairs {
+            nbr_adjacency[cursor[a.idx()] as usize] = b;
+            cursor[a.idx()] += 1;
+            nbr_adjacency[cursor[b.idx()] as usize] = a;
+            cursor[b.idx()] += 1;
+        }
+        for i in 0..m {
+            nbr_adjacency[nbr_offsets[i] as usize..nbr_offsets[i + 1] as usize].sort_unstable();
+        }
+
+        NetworkVoronoi {
+            dist,
+            owner,
+            edge_ownership,
+            nbr_offsets,
+            nbr_adjacency,
+        }
+    }
+
+    /// Distance from vertex `v` to its nearest site.
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> f64 {
+        self.dist[v.idx()]
+    }
+
+    /// The site owning vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> SiteIdx {
+        self.owner[v.idx()]
+    }
+
+    /// Ownership of edge `e`.
+    #[inline]
+    pub fn edge_ownership(&self, e: EdgeId) -> EdgeOwnership {
+        self.edge_ownership[e.idx()]
+    }
+
+    /// The network Voronoi neighbor set of site `s` (sorted).
+    #[inline]
+    pub fn neighbors(&self, s: SiteIdx) -> &[SiteIdx] {
+        let lo = self.nbr_offsets[s.idx()] as usize;
+        let hi = self.nbr_offsets[s.idx() + 1] as usize;
+        &self.nbr_adjacency[lo..hi]
+    }
+
+    /// Whether two sites' cells are adjacent.
+    pub fn are_neighbors(&self, a: SiteIdx, b: SiteIdx) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// All border points of the diagram.
+    pub fn border_points(&self, net: &RoadNetwork) -> Vec<BorderPoint> {
+        let mut out = Vec::new();
+        for (i, own) in self.edge_ownership.iter().enumerate() {
+            if let EdgeOwnership::Split {
+                owner_u,
+                owner_v,
+                border,
+            } = *own
+            {
+                let _ = net;
+                out.push(BorderPoint {
+                    edge: EdgeId(i as u32),
+                    offset: border,
+                    site_u: owner_u,
+                    site_v: owner_v,
+                });
+            }
+        }
+        out
+    }
+
+    /// The edge fragments forming the Voronoi cell of `s` — what the demo
+    /// paints in the site's color.
+    pub fn cell_fragments(&self, net: &RoadNetwork, s: SiteIdx) -> Vec<EdgeFragment> {
+        let mut out = Vec::new();
+        for (i, own) in self.edge_ownership.iter().enumerate() {
+            let e = EdgeId(i as u32);
+            let len = net.edge(e).len;
+            match *own {
+                EdgeOwnership::Whole(o) if o == s => out.push(EdgeFragment {
+                    edge: e,
+                    from: 0.0,
+                    to: len,
+                }),
+                EdgeOwnership::Split {
+                    owner_u,
+                    owner_v,
+                    border,
+                } => {
+                    if owner_u == s && border > 0.0 {
+                        out.push(EdgeFragment {
+                            edge: e,
+                            from: 0.0,
+                            to: border,
+                        });
+                    }
+                    if owner_v == s && border < len {
+                        out.push(EdgeFragment {
+                            edge: e,
+                            from: border,
+                            to: len,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Total network length of the cell of `s`.
+    pub fn cell_length(&self, net: &RoadNetwork, s: SiteIdx) -> f64 {
+        self.cell_fragments(net, s)
+            .iter()
+            .map(|f| f.to - f.from)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::distances_from_vertex;
+    use crate::graph::EdgeRec;
+    use insq_geom::Point;
+
+    fn edge(u: u32, v: u32, len: f64) -> EdgeRec {
+        EdgeRec {
+            u: VertexId(u),
+            v: VertexId(v),
+            len,
+        }
+    }
+
+    /// Path network 0-1-2-3-4 with unit edges, sites at 0 and 4.
+    fn path_net() -> (RoadNetwork, SiteSet) {
+        let coords = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let edges = (0..4).map(|i| edge(i, i + 1, 1.0)).collect();
+        let net = RoadNetwork::new(coords, edges).unwrap();
+        let sites = SiteSet::new(&net, vec![VertexId(0), VertexId(4)]).unwrap();
+        (net, sites)
+    }
+
+    #[test]
+    fn path_ownership_and_border() {
+        let (net, sites) = path_net();
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        assert_eq!(nvd.owner(VertexId(0)), SiteIdx(0));
+        assert_eq!(nvd.owner(VertexId(1)), SiteIdx(0));
+        assert_eq!(nvd.owner(VertexId(3)), SiteIdx(1));
+        assert_eq!(nvd.owner(VertexId(4)), SiteIdx(1));
+        // Vertex 2 is equidistant; either owner is fine but the edges
+        // around it must split consistently: total cell lengths are 2.0
+        // each.
+        let l0 = nvd.cell_length(&net, SiteIdx(0));
+        let l1 = nvd.cell_length(&net, SiteIdx(1));
+        assert!((l0 - 2.0).abs() < 1e-12, "cell 0 length {l0}");
+        assert!((l1 - 2.0).abs() < 1e-12, "cell 1 length {l1}");
+        // Exactly one border point, equidistant from both sites.
+        let borders = nvd.border_points(&net);
+        assert_eq!(borders.len(), 1);
+        let b = borders[0];
+        let d0 = distances_from_vertex(&net, VertexId(0));
+        let d4 = distances_from_vertex(&net, VertexId(4));
+        let rec = net.edge(b.edge);
+        let via_u = d0[rec.u.idx()] + b.offset;
+        let via_v = d4[rec.v.idx()] + (rec.len - b.offset);
+        assert!(
+            (via_u - via_v).abs() < 1e-12,
+            "border point equidistant: {via_u} vs {via_v}"
+        );
+        // The two cells are neighbors.
+        assert!(nvd.are_neighbors(SiteIdx(0), SiteIdx(1)));
+        assert_eq!(nvd.neighbors(SiteIdx(0)), &[SiteIdx(1)]);
+    }
+
+    /// 4x4 unit grid; sites at the four corners.
+    fn grid_net() -> (RoadNetwork, SiteSet) {
+        let mut coords = Vec::new();
+        let mut edges = Vec::new();
+        let w = 4u32;
+        for r in 0..w {
+            for c in 0..w {
+                coords.push(Point::new(c as f64, r as f64));
+            }
+        }
+        for r in 0..w {
+            for c in 0..w {
+                let id = r * w + c;
+                if c + 1 < w {
+                    edges.push(edge(id, id + 1, 1.0));
+                }
+                if r + 1 < w {
+                    edges.push(edge(id, id + w, 1.0));
+                }
+            }
+        }
+        let net = RoadNetwork::new(coords, edges).unwrap();
+        let sites = SiteSet::new(
+            &net,
+            vec![VertexId(0), VertexId(3), VertexId(12), VertexId(15)],
+        )
+        .unwrap();
+        (net, sites)
+    }
+
+    #[test]
+    fn vertices_owned_by_nearest_site() {
+        let (net, sites) = grid_net();
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        let per_site: Vec<Vec<f64>> = sites
+            .vertices()
+            .iter()
+            .map(|&v| distances_from_vertex(&net, v))
+            .collect();
+        for v in 0..net.num_vertices() {
+            let min = per_site.iter().map(|d| d[v]).fold(f64::INFINITY, f64::min);
+            assert_eq!(
+                per_site[nvd.owner(VertexId(v as u32)).idx()][v],
+                min,
+                "vertex {v} owner not nearest"
+            );
+            assert_eq!(nvd.dist(VertexId(v as u32)), min);
+        }
+    }
+
+    #[test]
+    fn cells_partition_total_length() {
+        let (net, sites) = grid_net();
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        let total: f64 = (0..sites.len() as u32)
+            .map(|s| nvd.cell_length(&net, SiteIdx(s)))
+            .sum();
+        assert!(
+            (total - net.total_length()).abs() < 1e-9,
+            "cells partition the network: {total} vs {}",
+            net.total_length()
+        );
+    }
+
+    #[test]
+    fn border_points_are_equidistant() {
+        let (net, sites) = grid_net();
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        let per_site: Vec<Vec<f64>> = sites
+            .vertices()
+            .iter()
+            .map(|&v| distances_from_vertex(&net, v))
+            .collect();
+        for b in nvd.border_points(&net) {
+            let rec = net.edge(b.edge);
+            let du = per_site[b.site_u.idx()][rec.u.idx()] + b.offset;
+            let dv = per_site[b.site_v.idx()][rec.v.idx()] + (rec.len - b.offset);
+            assert!(
+                (du - dv).abs() < 1e-9,
+                "border on {:?} not equidistant: {du} vs {dv}",
+                b.edge
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_symmetry() {
+        let (net, sites) = grid_net();
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        for s in 0..sites.len() as u32 {
+            for &nb in nvd.neighbors(SiteIdx(s)) {
+                assert!(nvd.are_neighbors(nb, SiteIdx(s)));
+                assert_ne!(nb, SiteIdx(s));
+            }
+        }
+    }
+}

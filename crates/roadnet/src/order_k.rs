@@ -1,0 +1,380 @@
+//! Exact order-k Voronoi structure on road networks.
+//!
+//! Used to reproduce Fig. 2 of the paper (an order-2 network Voronoi
+//! diagram with labelled edge segments) and as the ground-truth oracle for
+//! the network INS algorithm: [`order_k_segments`] partitions an edge into
+//! maximal segments sharing one kNN *set*, and [`knn_sets_equal`] compares
+//! result sets ignoring internal order.
+//!
+//! The computation is deliberately exact-but-exhaustive (one Dijkstra per
+//! site): it exists for verification and small demo networks, not for the
+//! query hot path — that is [`crate::ine`]'s and [`crate::subnetwork`]'s
+//! job.
+
+use crate::dijkstra::distances_from_vertex;
+use crate::graph::{EdgeId, RoadNetwork};
+use crate::position::NetPosition;
+use crate::sites::{SiteIdx, SiteSet};
+
+/// Distance matrix: `matrix[s][v]` = network distance from site `s` to
+/// vertex `v`. O(m · Dijkstra). The oracle substrate for everything else in
+/// this module.
+pub fn site_distance_matrix(net: &RoadNetwork, sites: &SiteSet) -> Vec<Vec<f64>> {
+    sites
+        .vertices()
+        .iter()
+        .map(|&v| distances_from_vertex(net, v))
+        .collect()
+}
+
+/// Distance from a network position to site `s`, given the matrix.
+///
+/// For a position interior to edge `(u, v)` the shortest path leaves
+/// through `u` or `v` (sites sit on vertices), so the distance is the
+/// smaller of the two detours.
+pub fn position_site_distance(
+    net: &RoadNetwork,
+    matrix: &[Vec<f64>],
+    pos: NetPosition,
+    s: SiteIdx,
+) -> f64 {
+    match pos {
+        NetPosition::Vertex(v) => matrix[s.idx()][v.idx()],
+        NetPosition::OnEdge { edge, offset } => {
+            let rec = net.edge(edge);
+            let via_u = matrix[s.idx()][rec.u.idx()] + offset;
+            let via_v = matrix[s.idx()][rec.v.idx()] + (rec.len - offset);
+            via_u.min(via_v)
+        }
+    }
+}
+
+/// The exact kNN set of a position, ascending by distance (ties by site
+/// index).
+pub fn knn_at(
+    net: &RoadNetwork,
+    matrix: &[Vec<f64>],
+    pos: NetPosition,
+    k: usize,
+) -> Vec<(SiteIdx, f64)> {
+    let m = matrix.len();
+    let mut v: Vec<(SiteIdx, f64)> = (0..m as u32)
+        .map(|i| {
+            (
+                SiteIdx(i),
+                position_site_distance(net, matrix, pos, SiteIdx(i)),
+            )
+        })
+        .collect();
+    v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+/// A maximal portion of an edge over which the kNN *set* is constant: the
+/// intersection of an order-k Voronoi cell with the edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKSegment {
+    /// The edge.
+    pub edge: EdgeId,
+    /// Segment start (offset from the edge's `u`).
+    pub from: f64,
+    /// Segment end.
+    pub to: f64,
+    /// The kNN set on the segment, sorted by site index (the paper's
+    /// `(6, 7)`-style labels of Fig. 2).
+    pub knn_set: Vec<SiteIdx>,
+}
+
+/// Partitions edge `e` into maximal order-k segments.
+///
+/// Along an edge, each site's distance function is the lower envelope of
+/// two linear functions (one per endpoint), so the kNN set changes only at
+/// crossings of such envelopes. All pairwise crossings are candidate
+/// breakpoints; the kNN set is evaluated at segment midpoints.
+pub fn order_k_segments(
+    net: &RoadNetwork,
+    matrix: &[Vec<f64>],
+    e: EdgeId,
+    k: usize,
+) -> Vec<OrderKSegment> {
+    let rec = net.edge(e);
+    let len = rec.len;
+    let m = matrix.len();
+
+    // Each site's distance at offset t is min(du + t, dv + len - t): a
+    // piecewise-linear "tent valley" with at most one internal breakpoint.
+    // Candidate kNN-set change points: internal breakpoints plus crossings
+    // between any two sites' envelopes.
+    let envelope = |s: usize, t: f64| -> f64 {
+        let du = matrix[s][rec.u.idx()] + t;
+        let dv = matrix[s][rec.v.idx()] + (len - t);
+        du.min(dv)
+    };
+
+    let mut cuts: Vec<f64> = vec![0.0, len];
+    #[allow(clippy::needless_range_loop)]
+    for s in 0..m {
+        // Internal apex of the envelope of site s.
+        let du = matrix[s][rec.u.idx()];
+        let dv = matrix[s][rec.v.idx()];
+        let apex = 0.5 * (len + dv - du);
+        if apex > 0.0 && apex < len {
+            cuts.push(apex);
+        }
+    }
+    // Crossings between each pair of linear pieces of two different sites:
+    // pieces are (du_a + t), (dv_a + len − t) vs (du_b + t), (dv_b + len − t).
+    for a in 0..m {
+        for b in (a + 1)..m {
+            let (dua, dva) = (matrix[a][rec.u.idx()], matrix[a][rec.v.idx()]);
+            let (dub, dvb) = (matrix[b][rec.u.idx()], matrix[b][rec.v.idx()]);
+            // (du_a + t) == (dv_b + len − t)  =>  t = (dv_b + len − du_a)/2
+            let c1 = 0.5 * (dvb + len - dua);
+            // (dv_a + len − t) == (du_b + t)  =>  t = (dv_a + len − du_b)/2
+            let c2 = 0.5 * (dva + len - dub);
+            for c in [c1, c2] {
+                if c > 0.0 && c < len {
+                    cuts.push(c);
+                }
+            }
+            // Same-slope pieces (du_a + t vs du_b + t) never cross unless
+            // equal everywhere; ties are handled by the set evaluation.
+        }
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    // Evaluate the kNN set at each interval midpoint and merge equal runs.
+    let mut segments: Vec<OrderKSegment> = Vec::new();
+    for w in cuts.windows(2) {
+        let (from, to) = (w[0], w[1]);
+        if to - from < 1e-12 {
+            continue;
+        }
+        let mid = 0.5 * (from + to);
+        let mut order: Vec<(SiteIdx, f64)> = (0..m as u32)
+            .map(|i| (SiteIdx(i), envelope(i as usize, mid)))
+            .collect();
+        order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut set: Vec<SiteIdx> = order[..k.min(m)].iter().map(|&(s, _)| s).collect();
+        set.sort_unstable();
+        match segments.last_mut() {
+            Some(last) if last.knn_set == set && (last.to - from).abs() < 1e-12 => {
+                last.to = to;
+            }
+            _ => segments.push(OrderKSegment {
+                edge: e,
+                from,
+                to,
+                knn_set: set,
+            }),
+        }
+    }
+    segments
+}
+
+/// All order-k segments of the network, grouped per edge.
+pub fn order_k_diagram(
+    net: &RoadNetwork,
+    matrix: &[Vec<f64>],
+    k: usize,
+) -> Vec<OrderKSegment> {
+    (0..net.num_edges() as u32)
+        .flat_map(|e| order_k_segments(net, matrix, EdgeId(e), k))
+        .collect()
+}
+
+/// The MIS of a kNN set per Definition 2, evaluated on the network: the
+/// union of the kNN sets of all order-k cells adjacent to the cell of
+/// `knn_set`, minus `knn_set`. Two cells are adjacent when their segments
+/// share an endpoint (a network order-k "edge" boundary).
+pub fn network_mis(
+    net: &RoadNetwork,
+    matrix: &[Vec<f64>],
+    knn_set: &[SiteIdx],
+    k: usize,
+) -> Vec<SiteIdx> {
+    let mut target: Vec<SiteIdx> = knn_set.to_vec();
+    target.sort_unstable();
+    let segments = order_k_diagram(net, matrix, k);
+
+    // Collect segment boundary points of the target cell, then find other
+    // cells sharing them (same edge, touching offsets — or touching across
+    // a shared vertex).
+    let mut mis: Vec<SiteIdx> = Vec::new();
+    for seg in &segments {
+        if seg.knn_set != target {
+            continue;
+        }
+        for other in &segments {
+            if other.knn_set == target {
+                continue;
+            }
+            if segments_touch(net, seg, other) {
+                for &s in &other.knn_set {
+                    if !target.contains(&s) {
+                        mis.push(s);
+                    }
+                }
+            }
+        }
+    }
+    mis.sort_unstable();
+    mis.dedup();
+    mis
+}
+
+/// Whether two order-k segments share a boundary point (same-edge touching
+/// offsets, or endpoints meeting at a common vertex).
+fn segments_touch(net: &RoadNetwork, a: &OrderKSegment, b: &OrderKSegment) -> bool {
+    const EPS: f64 = 1e-9;
+    if a.edge == b.edge
+        && ((a.to - b.from).abs() < EPS || (b.to - a.from).abs() < EPS) {
+            return true;
+        }
+    // Vertex touching: an endpoint of `a` at offset 0/len coincides with an
+    // endpoint of `b` at offset 0/len on an edge sharing that vertex.
+    let verts_of = |s: &OrderKSegment| {
+        let rec = net.edge(s.edge);
+        let mut v = Vec::with_capacity(2);
+        if s.from < EPS {
+            v.push(rec.u);
+        }
+        if (net.edge(s.edge).len - s.to).abs() < EPS {
+            v.push(rec.v);
+        }
+        v
+    };
+    let va = verts_of(a);
+    if va.is_empty() {
+        return false;
+    }
+    let vb = verts_of(b);
+    va.iter().any(|x| vb.contains(x))
+}
+
+/// Set equality of kNN results ignoring order (distance ties permute
+/// freely).
+pub fn knn_sets_equal(a: &[SiteIdx], b: &[SiteIdx]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut a2: Vec<SiteIdx> = a.to_vec();
+    let mut b2: Vec<SiteIdx> = b.to_vec();
+    a2.sort_unstable();
+    b2.sort_unstable();
+    a2 == b2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeRec, VertexId};
+    use crate::ine::network_knn;
+    use insq_geom::Point;
+
+    fn edge(u: u32, v: u32, len: f64) -> EdgeRec {
+        EdgeRec {
+            u: VertexId(u),
+            v: VertexId(v),
+            len,
+        }
+    }
+
+    /// Path 0-1-2-3-4, unit edges, sites at 0, 2, 4.
+    fn path() -> (RoadNetwork, SiteSet) {
+        let coords = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let edges = (0..4).map(|i| edge(i, i + 1, 1.0)).collect();
+        let net = RoadNetwork::new(coords, edges).unwrap();
+        let sites = SiteSet::new(&net, vec![VertexId(0), VertexId(2), VertexId(4)]).unwrap();
+        (net, sites)
+    }
+
+    #[test]
+    fn knn_at_matches_ine() {
+        let (net, sites) = path();
+        let matrix = site_distance_matrix(&net, &sites);
+        for e in 0..net.num_edges() as u32 {
+            for &t in &[0.1, 0.5, 0.9] {
+                let pos = NetPosition::on_edge(&net, EdgeId(e), t).unwrap();
+                let oracle = knn_at(&net, &matrix, pos, 2);
+                let ine = network_knn(&net, &sites, pos, 2);
+                for (o, i) in oracle.iter().zip(&ine) {
+                    assert!((o.1 - i.1).abs() < 1e-12, "distance mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_1_segments_on_path() {
+        let (net, sites) = path();
+        let matrix = site_distance_matrix(&net, &sites);
+        // Edge 0-1: site 0 owns [0, 1]... site boundary between p0 (at v0)
+        // and p1 (at v2) is at global x=1.0, i.e. the far end of edge 0.
+        let segs = order_k_segments(&net, &matrix, EdgeId(0), 1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].knn_set, vec![SiteIdx(0)]);
+        // Edge 1-2 (x in [1,2]): the p0/p1 bisector sits exactly at vertex
+        // 1 (x = 1), so p1 owns the entire edge.
+        let segs = order_k_segments(&net, &matrix, EdgeId(1), 1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].knn_set, vec![SiteIdx(1)]);
+        // Edge 2-3 (x in [2,3]): boundary between p1 (x=2) and p2 (x=4) at
+        // x = 3, the far vertex, so p1 owns this edge too.
+        let segs = order_k_segments(&net, &matrix, EdgeId(2), 1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].knn_set, vec![SiteIdx(1)]);
+    }
+
+    #[test]
+    fn order_2_segments_on_path() {
+        let (net, sites) = path();
+        let matrix = site_distance_matrix(&net, &sites);
+        // Order-2 cells along the path: {p0,p1} for x < 2 (center of p0/p2
+        // tie at x=2), then {p1, p0/p2}...
+        let all = order_k_diagram(&net, &matrix, 2);
+        // Segments must tile each edge exactly.
+        for e in 0..net.num_edges() as u32 {
+            let segs: Vec<&OrderKSegment> =
+                all.iter().filter(|s| s.edge == EdgeId(e)).collect();
+            let total: f64 = segs.iter().map(|s| s.to - s.from).sum();
+            assert!((total - net.edge(EdgeId(e)).len).abs() < 1e-9);
+        }
+        // Every segment's label matches the exact kNN at its midpoint.
+        for seg in &all {
+            let mid = 0.5 * (seg.from + seg.to);
+            let pos = NetPosition::on_edge(&net, seg.edge, mid).unwrap();
+            let oracle: Vec<SiteIdx> = knn_at(&net, &matrix, pos, 2)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
+            assert!(
+                knn_sets_equal(&oracle, &seg.knn_set),
+                "segment label mismatch on {:?}",
+                seg
+            );
+        }
+    }
+
+    #[test]
+    fn mis_on_path_order_2() {
+        let (net, sites) = path();
+        let _ = sites;
+        let matrix = site_distance_matrix(&net, &sites);
+        // Cell {p0, p1} is adjacent only to {p1, p2} on a path of 3 sites.
+        let mis = network_mis(&net, &matrix, &[SiteIdx(0), SiteIdx(1)], 2);
+        assert_eq!(mis, vec![SiteIdx(2)]);
+    }
+
+    #[test]
+    fn knn_sets_equal_ignores_order() {
+        assert!(knn_sets_equal(
+            &[SiteIdx(2), SiteIdx(0)],
+            &[SiteIdx(0), SiteIdx(2)]
+        ));
+        assert!(!knn_sets_equal(&[SiteIdx(0)], &[SiteIdx(1)]));
+        assert!(!knn_sets_equal(&[SiteIdx(0)], &[SiteIdx(0), SiteIdx(1)]));
+    }
+}

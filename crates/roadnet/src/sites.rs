@@ -1,0 +1,164 @@
+//! Data objects (sites) placed on network vertices.
+
+use crate::graph::{RoadNetwork, VertexId};
+use crate::RoadNetError;
+
+/// Index of a site within a [`SiteSet`] (0-based, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteIdx(pub u32);
+
+impl SiteIdx {
+    /// The site index as a `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SiteIdx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The set of data objects of a road-network MkNN query, each at a distinct
+/// vertex (the paper's assumption; objects elsewhere are modelled by
+/// subdividing edges first).
+#[derive(Debug, Clone)]
+pub struct SiteSet {
+    vertices: Vec<VertexId>,
+    /// Reverse map: `at_vertex[v]` = site index or `u32::MAX`.
+    at_vertex: Vec<u32>,
+}
+
+impl SiteSet {
+    /// Creates a site set. Vertices must be in range and pairwise distinct.
+    pub fn new(net: &RoadNetwork, vertices: Vec<VertexId>) -> Result<SiteSet, RoadNetError> {
+        if vertices.is_empty() {
+            return Err(RoadNetError::NoSites);
+        }
+        let n = net.num_vertices();
+        let mut at_vertex = vec![u32::MAX; n];
+        for (i, &v) in vertices.iter().enumerate() {
+            if v.idx() >= n {
+                return Err(RoadNetError::SiteOutOfRange { site: i });
+            }
+            if at_vertex[v.idx()] != u32::MAX {
+                return Err(RoadNetError::DuplicateSite {
+                    first: at_vertex[v.idx()] as usize,
+                    second: i,
+                });
+            }
+            at_vertex[v.idx()] = i as u32;
+        }
+        Ok(SiteSet {
+            vertices,
+            at_vertex,
+        })
+    }
+
+    /// Number of sites.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the set is empty (never true once constructed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The vertex hosting site `s`.
+    #[inline]
+    pub fn vertex(&self, s: SiteIdx) -> VertexId {
+        self.vertices[s.idx()]
+    }
+
+    /// All site vertices, indexable by [`SiteIdx`].
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// The site at vertex `v`, if any.
+    #[inline]
+    pub fn site_at(&self, v: VertexId) -> Option<SiteIdx> {
+        let s = self.at_vertex[v.idx()];
+        if s == u32::MAX {
+            None
+        } else {
+            Some(SiteIdx(s))
+        }
+    }
+
+    /// Iterates over `(site, vertex)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteIdx, VertexId)> + '_ {
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (SiteIdx(i as u32), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeRec;
+    use insq_geom::Point;
+
+    fn net() -> RoadNetwork {
+        RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+            ],
+            vec![
+                EdgeRec {
+                    u: VertexId(0),
+                    v: VertexId(1),
+                    len: 1.0,
+                },
+                EdgeRec {
+                    u: VertexId(1),
+                    v: VertexId(2),
+                    len: 1.0,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = net();
+        let sites = SiteSet::new(&n, vec![VertexId(2), VertexId(0)]).unwrap();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites.vertex(SiteIdx(0)), VertexId(2));
+        assert_eq!(sites.site_at(VertexId(0)), Some(SiteIdx(1)));
+        assert_eq!(sites.site_at(VertexId(1)), None);
+        let pairs: Vec<_> = sites.iter().collect();
+        assert_eq!(pairs, vec![(SiteIdx(0), VertexId(2)), (SiteIdx(1), VertexId(0))]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let n = net();
+        assert!(matches!(
+            SiteSet::new(&n, vec![]),
+            Err(RoadNetError::NoSites)
+        ));
+        assert!(matches!(
+            SiteSet::new(&n, vec![VertexId(7)]),
+            Err(RoadNetError::SiteOutOfRange { site: 0 })
+        ));
+        assert!(matches!(
+            SiteSet::new(&n, vec![VertexId(1), VertexId(1)]),
+            Err(RoadNetError::DuplicateSite {
+                first: 0,
+                second: 1
+            })
+        ));
+    }
+}

@@ -1,0 +1,353 @@
+//! Localized search on cell-restricted subnetworks (Theorem 2).
+//!
+//! Theorem 2 of the paper: if the kNN set of `q` computed on the subnetwork
+//! formed by the Voronoi cells of `Oknn ∪ I(Oknn)` equals `Oknn`, then
+//! `Oknn` is the true kNN set on the whole network. The INS processor
+//! therefore validates by running a *restricted* INE that never leaves the
+//! union of those cells — the expansion cost is bounded by the size of
+//! `k + |INS|` cells instead of the whole network.
+//!
+//! Rather than materialising a subgraph, [`restricted_knn`] runs Dijkstra
+//! on the original adjacency but only relaxes along edge fragments owned by
+//! the allowed sites (border points act as walls). This is equivalent to
+//! searching `D_{Oknn ∪ I(Oknn)}` and allocates nothing per query beyond
+//! the distance array.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::{RoadNetwork, VertexId};
+use crate::nvd::{EdgeOwnership, NetworkVoronoi};
+use crate::position::NetPosition;
+use crate::sites::{SiteIdx, SiteSet};
+
+/// A reusable mask of allowed sites, sized to the site set.
+#[derive(Debug, Clone)]
+pub struct SiteMask {
+    allowed: Vec<bool>,
+    members: Vec<SiteIdx>,
+}
+
+impl SiteMask {
+    /// Creates an empty mask for `num_sites` sites.
+    pub fn new(num_sites: usize) -> SiteMask {
+        SiteMask {
+            allowed: vec![false; num_sites],
+            members: Vec::new(),
+        }
+    }
+
+    /// Clears and refills the mask.
+    pub fn set<I: IntoIterator<Item = SiteIdx>>(&mut self, sites: I) {
+        for &s in &self.members {
+            self.allowed[s.idx()] = false;
+        }
+        self.members.clear();
+        for s in sites {
+            if !self.allowed[s.idx()] {
+                self.allowed[s.idx()] = true;
+                self.members.push(s);
+            }
+        }
+    }
+
+    /// Whether `s` is in the mask.
+    #[inline]
+    pub fn contains(&self, s: SiteIdx) -> bool {
+        self.allowed[s.idx()]
+    }
+
+    /// The member sites (insertion order).
+    #[inline]
+    pub fn members(&self) -> &[SiteIdx] {
+        &self.members
+    }
+}
+
+/// Statistics of a restricted expansion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestrictedStats {
+    /// Vertices settled.
+    pub settled: usize,
+    /// Heap pushes.
+    pub pushes: usize,
+}
+
+/// kNN of `pos` on the subnetwork formed by the Voronoi cells of the masked
+/// sites, ascending by distance (ties by site index).
+///
+/// Precondition for Theorem 2 semantics: `pos` lies inside the union of the
+/// masked cells (true by construction when the mask is `kNN ∪ INS` and `q`
+/// was inside the order-k cell at the last recompute). When `pos` is
+/// outside, the function still terminates and returns the kNN within
+/// whatever masked region is reachable.
+pub fn restricted_knn(
+    net: &RoadNetwork,
+    sites: &SiteSet,
+    nvd: &NetworkVoronoi,
+    mask: &SiteMask,
+    pos: NetPosition,
+    k: usize,
+) -> (Vec<(SiteIdx, f64)>, RestrictedStats) {
+    let mut stats = RestrictedStats::default();
+    let mut result: Vec<(SiteIdx, f64)> = Vec::with_capacity(k);
+    if k == 0 {
+        return (result, stats);
+    }
+
+    let n = net.num_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap: BinaryHeap<Reverse<(FloatOrd, VertexId)>> = BinaryHeap::new();
+
+    // Seed: from a vertex, or from an edge position — but only across edge
+    // fragments owned by masked sites.
+    match pos {
+        NetPosition::Vertex(v) => {
+            if mask.contains(nvd.owner(v)) {
+                dist[v.idx()] = 0.0;
+                heap.push(Reverse((FloatOrd(0.0), v)));
+                stats.pushes += 1;
+            }
+        }
+        NetPosition::OnEdge { edge, offset } => {
+            let rec = net.edge(edge);
+            // Reachability of the two endpoints from within the edge
+            // depends on the edge's ownership.
+            let (reach_u, reach_v) = match nvd.edge_ownership(edge) {
+                EdgeOwnership::Whole(o) => {
+                    let ok = mask.contains(o);
+                    (ok, ok)
+                }
+                EdgeOwnership::Split {
+                    owner_u,
+                    owner_v,
+                    border,
+                } => {
+                    let on_u_side = offset <= border;
+                    let ou = mask.contains(owner_u);
+                    let ov = mask.contains(owner_v);
+                    // Walking within the edge crosses the border point; that
+                    // is allowed iff both fragments are masked.
+                    if on_u_side {
+                        (ou, ou && ov)
+                    } else {
+                        (ov && ou, ov)
+                    }
+                }
+            };
+            if reach_u {
+                let d = offset;
+                if d < dist[rec.u.idx()] {
+                    dist[rec.u.idx()] = d;
+                    heap.push(Reverse((FloatOrd(d), rec.u)));
+                    stats.pushes += 1;
+                }
+            }
+            if reach_v {
+                let d = rec.len - offset;
+                if d < dist[rec.v.idx()] {
+                    dist[rec.v.idx()] = d;
+                    heap.push(Reverse((FloatOrd(d), rec.v)));
+                    stats.pushes += 1;
+                }
+            }
+        }
+    }
+
+    while let Some(Reverse((FloatOrd(d), u))) = heap.pop() {
+        if d > dist[u.idx()] {
+            continue;
+        }
+        stats.settled += 1;
+        if let Some(s) = sites.site_at(u) {
+            if mask.contains(s) {
+                result.push((s, d));
+                if result.len() == k {
+                    break;
+                }
+            }
+        }
+        for &(w, e) in net.neighbors(u) {
+            // Traverse only edges entirely inside the masked region.
+            let passable = match nvd.edge_ownership(e) {
+                EdgeOwnership::Whole(o) => mask.contains(o),
+                EdgeOwnership::Split { owner_u, owner_v, .. } => {
+                    mask.contains(owner_u) && mask.contains(owner_v)
+                }
+            };
+            if !passable {
+                continue;
+            }
+            let nd = d + net.edge(e).len;
+            if nd < dist[w.idx()] {
+                dist[w.idx()] = nd;
+                heap.push(Reverse((FloatOrd(nd), w)));
+                stats.pushes += 1;
+            }
+        }
+    }
+    result.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    (result, stats)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FloatOrd(f64);
+impl Eq for FloatOrd {}
+impl PartialOrd for FloatOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FloatOrd {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeRec;
+    use crate::ine::network_knn;
+    use crate::nvd::NetworkVoronoi;
+    use insq_geom::Point;
+
+    fn edge(u: u32, v: u32, len: f64) -> EdgeRec {
+        EdgeRec {
+            u: VertexId(u),
+            v: VertexId(v),
+            len,
+        }
+    }
+
+    /// 6x6 grid, sites on a diagonal-ish scatter.
+    fn grid() -> (RoadNetwork, SiteSet) {
+        let w = 6u32;
+        let mut coords = Vec::new();
+        let mut edges = Vec::new();
+        for r in 0..w {
+            for c in 0..w {
+                coords.push(Point::new(c as f64, r as f64));
+            }
+        }
+        for r in 0..w {
+            for c in 0..w {
+                let id = r * w + c;
+                if c + 1 < w {
+                    edges.push(edge(id, id + 1, 1.0));
+                }
+                if r + 1 < w {
+                    edges.push(edge(id, id + w, 1.0));
+                }
+            }
+        }
+        let net = RoadNetwork::new(coords, edges).unwrap();
+        let sv = vec![0u32, 3, 5, 14, 16, 21, 27, 30, 33, 35]
+            .into_iter()
+            .map(VertexId)
+            .collect();
+        let sites = SiteSet::new(&net, sv).unwrap();
+        (net, sites)
+    }
+
+    /// Theorem-2 style check: with the mask set to kNN ∪ network Voronoi
+    /// neighbors of the kNN, the restricted kNN equals the global kNN.
+    #[test]
+    fn restricted_matches_global_with_ins_mask() {
+        let (net, sites) = grid();
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        let k = 3;
+        for v in 0..net.num_vertices() as u32 {
+            let pos = NetPosition::Vertex(VertexId(v));
+            let global = network_knn(&net, &sites, pos, k);
+            // Build kNN ∪ INS mask.
+            let mut mask = SiteMask::new(sites.len());
+            let knn: Vec<SiteIdx> = global.iter().map(|&(s, _)| s).collect();
+            let mut members = knn.clone();
+            for &s in &knn {
+                members.extend_from_slice(nvd.neighbors(s));
+            }
+            mask.set(members);
+            let (restricted, _) = restricted_knn(&net, &sites, &nvd, &mask, pos, k);
+            let g: Vec<SiteIdx> = global.iter().map(|&(s, _)| s).collect();
+            let r: Vec<SiteIdx> = restricted.iter().map(|&(s, _)| s).collect();
+            // Compare as sets of distances (ties may order differently).
+            let gd: Vec<f64> = global.iter().map(|&(_, d)| d).collect();
+            let rd: Vec<f64> = restricted.iter().map(|&(_, d)| d).collect();
+            assert_eq!(gd, rd, "vertex {v}: {g:?} vs {r:?}");
+        }
+    }
+
+    #[test]
+    fn mask_walls_block_expansion() {
+        let (net, sites) = grid();
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        // Only the cell of the site at vertex 0 is allowed: from vertex 0 we
+        // must find exactly that one site, however large k is.
+        let s0 = sites.site_at(VertexId(0)).unwrap();
+        let mut mask = SiteMask::new(sites.len());
+        mask.set([s0]);
+        let (res, stats) =
+            restricted_knn(&net, &sites, &nvd, &mask, NetPosition::Vertex(VertexId(0)), 5);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0, s0);
+        assert_eq!(res[0].1, 0.0);
+        // The expansion must stay inside one cell: far fewer settles than
+        // the whole 36-vertex network.
+        assert!(stats.settled < 36, "settled {}", stats.settled);
+    }
+
+    #[test]
+    fn position_outside_mask_reaches_nothing() {
+        let (net, sites) = grid();
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        // Mask only the site at vertex 35; query from vertex 0 (deep inside
+        // another cell) cannot expand anywhere.
+        let far = sites.site_at(VertexId(35)).unwrap();
+        let mut mask = SiteMask::new(sites.len());
+        mask.set([far]);
+        let (res, _) =
+            restricted_knn(&net, &sites, &nvd, &mask, NetPosition::Vertex(VertexId(0)), 3);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn mask_reuse_clears_previous_members() {
+        let mut mask = SiteMask::new(4);
+        mask.set([SiteIdx(0), SiteIdx(2)]);
+        assert!(mask.contains(SiteIdx(0)));
+        assert!(!mask.contains(SiteIdx(1)));
+        mask.set([SiteIdx(1)]);
+        assert!(!mask.contains(SiteIdx(0)));
+        assert!(!mask.contains(SiteIdx(2)));
+        assert!(mask.contains(SiteIdx(1)));
+        assert_eq!(mask.members(), &[SiteIdx(1)]);
+        // Duplicates collapse.
+        mask.set([SiteIdx(3), SiteIdx(3)]);
+        assert_eq!(mask.members(), &[SiteIdx(3)]);
+    }
+
+    #[test]
+    fn edge_position_on_split_edge() {
+        let (net, sites) = grid();
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        // Find a split edge and query from just inside one side.
+        let split = (0..net.num_edges() as u32)
+            .map(crate::graph::EdgeId)
+            .find(|&e| matches!(nvd.edge_ownership(e), EdgeOwnership::Split { .. }))
+            .expect("grid with scattered sites has split edges");
+        let EdgeOwnership::Split { owner_u, border, .. } = nvd.edge_ownership(split) else {
+            unreachable!()
+        };
+        let pos = NetPosition::OnEdge {
+            edge: split,
+            offset: (border * 0.5).max(1e-6),
+        };
+        // Mask = only owner_u: the query (on owner_u's side) must reach it.
+        let mut mask = SiteMask::new(sites.len());
+        mask.set([owner_u]);
+        let (res, _) = restricted_knn(&net, &sites, &nvd, &mask, pos, 1);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0, owner_u);
+    }
+}

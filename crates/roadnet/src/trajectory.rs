@@ -1,0 +1,260 @@
+//! Network-constrained trajectories.
+//!
+//! In Road Network mode the demo's query object "must confine \[to\] the
+//! underlying road network" (paper §V). A [`NetTrajectory`] is a vertex
+//! walk through the graph, arc-length parameterised in *network* distance,
+//! so a simulation can ask "where is the query after travelling `s`?" and
+//! get a [`NetPosition`] back.
+
+use crate::astar::astar_distance_checked;
+use crate::generators::SplitMix64;
+use crate::graph::{EdgeId, RoadNetwork, VertexId};
+use crate::position::NetPosition;
+use crate::RoadNetError;
+
+/// A walk along network edges with cumulative network arc length.
+#[derive(Debug, Clone)]
+pub struct NetTrajectory {
+    /// The vertices visited, in order (consecutive ones adjacent).
+    vertices: Vec<VertexId>,
+    /// The edge taken between consecutive vertices.
+    edges: Vec<EdgeId>,
+    /// `cumulative[i]` = network distance from the start to `vertices[i]`.
+    cumulative: Vec<f64>,
+}
+
+impl NetTrajectory {
+    /// Builds a trajectory from a vertex walk. Consecutive vertices must be
+    /// adjacent in the network (the connecting edge is looked up; for
+    /// parallel edges the first is used).
+    pub fn from_walk(net: &RoadNetwork, walk: Vec<VertexId>) -> Result<NetTrajectory, RoadNetError> {
+        if walk.len() < 2 {
+            return Err(RoadNetError::TrajectoryTooShort { got: walk.len() });
+        }
+        let mut edges = Vec::with_capacity(walk.len() - 1);
+        let mut cumulative = Vec::with_capacity(walk.len());
+        cumulative.push(0.0);
+        for w in walk.windows(2) {
+            let e = net
+                .find_edge(w[0], w[1])
+                .ok_or(RoadNetError::NotAdjacent { u: w[0], v: w[1] })?;
+            edges.push(e);
+            let last = *cumulative.last().expect("seeded with 0.0");
+            cumulative.push(last + net.edge(e).len);
+        }
+        Ok(NetTrajectory {
+            vertices: walk,
+            edges,
+            cumulative,
+        })
+    }
+
+    /// Builds a trajectory by concatenating shortest paths through a list
+    /// of waypoint vertices — how the demo lets a user sketch a route.
+    pub fn through_waypoints(
+        net: &RoadNetwork,
+        waypoints: &[VertexId],
+    ) -> Result<NetTrajectory, RoadNetError> {
+        if waypoints.len() < 2 {
+            return Err(RoadNetError::TrajectoryTooShort {
+                got: waypoints.len(),
+            });
+        }
+        let mut walk: Vec<VertexId> = vec![waypoints[0]];
+        for w in waypoints.windows(2) {
+            if w[0] == w[1] {
+                continue;
+            }
+            // Goal-directed search: one target per leg.
+            let res = astar_distance_checked(net, w[0], w[1]);
+            if res.path.is_empty() {
+                return Err(RoadNetError::Disconnected);
+            }
+            walk.extend_from_slice(&res.path[1..]);
+        }
+        Self::from_walk(net, walk)
+    }
+
+    /// A random shortest-path tour visiting `hops` random waypoints.
+    pub fn random_tour(
+        net: &RoadNetwork,
+        hops: usize,
+        seed: u64,
+    ) -> Result<NetTrajectory, RoadNetError> {
+        let mut rng = SplitMix64::new(seed ^ 0x7EA7);
+        let n = net.num_vertices();
+        let mut waypoints = Vec::with_capacity(hops.max(2));
+        let mut last = usize::MAX;
+        while waypoints.len() < hops.max(2) {
+            let v = rng.below(n);
+            if v != last {
+                waypoints.push(VertexId(v as u32));
+                last = v;
+            }
+        }
+        Self::through_waypoints(net, &waypoints)
+    }
+
+    /// Total network length of the trajectory.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty")
+    }
+
+    /// The vertex walk.
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Position after travelling network distance `s` (clamped to the
+    /// trajectory).
+    pub fn position(&self, net: &RoadNetwork, s: f64) -> NetPosition {
+        let s = s.clamp(0.0, self.length());
+        let i = match self
+            .cumulative
+            .binary_search_by(|c| c.total_cmp(&s))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        if i + 1 >= self.vertices.len() {
+            return NetPosition::Vertex(*self.vertices.last().expect("non-empty"));
+        }
+        let e = self.edges[i];
+        let rec = net.edge(e);
+        let along = s - self.cumulative[i];
+        // The walk may traverse the edge u->v or v->u; offsets are stored
+        // from the edge's canonical `u`.
+        let from = self.vertices[i];
+        let offset = if from == rec.u { along } else { rec.len - along };
+        NetPosition::on_edge(net, e, offset).expect("edge id and offset valid by construction")
+    }
+
+    /// Position with wrap-around (looping playback).
+    pub fn position_looped(&self, net: &RoadNetwork, s: f64) -> NetPosition {
+        self.position(net, s.rem_euclid(self.length()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeRec;
+    use insq_geom::Point;
+
+    fn edge(u: u32, v: u32, len: f64) -> EdgeRec {
+        EdgeRec {
+            u: VertexId(u),
+            v: VertexId(v),
+            len,
+        }
+    }
+
+    /// Square loop 0-1-2-3 with distinct edge lengths.
+    fn square() -> RoadNetwork {
+        RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(2.0, 1.0),
+                Point::new(0.0, 1.0),
+            ],
+            vec![
+                edge(0, 1, 2.0),
+                edge(1, 2, 1.0),
+                edge(2, 3, 2.0),
+                edge(3, 0, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn walk_positions() {
+        let net = square();
+        let t = NetTrajectory::from_walk(
+            &net,
+            vec![VertexId(0), VertexId(1), VertexId(2)],
+        )
+        .unwrap();
+        assert_eq!(t.length(), 3.0);
+        assert_eq!(t.position(&net, 0.0), NetPosition::Vertex(VertexId(0)));
+        assert_eq!(
+            t.position(&net, 1.0),
+            NetPosition::OnEdge {
+                edge: EdgeId(0),
+                offset: 1.0
+            }
+        );
+        assert_eq!(t.position(&net, 2.0), NetPosition::Vertex(VertexId(1)));
+        assert_eq!(t.position(&net, 3.0), NetPosition::Vertex(VertexId(2)));
+        assert_eq!(t.position(&net, 99.0), NetPosition::Vertex(VertexId(2)));
+    }
+
+    #[test]
+    fn reverse_edge_traversal_offsets() {
+        let net = square();
+        // Walk 1 -> 0 traverses edge 0 against its canonical direction.
+        let t = NetTrajectory::from_walk(&net, vec![VertexId(1), VertexId(0)]).unwrap();
+        let pos = t.position(&net, 0.5);
+        assert_eq!(
+            pos,
+            NetPosition::OnEdge {
+                edge: EdgeId(0),
+                offset: 1.5
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_non_adjacent_walk() {
+        let net = square();
+        assert!(matches!(
+            NetTrajectory::from_walk(&net, vec![VertexId(0), VertexId(2)]),
+            Err(RoadNetError::NotAdjacent { .. })
+        ));
+        assert!(matches!(
+            NetTrajectory::from_walk(&net, vec![VertexId(0)]),
+            Err(RoadNetError::TrajectoryTooShort { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn waypoints_use_shortest_paths() {
+        let net = square();
+        // 0 to 2: shortest is 0-3-2 (1+2=3) vs 0-1-2 (2+1=3): tie; either
+        // is fine, but the walk must be connected and of length 3.
+        let t = NetTrajectory::through_waypoints(&net, &[VertexId(0), VertexId(2)]).unwrap();
+        assert_eq!(t.length(), 3.0);
+        assert_eq!(t.vertices().first(), Some(&VertexId(0)));
+        assert_eq!(t.vertices().last(), Some(&VertexId(2)));
+    }
+
+    #[test]
+    fn looped_positions_wrap() {
+        let net = square();
+        let t = NetTrajectory::from_walk(
+            &net,
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3), VertexId(0)],
+        )
+        .unwrap();
+        assert_eq!(t.length(), 6.0);
+        assert_eq!(t.position_looped(&net, 6.5), t.position(&net, 0.5));
+        assert_eq!(t.position_looped(&net, -1.0), t.position(&net, 5.0));
+    }
+
+    #[test]
+    fn random_tour_is_valid() {
+        let net = square();
+        let t = NetTrajectory::random_tour(&net, 5, 123).unwrap();
+        assert!(t.length() > 0.0);
+        // All consecutive vertices adjacent.
+        for w in t.vertices().windows(2) {
+            assert!(net.find_edge(w[0], w[1]).is_some());
+        }
+        // Deterministic per seed.
+        let again = NetTrajectory::random_tour(&net, 5, 123).unwrap();
+        assert_eq!(t.vertices(), again.vertices());
+    }
+}

@@ -1,0 +1,140 @@
+//! One-call scenario execution: materialise an `insq-workload` scenario,
+//! run every method over it, and return the comparison — the programmatic
+//! equivalent of one `report` table row group.
+
+use insq_baselines::{NaiveProcessor, NetNaiveProcessor, OkvProcessor, VStarConfig, VStarProcessor};
+use insq_core::{InsConfig, InsProcessor, NetInsConfig, NetInsProcessor};
+use insq_index::VorTree;
+use insq_roadnet::{NetworkVoronoi, RoadNetError};
+use insq_voronoi::VoronoiError;
+use insq_workload::{EuclideanScenario, NetworkScenario};
+
+use crate::engine::{run_euclidean, run_network};
+use crate::stats::Comparison;
+
+/// Errors from scenario execution.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// Data generation produced an invalid Voronoi input.
+    Voronoi(VoronoiError),
+    /// Network generation failed.
+    RoadNet(RoadNetError),
+    /// Processor configuration rejected (k or ρ out of range for the
+    /// scenario's data).
+    Config(insq_core::CoreError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Voronoi(e) => write!(f, "voronoi: {e}"),
+            ScenarioError::RoadNet(e) => write!(f, "road network: {e}"),
+            ScenarioError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<VoronoiError> for ScenarioError {
+    fn from(e: VoronoiError) -> Self {
+        ScenarioError::Voronoi(e)
+    }
+}
+impl From<RoadNetError> for ScenarioError {
+    fn from(e: RoadNetError) -> Self {
+        ScenarioError::RoadNet(e)
+    }
+}
+impl From<insq_core::CoreError> for ScenarioError {
+    fn from(e: insq_core::CoreError) -> Self {
+        ScenarioError::Config(e)
+    }
+}
+
+/// Runs all four Euclidean methods over the scenario and returns their
+/// comparison (rows: INS, OkV, V*, Naive).
+pub fn run_euclidean_scenario(sc: &EuclideanScenario) -> Result<Comparison, ScenarioError> {
+    let index = VorTree::build(sc.points(), sc.clip_window())?;
+    let traj = sc.query_trajectory();
+    let mut cmp = Comparison::new();
+
+    let mut ins = InsProcessor::new(&index, InsConfig::new(sc.k, sc.rho))?;
+    cmp.add(&run_euclidean(&mut ins, &traj, sc.ticks, sc.speed));
+    let mut okv = OkvProcessor::new(&index, sc.k)?;
+    cmp.add(&run_euclidean(&mut okv, &traj, sc.ticks, sc.speed));
+    let mut vstar = VStarProcessor::new(&index, VStarConfig::with_k(sc.k))?;
+    cmp.add(&run_euclidean(&mut vstar, &traj, sc.ticks, sc.speed));
+    let mut naive = NaiveProcessor::new(index.rtree(), sc.k)?;
+    cmp.add(&run_euclidean(&mut naive, &traj, sc.ticks, sc.speed));
+    Ok(cmp)
+}
+
+/// Runs the network INS processor and the naive INE baseline over the
+/// scenario (rows: INS-road, Naive-road).
+pub fn run_network_scenario(sc: &NetworkScenario) -> Result<Comparison, ScenarioError> {
+    let inst = sc.build()?;
+    let nvd = NetworkVoronoi::build(&inst.net, &inst.sites);
+    let mut cmp = Comparison::new();
+
+    let mut ins = NetInsProcessor::new(&inst.net, &inst.sites, &nvd, NetInsConfig::new(sc.k, sc.rho))?;
+    cmp.add(&run_network(&mut ins, &inst.net, &inst.tour, sc.ticks, sc.speed));
+    let mut naive = NetNaiveProcessor::new(&inst.net, &inst.sites, sc.k)?;
+    cmp.add(&run_network(&mut naive, &inst.net, &inst.tour, sc.ticks, sc.speed));
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insq_workload::Distribution;
+
+    #[test]
+    fn euclidean_scenario_end_to_end() {
+        let sc = EuclideanScenario {
+            n: 300,
+            k: 3,
+            ticks: 200,
+            ..Default::default()
+        };
+        let cmp = run_euclidean_scenario(&sc).unwrap();
+        assert_eq!(cmp.rows().len(), 4);
+        for method in ["INS", "OkV", "V*", "Naive"] {
+            let row = cmp.row(method).unwrap();
+            assert_eq!(row.ticks, 200, "{method}");
+        }
+        // INS never recomputes more than naive changes results.
+        assert!(cmp.row("INS").unwrap().comm_objects < cmp.row("Naive").unwrap().comm_objects);
+    }
+
+    #[test]
+    fn network_scenario_end_to_end() {
+        let sc = NetworkScenario {
+            sites: 15,
+            k: 3,
+            ticks: 150,
+            ..Default::default()
+        };
+        let cmp = run_network_scenario(&sc).unwrap();
+        assert_eq!(cmp.rows().len(), 2);
+        assert!(
+            cmp.row("INS-road").unwrap().comm_objects
+                < cmp.row("Naive-road").unwrap().comm_objects
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let sc = EuclideanScenario {
+            n: 10,
+            k: 11, // more neighbors than objects
+            ticks: 10,
+            distribution: Distribution::Uniform,
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_euclidean_scenario(&sc),
+            Err(ScenarioError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,298 @@
+//! The order-1 Voronoi diagram: cells and neighbor sets.
+//!
+//! Built once over the static data set, as prescribed by the INSQ paper
+//! (§III: "we precompute the Voronoi diagram of O"). Neighbor lists are
+//! stored in CSR form — a flat pair of arrays — which both keeps the
+//! per-site overhead small (the paper's "\[stored\] with little overhead")
+//! and gives the O(1)-per-site slice access the INS construction needs.
+
+use insq_geom::{Aabb, ConvexPolygon, HalfPlane, Point};
+
+use crate::delaunay::{next_halfedge, Triangulation, EMPTY};
+use crate::VoronoiError;
+
+/// Identifier of a data object (site) — an index into the site array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The site id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An order-1 Voronoi diagram over a set of sites, clipped to a bounding
+/// window.
+#[derive(Debug, Clone)]
+pub struct Voronoi {
+    points: Vec<Point>,
+    bounds: Aabb,
+    triangulation: Triangulation,
+    /// CSR neighbor lists: neighbors of site `i` are
+    /// `adjacency[offsets[i]..offsets[i+1]]`, sorted ascending.
+    offsets: Vec<u32>,
+    adjacency: Vec<SiteId>,
+}
+
+impl Voronoi {
+    /// Builds the Voronoi diagram of `points`, clipping all cells to
+    /// `bounds`. `bounds` must contain every site.
+    pub fn build(points: Vec<Point>, bounds: Aabb) -> Result<Voronoi, VoronoiError> {
+        let triangulation = Triangulation::build(&points)?;
+        let n = points.len();
+
+        // Count Delaunay edges per vertex, then fill CSR.
+        let mut degree = vec![0u32; n];
+        let tris = &triangulation.triangles;
+        let halves = &triangulation.halfedges;
+        for e in 0..tris.len() {
+            let twin = halves[e];
+            if twin == EMPTY || (e as u32) < twin {
+                let u = tris[e] as usize;
+                let v = tris[next_halfedge(e as u32) as usize] as usize;
+                degree[u] += 1;
+                degree[v] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for d in &degree {
+            offsets.push(offsets.last().expect("non-empty") + d);
+        }
+        let mut adjacency = vec![SiteId(0); *offsets.last().expect("non-empty") as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for e in 0..tris.len() {
+            let twin = halves[e];
+            if twin == EMPTY || (e as u32) < twin {
+                let u = tris[e];
+                let v = tris[next_halfedge(e as u32) as usize];
+                adjacency[cursor[u as usize] as usize] = SiteId(v);
+                cursor[u as usize] += 1;
+                adjacency[cursor[v as usize] as usize] = SiteId(u);
+                cursor[v as usize] += 1;
+            }
+        }
+        for i in 0..n {
+            adjacency[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+
+        Ok(Voronoi {
+            points,
+            bounds,
+            triangulation,
+            offsets,
+            adjacency,
+        })
+    }
+
+    /// The site coordinates, indexable by [`SiteId`].
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The position of a site.
+    #[inline]
+    pub fn point(&self, s: SiteId) -> Point {
+        self.points[s.idx()]
+    }
+
+    /// Number of sites.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the diagram has no sites (never true for a built diagram).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The clipping window.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// The underlying Delaunay triangulation.
+    #[inline]
+    pub fn triangulation(&self) -> &Triangulation {
+        &self.triangulation
+    }
+
+    /// The Voronoi neighbor set `N_O(p)` of site `s` (Definition 3 of the
+    /// paper): all sites whose Voronoi cells share an edge with `s`'s cell.
+    ///
+    /// Returned as a sorted slice. Derived from Delaunay adjacency, which
+    /// coincides with Voronoi-edge adjacency except for exactly cocircular
+    /// degeneracies, where it is a superset — safe for the INS algorithm,
+    /// which only requires a superset of the true neighbor set.
+    #[inline]
+    pub fn neighbors(&self, s: SiteId) -> &[SiteId] {
+        let lo = self.offsets[s.idx()] as usize;
+        let hi = self.offsets[s.idx() + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Whether sites `a` and `b` are Voronoi neighbors.
+    #[inline]
+    pub fn are_neighbors(&self, a: SiteId, b: SiteId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// The Voronoi cell of `s`, clipped to the diagram bounds.
+    ///
+    /// Computed as the bounding window intersected with the bisector
+    /// half-planes towards each Voronoi neighbor — exactly the cell, because
+    /// a Voronoi cell is determined by its neighbors alone.
+    pub fn cell(&self, s: SiteId) -> ConvexPolygon {
+        let p = self.point(s);
+        let window = ConvexPolygon::from_aabb(&self.bounds);
+        let constraints: Vec<HalfPlane> = self
+            .neighbors(s)
+            .iter()
+            .map(|&nb| HalfPlane::closer_to(p, self.point(nb)))
+            .collect();
+        window.clip_all(&constraints)
+    }
+
+    /// Brute-force nearest site to `q` — an oracle for tests and tiny
+    /// inputs; real queries should go through `insq-index`.
+    pub fn nearest_site_brute(&self, q: Point) -> SiteId {
+        let i = (0..self.points.len())
+            .min_by(|&i, &j| {
+                self.points[i]
+                    .distance_sq(q)
+                    .total_cmp(&self.points[j].distance_sq(q))
+            })
+            .expect("diagram has at least 3 sites");
+        SiteId(i as u32)
+    }
+
+    /// Brute-force k nearest sites to `q`, ascending by distance — test
+    /// oracle.
+    pub fn knn_brute(&self, q: Point, k: usize) -> Vec<SiteId> {
+        let mut ids: Vec<u32> = (0..self.points.len() as u32).collect();
+        ids.sort_by(|&i, &j| {
+            self.points[i as usize]
+                .distance_sq(q)
+                .total_cmp(&self.points[j as usize].distance_sq(q))
+        });
+        ids.truncate(k);
+        ids.into_iter().map(SiteId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_3x3() -> Voronoi {
+        let points: Vec<Point> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| Point::new(i as f64, j as f64)))
+            .collect();
+        let bounds = Aabb::new(Point::new(-1.0, -1.0), Point::new(3.0, 3.0));
+        Voronoi::build(points, bounds).unwrap()
+    }
+
+    #[test]
+    fn neighbor_symmetry() {
+        let v = grid_3x3();
+        for i in 0..v.len() as u32 {
+            for &nb in v.neighbors(SiteId(i)) {
+                assert!(
+                    v.are_neighbors(nb, SiteId(i)),
+                    "neighbor relation must be symmetric"
+                );
+                assert_ne!(nb, SiteId(i), "no self loops");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_center_neighbors() {
+        let v = grid_3x3();
+        // Site (1,1) is index 4 (column-major i*3+j). Its Voronoi neighbors
+        // are the 4 axis-adjacent sites always; the diagonal ones are
+        // cocircular-degenerate and may or may not appear (Delaunay
+        // adjacency is a superset of strict Voronoi adjacency).
+        let center = SiteId(4);
+        let nbs = v.neighbors(center);
+        for required in [SiteId(1), SiteId(3), SiteId(5), SiteId(7)] {
+            assert!(nbs.contains(&required), "missing axis neighbor {required}");
+        }
+    }
+
+    #[test]
+    fn cell_of_grid_center() {
+        let v = grid_3x3();
+        let cell = v.cell(SiteId(4));
+        assert!((cell.area() - 1.0).abs() < 1e-9, "unit cell, got {}", cell.area());
+        assert!(cell.contains(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn cells_partition_window() {
+        // Cell areas must sum to the window area.
+        let v = grid_3x3();
+        let total: f64 = (0..v.len() as u32).map(|i| v.cell(SiteId(i)).area()).sum();
+        assert!((total - v.bounds().area()).abs() < 1e-6, "sum {total}");
+    }
+
+    #[test]
+    fn cell_contains_exactly_its_nearest_points() {
+        let v = grid_3x3();
+        // Sample a lattice of query points; each must lie in the cell of its
+        // nearest site (boundary ties can lie in several cells).
+        for i in 0..20 {
+            for j in 0..20 {
+                let q = Point::new(-0.5 + i as f64 * 0.15, -0.5 + j as f64 * 0.15);
+                let nearest = v.nearest_site_brute(q);
+                let cell = v.cell(nearest);
+                assert!(
+                    cell.contains(q),
+                    "query {q:?} not in cell of its nearest site {nearest}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_sites_cell_membership() {
+        let mut state = 0x5eed5eedu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let points: Vec<Point> = (0..50)
+            .map(|_| Point::new(next() * 10.0, next() * 10.0))
+            .collect();
+        let bounds = Aabb::new(Point::new(-1.0, -1.0), Point::new(11.0, 11.0));
+        let v = Voronoi::build(points, bounds).unwrap();
+        for _ in 0..200 {
+            let q = Point::new(next() * 10.0, next() * 10.0);
+            let nearest = v.nearest_site_brute(q);
+            assert!(v.cell(nearest).contains(q));
+        }
+    }
+
+    #[test]
+    fn knn_brute_sorted() {
+        let v = grid_3x3();
+        let knn = v.knn_brute(Point::new(0.1, 0.1), 3);
+        assert_eq!(knn[0], SiteId(0));
+        assert_eq!(knn.len(), 3);
+        let d0 = v.point(knn[0]).distance(Point::new(0.1, 0.1));
+        let d2 = v.point(knn[2]).distance(Point::new(0.1, 0.1));
+        assert!(d0 <= d2);
+    }
+}

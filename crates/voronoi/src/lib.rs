@@ -1,0 +1,75 @@
+//! # insq-voronoi
+//!
+//! Delaunay triangulations, Voronoi diagrams, Voronoi *neighbor sets* and
+//! order-k Voronoi cells — the geometric substrate of the INS (Influential
+//! Neighbor Set) moving-kNN algorithm.
+//!
+//! The INS algorithm (Li et al., ICDE'16 / PVLDB'14) rests on three
+//! constructions provided here:
+//!
+//! 1. the **order-1 Voronoi diagram** of the data set, precomputed once
+//!    ([`Voronoi::build`]),
+//! 2. the **Voronoi neighbor set** `N_O(p)` of each site (Definition 3 of
+//!    the paper) — [`Voronoi::neighbors`], derived from Delaunay adjacency,
+//! 3. **order-k Voronoi cells** `V^k(O')` (Definition 2) — module
+//!    [`order_k`] — which are the theoretical safe regions: the INS
+//!    implicitly guards exactly this region, and the strict safe-region
+//!    baseline materialises it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod delaunay;
+pub mod diagram;
+pub mod enumerate;
+pub mod order_k;
+
+pub use delaunay::Triangulation;
+pub use diagram::{SiteId, Voronoi};
+pub use enumerate::{cell_count_growth, enumerate_order_k_cells, OrderKCell};
+pub use order_k::{order_k_cell, order_k_cell_tagged, EdgeSource, TaggedCell};
+
+/// Errors from Voronoi/Delaunay construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VoronoiError {
+    /// Fewer sites than the construction requires.
+    TooFewSites {
+        /// Minimum number of sites required.
+        needed: usize,
+        /// Number of sites supplied.
+        got: usize,
+    },
+    /// All sites are collinear; the Delaunay triangulation does not exist.
+    AllCollinear,
+    /// Two sites coincide exactly; duplicate sites have no Voronoi cell.
+    DuplicateSites {
+        /// Index of the first occurrence.
+        first: usize,
+        /// Index of the duplicate.
+        second: usize,
+    },
+    /// A site has a NaN or infinite coordinate.
+    NonFinite {
+        /// Index of the offending site.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for VoronoiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VoronoiError::TooFewSites { needed, got } => {
+                write!(f, "too few sites: needed {needed}, got {got}")
+            }
+            VoronoiError::AllCollinear => write!(f, "all sites are collinear"),
+            VoronoiError::DuplicateSites { first, second } => {
+                write!(f, "duplicate sites at indices {first} and {second}")
+            }
+            VoronoiError::NonFinite { index } => {
+                write!(f, "non-finite coordinate at site index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VoronoiError {}

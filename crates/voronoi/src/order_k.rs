@@ -1,0 +1,402 @@
+//! Order-k Voronoi cells (Definition 2 of the paper).
+//!
+//! The order-k Voronoi cell `V^k(O')` of a k-set `O'` is the region where
+//! `O'` is exactly the kNN set; it is the *largest possible safe region*
+//! for the kNN result `O'` and therefore the yardstick every safe-region
+//! method is measured against.
+//!
+//! `V^k(O')` is the intersection of the bisector half-planes
+//! `closer(p, s)` for every `p ∈ O'` and every `s ∉ O'`. Only sites in the
+//! minimal influential set (MIS) contribute actual cell edges, so clipping
+//! against any candidate set `C ⊇ MIS(O')` — in particular the INS —
+//! produces the exact cell. [`order_k_cell_tagged`] additionally remembers
+//! which bisector generated each edge, which is how the MIS itself is
+//! recovered (each edge of `V^k(O')` borders the neighboring cell obtained
+//! by swapping `inside → outside`; the union of the `outside` sites is the
+//! MIS — Definition 2 made computational).
+
+use insq_geom::{Aabb, ConvexPolygon, HalfPlane, Point};
+
+use crate::diagram::SiteId;
+
+/// What generated an edge of a tagged cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeSource {
+    /// One of the four sides of the clipping window (0 = bottom, 1 = right,
+    /// 2 = top, 3 = left).
+    Window(u8),
+    /// The perpendicular bisector between a kNN member and an outside site.
+    Bisector {
+        /// The kNN-set member (kept side of the bisector).
+        inside: SiteId,
+        /// The outside site; crossing this edge swaps `inside` for
+        /// `outside` in the kNN set.
+        outside: SiteId,
+    },
+}
+
+/// A convex cell whose edges remember the constraint that created them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedCell {
+    vertices: Vec<Point>,
+    /// `sources[i]` tags the edge from `vertices[i]` to
+    /// `vertices[(i + 1) % n]`.
+    sources: Vec<EdgeSource>,
+}
+
+impl TaggedCell {
+    /// Cell vertices in counter-clockwise order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Edge tags, aligned with [`TaggedCell::vertices`].
+    #[inline]
+    pub fn sources(&self) -> &[EdgeSource] {
+        &self.sources
+    }
+
+    /// Whether the cell is empty (the constraints are infeasible — `O'` is
+    /// not the kNN set of any point in the window).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// The cell as a plain polygon.
+    pub fn polygon(&self) -> ConvexPolygon {
+        if self.is_empty() {
+            ConvexPolygon::empty()
+        } else {
+            ConvexPolygon::new_unchecked(self.vertices.clone())
+        }
+    }
+
+    /// Whether `p` lies in the cell (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        self.polygon().contains(p)
+    }
+
+    /// The distinct `(inside, outside)` swap pairs on the cell boundary:
+    /// crossing the corresponding edge turns the kNN set `O'` into
+    /// `O' \ {inside} ∪ {outside}` (paper §III-B, update case (i)).
+    pub fn boundary_swaps(&self) -> Vec<(SiteId, SiteId)> {
+        let mut pairs: Vec<(SiteId, SiteId)> = self
+            .sources
+            .iter()
+            .filter_map(|src| match src {
+                EdgeSource::Bisector { inside, outside } => Some((*inside, *outside)),
+                EdgeSource::Window(_) => None,
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// The distinct outside sites adjacent to this cell. When the cell was
+    /// computed from the full site set (or any candidate superset of the
+    /// MIS), this *is* the minimal influential set `MIS(O')` of
+    /// Definition 2.
+    pub fn adjacent_outsiders(&self) -> Vec<SiteId> {
+        let mut out: Vec<SiteId> = self
+            .boundary_swaps()
+            .into_iter()
+            .map(|(_, outside)| outside)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Computes `V^k(O') ∩ window` as a plain polygon.
+///
+/// `knn` is the k-set `O'`; `candidates` are the sites clipped against
+/// (members of `knn` occurring in `candidates` are skipped). The result is
+/// the true order-k cell whenever `candidates ⊇ MIS(O')`.
+pub fn order_k_cell(
+    points: &[Point],
+    knn: &[SiteId],
+    candidates: &[SiteId],
+    window: &Aabb,
+) -> ConvexPolygon {
+    let mut cell = ConvexPolygon::from_aabb(window);
+    let mut scratch = Vec::with_capacity(16);
+    for &p in knn {
+        let pp = points[p.idx()];
+        for &s in candidates {
+            if knn.contains(&s) {
+                continue;
+            }
+            let h = HalfPlane::closer_to(pp, points[s.idx()]);
+            cell.clip_halfplane_in_place(&h, &mut scratch);
+            if cell.is_empty() {
+                return cell;
+            }
+        }
+    }
+    cell
+}
+
+/// Computes `V^k(O') ∩ window` remembering the generating bisector of every
+/// edge. See [`order_k_cell`] for the arguments.
+pub fn order_k_cell_tagged(
+    points: &[Point],
+    knn: &[SiteId],
+    candidates: &[SiteId],
+    window: &Aabb,
+) -> TaggedCell {
+    let corners = window.corners();
+    let mut vertices: Vec<Point> = corners.to_vec();
+    let mut sources: Vec<EdgeSource> = (0..4).map(EdgeSource::Window).collect();
+    let mut next_v: Vec<Point> = Vec::with_capacity(8);
+    let mut next_s: Vec<EdgeSource> = Vec::with_capacity(8);
+
+    for &p in knn {
+        let pp = points[p.idx()];
+        for &s in candidates {
+            if knn.contains(&s) {
+                continue;
+            }
+            let h = HalfPlane::closer_to(pp, points[s.idx()]);
+            let src = EdgeSource::Bisector {
+                inside: p,
+                outside: s,
+            };
+            clip_tagged(&vertices, &sources, &h, src, &mut next_v, &mut next_s);
+            std::mem::swap(&mut vertices, &mut next_v);
+            std::mem::swap(&mut sources, &mut next_s);
+            if vertices.len() < 3 {
+                vertices.clear();
+                sources.clear();
+                break;
+            }
+        }
+        if vertices.is_empty() {
+            break;
+        }
+    }
+    TaggedCell { vertices, sources }
+}
+
+/// Near-duplicate test matching `insq_geom`'s clip dedup: a vertex on the
+/// clip boundary re-emitted as a recomputed crossing differs only in the
+/// last bits and must be merged, or it forms a degenerate micro-edge.
+#[inline]
+fn nearly_same(a: Point, b: Point) -> bool {
+    let scale = 1.0 + a.x.abs().max(a.y.abs()).max(b.x.abs()).max(b.y.abs());
+    let eps = 1e-12 * scale;
+    a.distance_sq(b) <= eps * eps
+}
+
+/// Sutherland–Hodgman clip of a tagged convex CCW polygon with one
+/// half-plane.
+fn clip_tagged(
+    verts: &[Point],
+    tags: &[EdgeSource],
+    h: &HalfPlane,
+    src: EdgeSource,
+    out_v: &mut Vec<Point>,
+    out_t: &mut Vec<EdgeSource>,
+) {
+    out_v.clear();
+    out_t.clear();
+    let n = verts.len();
+    // Merging a duplicate vertex keeps the *newer* outgoing-edge tag: the
+    // zero-length edge between the twins carries no geometry.
+    let push = |out_v: &mut Vec<Point>, out_t: &mut Vec<EdgeSource>, p: Point, t: EdgeSource| {
+        match out_v.last() {
+            Some(&last) if nearly_same(last, p) => {
+                *out_t.last_mut().expect("tags track vertices") = t;
+            }
+            _ => {
+                out_v.push(p);
+                out_t.push(t);
+            }
+        }
+    };
+    for i in 0..n {
+        let cur = verts[i];
+        let nxt = verts[(i + 1) % n];
+        let cur_in = h.contains(cur);
+        let nxt_in = h.contains(nxt);
+        if cur_in {
+            push(out_v, out_t, cur, tags[i]);
+            if !nxt_in {
+                if let Some(t) = h.line_crossing(cur, nxt) {
+                    // Exiting: the chord from here to the re-entry point
+                    // runs along the new constraint's boundary.
+                    push(out_v, out_t, cur.lerp(nxt, t.clamp(0.0, 1.0)), src);
+                }
+            }
+        } else if nxt_in {
+            if let Some(t) = h.line_crossing(cur, nxt) {
+                // Entering: the remainder of the original edge keeps its tag.
+                push(out_v, out_t, cur.lerp(nxt, t.clamp(0.0, 1.0)), tags[i]);
+            }
+        }
+    }
+    // Wrap-around near-duplicate: drop the last vertex, transferring its
+    // outgoing tag to the first position's incoming edge (i.e. the popped
+    // vertex's tag replaces nothing — the first vertex keeps its own tag,
+    // which describes the same surviving edge).
+    while out_v.len() > 1 && nearly_same(out_v[0], *out_v.last().expect("len > 1")) {
+        out_v.pop();
+        out_t.pop();
+    }
+    if out_v.len() < 3 {
+        out_v.clear();
+        out_t.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::Voronoi;
+
+    fn grid_3x3() -> (Vec<Point>, Aabb) {
+        let points: Vec<Point> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| Point::new(i as f64, j as f64)))
+            .collect();
+        let bounds = Aabb::new(Point::new(-1.0, -1.0), Point::new(3.0, 3.0));
+        (points, bounds)
+    }
+
+    fn all_sites(n: usize) -> Vec<SiteId> {
+        (0..n as u32).map(SiteId).collect()
+    }
+
+    fn brute_knn(points: &[Point], q: Point, k: usize) -> Vec<SiteId> {
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        ids.sort_by(|&i, &j| {
+            points[i as usize]
+                .distance_sq(q)
+                .total_cmp(&points[j as usize].distance_sq(q))
+        });
+        ids.truncate(k);
+        let mut v: Vec<SiteId> = ids.into_iter().map(SiteId).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn order_1_cell_matches_diagram_cell() {
+        let (points, bounds) = grid_3x3();
+        let voro = Voronoi::build(points.clone(), bounds).unwrap();
+        for i in 0..points.len() as u32 {
+            let via_order_k = order_k_cell(&points, &[SiteId(i)], &all_sites(points.len()), &bounds);
+            let via_diagram = voro.cell(SiteId(i));
+            assert!(
+                (via_order_k.area() - via_diagram.area()).abs() < 1e-9,
+                "site {i}: {} vs {}",
+                via_order_k.area(),
+                via_diagram.area()
+            );
+        }
+    }
+
+    #[test]
+    fn order_k_cell_characterizes_knn() {
+        let (points, bounds) = grid_3x3();
+        let candidates = all_sites(points.len());
+        // O' = {center, east}: the two nearest sites for points between
+        // them.
+        let mut knn = vec![SiteId(4), SiteId(7)];
+        knn.sort_unstable();
+        let cell = order_k_cell(&points, &knn, &candidates, &bounds);
+        assert!(!cell.is_empty());
+        // Sample points: inside the cell iff brute-force 2NN == O'.
+        let mut checked_in = 0;
+        let mut checked_out = 0;
+        for i in 0..40 {
+            for j in 0..40 {
+                let q = Point::new(-0.9 + i as f64 * 0.1, -0.9 + j as f64 * 0.1);
+                let is_knn = brute_knn(&points, q, 2) == knn;
+                // Skip points within a hair of the cell boundary where
+                // floating ties make either answer acceptable.
+                let d = cell.boundary_distance(q).unwrap_or(f64::INFINITY);
+                if d < 1e-9 {
+                    continue;
+                }
+                if cell.contains(q) {
+                    assert!(is_knn, "{q:?} in cell but kNN differs");
+                    checked_in += 1;
+                } else {
+                    assert!(!is_knn, "{q:?} outside cell but kNN matches");
+                    checked_out += 1;
+                }
+            }
+        }
+        assert!(checked_in > 0 && checked_out > 0);
+    }
+
+    #[test]
+    fn tagged_cell_matches_untagged() {
+        let (points, bounds) = grid_3x3();
+        let candidates = all_sites(points.len());
+        let knn = [SiteId(4), SiteId(1)];
+        let plain = order_k_cell(&points, &knn, &candidates, &bounds);
+        let tagged = order_k_cell_tagged(&points, &knn, &candidates, &bounds);
+        assert!((plain.area() - tagged.polygon().area()).abs() < 1e-9);
+        assert_eq!(plain.is_empty(), tagged.is_empty());
+    }
+
+    #[test]
+    fn tagged_edges_are_true_bisectors() {
+        let (points, bounds) = grid_3x3();
+        let candidates = all_sites(points.len());
+        let knn = [SiteId(4), SiteId(7)];
+        let tagged = order_k_cell_tagged(&points, &knn, &candidates, &bounds);
+        let vs = tagged.vertices();
+        let n = vs.len();
+        for (i, src) in tagged.sources().iter().enumerate() {
+            if let EdgeSource::Bisector { inside, outside } = src {
+                let mid = vs[i].midpoint(vs[(i + 1) % n]);
+                let di = mid.distance(points[inside.idx()]);
+                let do_ = mid.distance(points[outside.idx()]);
+                assert!(
+                    (di - do_).abs() < 1e-9,
+                    "edge {i} midpoint not equidistant: {di} vs {do_}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cell_for_non_knn_set() {
+        let (points, bounds) = grid_3x3();
+        let candidates = all_sites(points.len());
+        // Two opposite corners are never simultaneously the 2 nearest.
+        let knn = [SiteId(0), SiteId(8)];
+        let cell = order_k_cell(&points, &knn, &candidates, &bounds);
+        assert!(cell.is_empty());
+        let tagged = order_k_cell_tagged(&points, &knn, &candidates, &bounds);
+        assert!(tagged.is_empty());
+        assert!(tagged.adjacent_outsiders().is_empty());
+    }
+
+    #[test]
+    fn boundary_swaps_produce_valid_neighbor_cells() {
+        let (points, bounds) = grid_3x3();
+        let candidates = all_sites(points.len());
+        let knn = vec![SiteId(4), SiteId(7)];
+        let tagged = order_k_cell_tagged(&points, &knn, &candidates, &bounds);
+        for (inside, outside) in tagged.boundary_swaps() {
+            let mut nb: Vec<SiteId> = knn
+                .iter()
+                .copied()
+                .filter(|&s| s != inside)
+                .chain(std::iter::once(outside))
+                .collect();
+            nb.sort_unstable();
+            let nb_cell = order_k_cell(&points, &nb, &candidates, &bounds);
+            assert!(
+                !nb_cell.is_empty(),
+                "swap ({inside},{outside}) leads to an empty neighbor cell"
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # insq-workload
+//!
+//! Deterministic workload generation for the INSQ system: data-object
+//! distributions ([`Distribution`]), query trajectory models
+//! ([`TrajectoryKind`]) and complete experiment scenarios
+//! ([`EuclideanScenario`], [`NetworkScenario`]) with serde-serializable
+//! configuration (the demo UI's "Save"/"Read" settings).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod scenario;
+pub mod trajectories;
+
+pub use datasets::Distribution;
+pub use scenario::{EuclideanScenario, NetworkInstance, NetworkKind, NetworkScenario};
+pub use trajectories::TrajectoryKind;

@@ -1,0 +1,61 @@
+//! Quickstart: a moving 5-NN query over uniform data.
+//!
+//! Builds the VoR-tree, drives an INS query along a straight trajectory
+//! and prints what the algorithm does at each step — when the result stays
+//! valid, when a single neighbor is swapped, and when a full
+//! recomputation (server round trip) happens.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use insq::prelude::*;
+
+fn main() {
+    // 1. Data: 2 000 uniform points in a 100×100 space.
+    let space = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+    let points = Distribution::Uniform.generate(2_000, &space, 42);
+
+    // 2. Index: order-1 Voronoi diagram + R-tree (the VoR-tree of the
+    //    paper). Built once, server side.
+    let index = VorTree::build(points, space.inflated(10.0)).expect("valid data set");
+
+    // 3. A moving 5-NN query with the demo's prefetch ratio ρ = 1.6.
+    let mut query = InsProcessor::new(&index, InsConfig::new(5, 1.6))
+        .expect("valid configuration");
+
+    // 4. Drive it across the space and watch the outcomes.
+    let trajectory = Trajectory::new(vec![
+        Point::new(5.0, 20.0),
+        Point::new(60.0, 70.0),
+        Point::new(95.0, 30.0),
+    ])
+    .expect("valid trajectory");
+
+    let steps = 120;
+    println!("step  outcome      kNN (ids)                          d_max");
+    for i in 0..=steps {
+        let pos = trajectory.position(trajectory.length() * i as f64 / steps as f64);
+        let outcome = query.tick(pos);
+        if outcome.changed() || i % 20 == 0 {
+            let knn = query.current_knn_with_dists();
+            let ids = knn
+                .iter()
+                .map(|&(s, _)| s.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let dmax = knn.iter().map(|&(_, d)| d).fold(0.0, f64::max);
+            println!("{i:>4}  {:<12} [{ids:<28}] {dmax:.2}", format!("{outcome:?}"));
+        }
+    }
+
+    let s = query.stats();
+    println!("\n--- totals over {} ticks ---", s.ticks);
+    println!("valid (no work beyond an O(k) scan): {}", s.valid_ticks);
+    println!("single-object swaps:                 {}", s.swaps);
+    println!("local re-ranks:                      {}", s.local_reranks);
+    println!("full recomputations:                 {}", s.recomputations);
+    println!("objects transmitted:                 {}", s.comm_objects);
+    println!(
+        "validation ops/tick:                 {:.1}",
+        s.validation_ops_per_tick()
+    );
+}

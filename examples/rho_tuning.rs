@@ -1,0 +1,49 @@
+//! Choosing the prefetch ratio ρ (paper §III: "a system parameter to
+//! balance the query result communication and recomputation costs").
+//!
+//! Sweeps ρ over [1.0, 3.0] for a fixed scenario and prints the trade-off:
+//! larger ρ prefetches more objects per recomputation (more communication
+//! each time, larger client buffer) but repairs more invalidations
+//! locally, so full recomputations — round trips — become rarer.
+//!
+//! Run with: `cargo run --release --example rho_tuning`
+
+use insq::prelude::*;
+
+fn main() {
+    let space = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+    let points = Distribution::Uniform.generate(10_000, &space, 11);
+    let index = VorTree::build(points, space.inflated(10.0)).expect("valid data");
+    let walk = TrajectoryKind::RandomWaypoint { waypoints: 30 }.generate(&space, 5);
+    let (k, ticks, speed) = (8usize, 4_000usize, 0.05f64);
+
+    println!("rho sweep: n=10000 uniform, k={k}, {ticks} ticks\n");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "rho", "recomputes", "local fixes", "comm objs", "comm/recompute", "us/tick"
+    );
+    for &rho in &[1.0, 1.2, 1.4, 1.6, 2.0, 2.5, 3.0] {
+        let mut p = InsProcessor::new(&index, InsConfig::new(k, rho)).expect("valid config");
+        let run = run_euclidean(&mut p, &walk, ticks, speed);
+        let s = &run.stats;
+        let per_recompute = if s.recomputations > 0 {
+            s.comm_objects as f64 / s.recomputations as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>5.1} {:>12} {:>12} {:>12} {:>14.1} {:>12.2}",
+            rho,
+            s.recomputations,
+            s.swaps + s.local_reranks,
+            s.comm_objects,
+            per_recompute,
+            run.elapsed.as_secs_f64() * 1e6 / s.ticks as f64,
+        );
+    }
+    println!(
+        "\nreading: recomputations fall as rho grows while each recomputation ships more \
+         objects;\nthe sweet spot (the paper uses 1.6 in its demo) minimises total round trips \
+         without\ninflating per-trip volume."
+    );
+}

@@ -1,0 +1,91 @@
+//! # insq
+//!
+//! A complete Rust implementation of **INSQ: An Influential Neighbor Set
+//! Based Moving kNN Query Processing System** (Li, Gu, Qi, Yu, Zhang,
+//! Deng — ICDE 2016), including every substrate the system depends on:
+//! robust computational geometry, Delaunay/Voronoi construction, R-/VoR-
+//! trees, road networks with network Voronoi diagrams, the INS algorithm
+//! for Euclidean space and road networks, the competing baselines, and a
+//! simulation/benchmark harness reproducing the paper's demonstration and
+//! the companion evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use insq::prelude::*;
+//!
+//! // Data objects and their Voronoi-augmented index.
+//! let bounds = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+//! let points = Distribution::Uniform.generate(500, &bounds, 7);
+//! let index = VorTree::build(points, bounds.inflated(10.0)).unwrap();
+//!
+//! // A moving 5-NN query with prefetch ratio 1.6 (the demo defaults).
+//! let mut query = InsProcessor::new(&index, InsConfig::with_k(5)).unwrap();
+//! for step in 0..100 {
+//!     let pos = Point::new(10.0 + 0.5 * step as f64, 50.0);
+//!     query.tick(pos);
+//!     assert_eq!(query.current_knn().len(), 5);
+//! }
+//! // Most steps validate in O(k) and need no full recomputation:
+//! assert!(query.stats().valid_ticks > 60);
+//! assert!(query.stats().recomputations < 25);
+//! ```
+//!
+//! ## Road-network mode (paper §IV)
+//!
+//! ```
+//! use insq::prelude::*;
+//! use insq::roadnet::generators::{grid_network, random_site_vertices, GridConfig};
+//!
+//! let net = grid_network(&GridConfig::default(), 7).unwrap();
+//! let stations = SiteSet::new(&net, random_site_vertices(&net, 20, 7).unwrap()).unwrap();
+//! let nvd = NetworkVoronoi::build(&net, &stations);   // precomputed once
+//!
+//! let mut query = NetInsProcessor::new(&net, &stations, &nvd,
+//!                                      NetInsConfig::with_k(3)).unwrap();
+//! let tour = NetTrajectory::random_tour(&net, 6, 1).unwrap();
+//! for tick in 0..200 {
+//!     // Per tick: one restricted search on the kNN ∪ INS subnetwork
+//!     // (Theorem 2) — no server contact while the result stays valid.
+//!     query.tick(tour.position_looped(&net, 0.05 * tick as f64));
+//! }
+//! assert_eq!(query.current_knn().len(), 3);
+//! assert!(query.stats().comm_objects < 100); // vs 600 for naive (3/tick)
+//! ```
+//!
+//! See the `examples/` directory for the demonstration scenarios and
+//! `insq-bench` for the full experiment harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use insq_baselines as baselines;
+pub use insq_core as core;
+pub use insq_geom as geom;
+pub use insq_index as index;
+pub use insq_roadnet as roadnet;
+pub use insq_sim as sim;
+pub use insq_voronoi as voronoi;
+pub use insq_workload as workload;
+
+/// The commonly used types, one `use` away.
+pub mod prelude {
+    pub use insq_baselines::{
+        NaiveProcessor, NetNaiveProcessor, OkvProcessor, VStarConfig, VStarProcessor,
+    };
+    pub use insq_core::{
+        influential_neighbor_set, minimal_influential_set, InsConfig, InsProcessor, MovingKnn,
+        NetInsConfig, NetInsProcessor, QueryStats, TickOutcome,
+    };
+    pub use insq_geom::{Aabb, Circle, ConvexPolygon, HalfPlane, Point, Segment, Trajectory, Vector};
+    pub use insq_index::{RTree, VorTree};
+    pub use insq_roadnet::{
+        NetPosition, NetTrajectory, NetworkVoronoi, RoadNetwork, SiteIdx, SiteSet, VertexId,
+    };
+    pub use insq_sim::{run_euclidean, run_network, Comparison, RunRecord};
+    pub use insq_voronoi::{SiteId, Voronoi};
+    pub use insq_workload::{
+        Distribution, EuclideanScenario, NetworkInstance, NetworkKind, NetworkScenario,
+        TrajectoryKind,
+    };
+}
