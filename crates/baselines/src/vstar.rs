@@ -106,11 +106,7 @@ impl<'a> VStarProcessor<'a> {
     /// Remaining safe margin at `q`: how much farther the k-th neighbor may
     /// drift before a retrieval is forced (negative = invalid).
     pub fn safety_margin(&self, q: Point) -> f64 {
-        let kth = self
-            .knn
-            .last()
-            .map(|&(_, d)| d)
-            .unwrap_or(f64::INFINITY);
+        let kth = self.knn.last().map(|&(_, d)| d).unwrap_or(f64::INFINITY);
         (self.known_radius - q.distance(self.q0)) - kth
     }
 
@@ -211,7 +207,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         }
     }

@@ -34,14 +34,7 @@ fn bench_validation(c: &mut Criterion) {
         let points = index.voronoi().points();
 
         group.bench_with_input(BenchmarkId::new("ins_scan", k), &k, |b, _| {
-            b.iter(|| {
-                black_box(validate_by_distance(
-                    points,
-                    black_box(q2),
-                    &knn,
-                    &ins,
-                ))
-            })
+            b.iter(|| black_box(validate_by_distance(points, black_box(q2), &knn, &ins)))
         });
         group.bench_with_input(BenchmarkId::new("okv_point_in_poly", k), &k, |b, _| {
             b.iter(|| black_box(cell.contains(black_box(q2))))

@@ -30,9 +30,7 @@ fn main() {
                 selected = Some(ids.split(',').map(|s| s.trim().to_string()).collect());
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: report [--quick] [--exp id1,id2,...] [--list]\n\nexperiments:"
-                );
+                println!("usage: report [--quick] [--exp id1,id2,...] [--list]\n\nexperiments:");
                 for e in experiments() {
                     println!("  {:<9} {}", e.id, e.title);
                 }

@@ -68,24 +68,27 @@ where
         .unwrap_or(2)
         .min(n.max(1));
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slots: Vec<parking_lot::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::thread::scope(|scope| {
+    let results: Vec<std::sync::Mutex<Option<R>>> = (0..n).map(|_| None.into()).collect();
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f(&items[i]);
-                **slots[i].lock() = Some(r);
+                *results[i].lock().expect("slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
-    drop(slots);
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("all slots filled")
+        })
+        .collect()
 }
 
 fn methods_header() -> String {
@@ -268,7 +271,10 @@ pub fn e6_distribution(effort: Effort) -> String {
     out.push_str(&methods_header());
     let cells = parallel_map(dists, |(name, dist)| {
         let index = build_index(10_000, *dist, 77);
-        (*name, run_all_methods(&index, &traj, 8, 1.6, ticks, BASE_SPEED))
+        (
+            *name,
+            run_all_methods(&index, &traj, 8, 1.6, ticks, BASE_SPEED),
+        )
     });
     for (name, cmp) in &cells {
         out.push_str(&method_rows(name, cmp));
@@ -356,9 +362,7 @@ pub fn e9_construction_micro(effort: Effort) -> String {
     };
     let index = build_index(10_000, Distribution::Uniform, 5);
     let q = Point::new(47.3, 52.9);
-    let mut out = String::from(
-        "per-recomputation construction kernels (n=10000, ns mean)\n",
-    );
+    let mut out = String::from("per-recomputation construction kernels (n=10000, ns mean)\n");
     out.push_str(&format!(
         "{:<4} {:>14} {:>18} {:>16}\n",
         "k", "INS (I(kNN))", "OkV (order-k cell)", "V* (k+x search)"
@@ -479,7 +483,11 @@ pub fn ablation(effort: Effort) -> String {
         "variant", "recomputes", "comm", "held objs", "us/tick"
     ));
     for (name, run, held) in [
-        ("paper (cases i-iii)", &run_paper, paper.held_objects().len()),
+        (
+            "paper (cases i-iii)",
+            &run_paper,
+            paper.held_objects().len(),
+        ),
         ("incremental fetch", &run_inc, inc.held_objects().len()),
     ] {
         out.push_str(&format!(

@@ -8,9 +8,7 @@ use insq_geom::{Aabb, Point, Trajectory};
 use insq_index::VorTree;
 use insq_roadnet::graph::EdgeRec;
 use insq_roadnet::order_k::{network_mis, order_k_diagram, site_distance_matrix};
-use insq_roadnet::{
-    NetTrajectory, NetworkVoronoi, RoadNetwork, SiteIdx, SiteSet, VertexId,
-};
+use insq_roadnet::{NetTrajectory, NetworkVoronoi, RoadNetwork, SiteIdx, SiteSet, VertexId};
 use insq_sim::{render_euclidean, render_network};
 use insq_voronoi::{order_k_cell_tagged, SiteId, Voronoi};
 use insq_workload::Distribution;
@@ -258,8 +256,7 @@ pub fn fig4(effort: Effort) -> String {
     let space = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
     let points = Distribution::Uniform.generate(180, &space, 2016);
     let index = VorTree::build(points.clone(), space.inflated(10.0)).expect("valid data");
-    let mut query =
-        InsProcessor::new(&index, InsConfig::new(5, 1.6)).expect("valid configuration");
+    let mut query = InsProcessor::new(&index, InsConfig::new(5, 1.6)).expect("valid configuration");
 
     let trajectory = Trajectory::new(vec![
         Point::new(18.0, 30.0),

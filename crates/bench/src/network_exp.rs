@@ -28,8 +28,11 @@ pub fn e7_network_vs_k(effort: Effort) -> String {
         2016,
     )
     .expect("valid grid");
-    let sites = SiteSet::new(&net, random_site_vertices(&net, 120, 7).expect("enough vertices"))
-        .expect("distinct sites");
+    let sites = SiteSet::new(
+        &net,
+        random_site_vertices(&net, 120, 7).expect("enough vertices"),
+    )
+    .expect("distinct sites");
     let nvd = NetworkVoronoi::build(&net, &sites);
     let tour = NetTrajectory::random_tour(&net, 15, 3).expect("connected network");
 
@@ -85,16 +88,17 @@ pub fn e7_network_vs_k(effort: Effort) -> String {
         ring.num_edges()
     ));
     out.push_str(&run_pair(&ring, 60, 4, effort.ticks(2_000)));
-    out.push_str(
-        "\nexpected shape: unchanged — the INS algorithm is topology-agnostic.\n",
-    );
+    out.push_str("\nexpected shape: unchanged — the INS algorithm is topology-agnostic.\n");
     out
 }
 
 /// Runs INS-road vs Naive-road on one network; returns two table rows.
 fn run_pair(net: &RoadNetwork, site_count: usize, k: usize, ticks: usize) -> String {
-    let sites = SiteSet::new(net, random_site_vertices(net, site_count, 5).expect("sites"))
-        .expect("distinct sites");
+    let sites = SiteSet::new(
+        net,
+        random_site_vertices(net, site_count, 5).expect("sites"),
+    )
+    .expect("distinct sites");
     let nvd = NetworkVoronoi::build(net, &sites);
     let tour = NetTrajectory::random_tour(net, 10, 9).expect("connected");
     let mut out = String::new();

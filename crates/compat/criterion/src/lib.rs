@@ -1,0 +1,249 @@
+//! Minimal, dependency-free stand-in for the parts of the `criterion`
+//! crate this workspace uses.
+//!
+//! The INSQ workspace builds fully offline, so its micro-benchmarks run
+//! on this tiny API-compatible substitute instead of the crates.io
+//! `criterion`: [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`,
+//! [`Throughput`], [`BenchmarkId`] and [`black_box`]. Timing is a simple
+//! calibrated loop reporting mean ns/iteration — good enough to compare
+//! methods locally; no statistics, plots or saved baselines.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (a registry of groups).
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group = BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        };
+        eprintln!("group {}", group.name);
+        group
+    }
+
+    /// Benchmarks `f` as a stand-alone (ungrouped) benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_one("", &id.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how much work one iteration performs, so results can be
+    /// read as elements/second.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id, self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's identifier: a function name and/or a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: Some(name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name, &self.parameter) {
+            (Some(n), Some(p)) => write!(f, "{n}/{p}"),
+            (Some(n), None) => write!(f, "{n}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(name: S) -> Self {
+        BenchmarkId {
+            name: Some(name.into()),
+            parameter: None,
+        }
+    }
+}
+
+/// Work performed per iteration, for elements/second reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating an iteration count so one sample is
+    /// long enough to measure.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find n with runtime ≥ ~1 ms.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let t = start.elapsed();
+            if t >= Duration::from_millis(1) || n >= 1 << 20 {
+                self.iters_done = n;
+                self.elapsed = t;
+                return;
+            }
+            n *= 2;
+        }
+    }
+}
+
+fn run_one<F>(
+    group: &str,
+    id: &BenchmarkId,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut best = f64::INFINITY;
+    for _ in 0..sample_size {
+        let mut b = Bencher::default();
+        f(&mut b);
+        if b.iters_done > 0 {
+            let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+    }
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if best.is_finite() && best > 0.0 => {
+            let rate = n as f64 * 1e9 / best;
+            eprintln!("  {label}: {best:.1} ns/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if best.is_finite() && best > 0.0 => {
+            let rate = n as f64 * 1e9 / best;
+            eprintln!("  {label}: {best:.1} ns/iter ({rate:.0} B/s)");
+        }
+        _ => eprintln!("  {label}: {best:.1} ns/iter"),
+    }
+}
+
+/// Collects benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -400,7 +400,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         }
     }
@@ -450,7 +452,9 @@ mod tests {
             if pos.distance(target) < 1.0 {
                 target = Point::new(next() * 100.0, next() * 100.0);
             }
-            let dir = (target - pos).normalized().unwrap_or(insq_geom::Vector::ZERO);
+            let dir = (target - pos)
+                .normalized()
+                .unwrap_or(insq_geom::Vector::ZERO);
             pos += dir * 0.8;
             p.tick(pos);
             let mut got = p.current_knn();

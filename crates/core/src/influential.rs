@@ -111,7 +111,14 @@ mod tests {
         }
         // Must contain the axis neighbors of both members (those not in
         // the kNN itself).
-        for required in [SiteId(11), SiteId(13), SiteId(17), SiteId(2), SiteId(6), SiteId(8)] {
+        for required in [
+            SiteId(11),
+            SiteId(13),
+            SiteId(17),
+            SiteId(2),
+            SiteId(6),
+            SiteId(8),
+        ] {
             assert!(ins.contains(&required), "missing {required}");
         }
     }

@@ -55,7 +55,9 @@ mod tests {
     fn random_voronoi(n: usize, seed: u64) -> Voronoi {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let points: Vec<Point> = (0..n)
@@ -79,13 +81,9 @@ mod tests {
         // The central theorem: MIS(O') ⊆ I(O') for genuine kNN sets.
         let v = random_voronoi(60, 42);
         for (qi, k) in [(0usize, 1usize), (7, 2), (13, 3), (29, 5), (44, 8)] {
-            let q = Point::new(
-                v.points()[qi].x + 0.05,
-                v.points()[qi].y + 0.03,
-            );
+            let q = Point::new(v.points()[qi].x + 0.05, v.points()[qi].y + 0.03);
             let knn = brute_knn(&v, q, k);
-            let mis = minimal_influential_set(&v, &knn)
-                .expect("true kNN set has a non-empty cell");
+            let mis = minimal_influential_set(&v, &knn).expect("true kNN set has a non-empty cell");
             let ins = influential_neighbor_set(&v, &knn);
             for m in &mis {
                 assert!(

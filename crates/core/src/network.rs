@@ -164,10 +164,7 @@ impl<'a> NetInsProcessor<'a> {
 
     fn reset_cache_to(&mut self, sites: &[SiteIdx]) {
         // Count new objects before swapping the cache contents.
-        let newly: u64 = sites
-            .iter()
-            .filter(|s| !self.cached[s.idx()])
-            .count() as u64;
+        let newly: u64 = sites.iter().filter(|s| !self.cached[s.idx()]).count() as u64;
         self.cached.iter_mut().for_each(|c| *c = false);
         self.cached_count = 0;
         for &s in sites {
@@ -202,11 +199,7 @@ impl<'a> NetInsProcessor<'a> {
 
     /// Certifies a candidate k-set by Theorem 2 on its own subnetwork.
     /// On success, installs it and returns the classified outcome.
-    fn try_adopt(
-        &mut self,
-        pos: NetPosition,
-        cand: &[(SiteIdx, f64)],
-    ) -> Option<TickOutcome> {
+    fn try_adopt(&mut self, pos: NetPosition, cand: &[(SiteIdx, f64)]) -> Option<TickOutcome> {
         if cand.len() < self.cfg.k {
             return None;
         }
@@ -216,14 +209,7 @@ impl<'a> NetInsProcessor<'a> {
 
         let mut cand_mask = SiteMask::new(self.sites.len());
         cand_mask.set(cand_ids.iter().copied().chain(ins.iter().copied()));
-        let (res, st) = restricted_knn(
-            self.net,
-            self.sites,
-            self.nvd,
-            &cand_mask,
-            pos,
-            self.cfg.k,
-        );
+        let (res, st) = restricted_knn(self.net, self.sites, self.nvd, &cand_mask, pos, self.cfg.k);
         self.stats.search_ops += st.settled as u64;
         let res_ids: Vec<SiteIdx> = res.iter().map(|&(s, _)| s).collect();
         if !knn_sets_equal(&res_ids, &cand_ids) {
@@ -281,14 +267,7 @@ impl MovingKnn<NetPosition, SiteIdx> for NetInsProcessor<'_> {
 
         // Theorem-2 validation: restricted INE on the kNN ∪ INS
         // subnetwork must return the current kNN set.
-        let (res, st) = restricted_knn(
-            self.net,
-            self.sites,
-            self.nvd,
-            &self.mask,
-            pos,
-            self.cfg.k,
-        );
+        let (res, st) = restricted_knn(self.net, self.sites, self.nvd, &self.mask, pos, self.cfg.k);
         self.stats.validation_ops += st.settled as u64;
         let res_ids: Vec<SiteIdx> = res.iter().map(|&(s, _)| s).collect();
         let cur_ids: Vec<SiteIdx> = self.knn.iter().map(|&(s, _)| s).collect();
@@ -352,12 +331,8 @@ mod tests {
         let (net, sites) = setup(1);
         let nvd = NetworkVoronoi::build(&net, &sites);
         assert!(NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(0, 1.5)).is_err());
-        assert!(
-            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(31, 1.5)).is_err()
-        );
-        assert!(
-            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 0.9)).is_err()
-        );
+        assert!(NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(31, 1.5)).is_err());
+        assert!(NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 0.9)).is_err());
         assert!(NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 1.0)).is_ok());
     }
 
@@ -365,8 +340,7 @@ mod tests {
     fn matches_global_ine_along_tour() {
         let (net, sites) = setup(42);
         let nvd = NetworkVoronoi::build(&net, &sites);
-        let mut p =
-            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(4, 1.6)).unwrap();
+        let mut p = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(4, 1.6)).unwrap();
         let tour = NetTrajectory::random_tour(&net, 8, 42).unwrap();
         let steps = 400;
         for i in 0..=steps {
@@ -385,10 +359,7 @@ mod tests {
         }
         let s = p.stats();
         assert!(s.valid_ticks > s.ticks / 2, "mostly valid: {s:?}");
-        assert!(
-            s.recomputations < s.ticks / 4,
-            "recomputations rare: {s:?}"
-        );
+        assert!(s.recomputations < s.ticks / 4, "recomputations rare: {s:?}");
     }
 
     #[test]
@@ -398,8 +369,7 @@ mod tests {
         // objects every timestamp.
         let (net, sites) = setup(7);
         let nvd = NetworkVoronoi::build(&net, &sites);
-        let mut p =
-            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 1.6)).unwrap();
+        let mut p = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 1.6)).unwrap();
         let tour = NetTrajectory::random_tour(&net, 6, 9).unwrap();
         let steps = 200u64;
         for i in 0..=steps {
@@ -413,15 +383,18 @@ mod tests {
             "INS comm {ins_comm} not well below naive {naive_comm}"
         );
         // And most ticks validate without any recomputation at all.
-        assert!(p.stats().valid_ticks * 2 > p.stats().ticks, "{:?}", p.stats());
+        assert!(
+            p.stats().valid_ticks * 2 > p.stats().ticks,
+            "{:?}",
+            p.stats()
+        );
     }
 
     #[test]
     fn stationary_stays_valid() {
         let (net, sites) = setup(3);
         let nvd = NetworkVoronoi::build(&net, &sites);
-        let mut p =
-            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(5, 1.6)).unwrap();
+        let mut p = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(5, 1.6)).unwrap();
         let pos = NetPosition::Vertex(insq_roadnet::VertexId(60));
         p.tick(pos);
         for _ in 0..10 {
@@ -466,8 +439,7 @@ mod tests {
     fn influential_set_excludes_knn() {
         let (net, sites) = setup(11);
         let nvd = NetworkVoronoi::build(&net, &sites);
-        let mut p =
-            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(4, 1.6)).unwrap();
+        let mut p = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(4, 1.6)).unwrap();
         p.tick(NetPosition::Vertex(insq_roadnet::VertexId(0)));
         let knn = p.current_knn();
         let ins = p.influential_set();

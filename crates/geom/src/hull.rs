@@ -67,9 +67,7 @@ pub fn hull_contains(hull: &[Point], p: Point) -> bool {
                     .bounding_box()
                     .contains(p)
         }
-        n => (0..n).all(|i| {
-            orient2d(hull[i], hull[(i + 1) % n], p) != Orientation::Clockwise
-        }),
+        n => (0..n).all(|i| orient2d(hull[i], hull[(i + 1) % n], p) != Orientation::Clockwise),
     }
 }
 
@@ -124,7 +122,9 @@ mod tests {
     fn hull_is_ccw_and_convex() {
         let mut state = 0xDEADu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let input: Vec<Point> = (0..200)

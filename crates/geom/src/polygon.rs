@@ -70,7 +70,9 @@ impl ConvexPolygon {
 
     /// The empty polygon.
     pub fn empty() -> Self {
-        ConvexPolygon { vertices: Vec::new() }
+        ConvexPolygon {
+            vertices: Vec::new(),
+        }
     }
 
     /// The rectangle of `bb` as a polygon (CCW).
@@ -406,7 +408,9 @@ mod tests {
         assert!((d - 1.0).abs() < 1e-12);
         let d2 = sq.boundary_distance(Point::new(3.0, 1.0)).unwrap();
         assert!((d2 - 1.0).abs() < 1e-12);
-        assert!(ConvexPolygon::empty().boundary_distance(Point::ORIGIN).is_none());
+        assert!(ConvexPolygon::empty()
+            .boundary_distance(Point::ORIGIN)
+            .is_none());
     }
 
     #[test]

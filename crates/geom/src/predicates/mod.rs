@@ -194,10 +194,15 @@ pub fn incircle_exact(a: Point, b: Point, c: Point, d: Point) -> InCircle {
     // lift(p) * minor, added into acc with the given sign.
     let mut acc: Vec<f64> = Vec::new();
     let mut acc_next: Vec<f64> = Vec::new();
-    let add_term = |p: Point, minor: &[f64], negate: bool, acc: &mut Vec<f64>,
-                        acc_next: &mut Vec<f64>,
-                        s1: &mut Vec<f64>, s2: &mut Vec<f64>, s3: &mut Vec<f64>,
-                        contrib: &mut Vec<f64>| {
+    let add_term = |p: Point,
+                    minor: &[f64],
+                    negate: bool,
+                    acc: &mut Vec<f64>,
+                    acc_next: &mut Vec<f64>,
+                    s1: &mut Vec<f64>,
+                    s2: &mut Vec<f64>,
+                    s3: &mut Vec<f64>,
+                    contrib: &mut Vec<f64>| {
         // (px^2 + py^2) * minor = px*(px*minor) + py*(py*minor)
         scale_expansion(minor, p.x, s1);
         scale_expansion(s1, p.x, s2);
@@ -216,22 +221,62 @@ pub fn incircle_exact(a: Point, b: Point, c: Point, d: Point) -> InCircle {
     // bcd = bc + cd - bd
     expansion_sum(&bc, &cd, &mut tmp);
     expansion_sum(&tmp, &neg(&bd), &mut minor);
-    add_term(a, &minor, false, &mut acc, &mut acc_next, &mut s1, &mut s2, &mut s3, &mut contrib);
+    add_term(
+        a,
+        &minor,
+        false,
+        &mut acc,
+        &mut acc_next,
+        &mut s1,
+        &mut s2,
+        &mut s3,
+        &mut contrib,
+    );
 
     // cda = cd + da + ac
     expansion_sum(&cd, &da, &mut tmp);
     expansion_sum(&tmp, &ac, &mut minor);
-    add_term(b, &minor, true, &mut acc, &mut acc_next, &mut s1, &mut s2, &mut s3, &mut contrib);
+    add_term(
+        b,
+        &minor,
+        true,
+        &mut acc,
+        &mut acc_next,
+        &mut s1,
+        &mut s2,
+        &mut s3,
+        &mut contrib,
+    );
 
     // dab = da + ab + bd
     expansion_sum(&da, &ab, &mut tmp);
     expansion_sum(&tmp, &bd, &mut minor);
-    add_term(c, &minor, false, &mut acc, &mut acc_next, &mut s1, &mut s2, &mut s3, &mut contrib);
+    add_term(
+        c,
+        &minor,
+        false,
+        &mut acc,
+        &mut acc_next,
+        &mut s1,
+        &mut s2,
+        &mut s3,
+        &mut contrib,
+    );
 
     // abc = ab + bc - ac
     expansion_sum(&ab, &bc, &mut tmp);
     expansion_sum(&tmp, &neg(&ac), &mut minor);
-    add_term(d, &minor, true, &mut acc, &mut acc_next, &mut s1, &mut s2, &mut s3, &mut contrib);
+    add_term(
+        d,
+        &minor,
+        true,
+        &mut acc,
+        &mut acc_next,
+        &mut s1,
+        &mut s2,
+        &mut s3,
+        &mut contrib,
+    );
 
     incircle_from_sign(sign_of(&acc))
 }

@@ -9,9 +9,8 @@ fn pt() -> impl Strategy<Value = Point> {
 }
 
 fn small_box() -> impl Strategy<Value = Aabb> {
-    (pt(), 1.0f64..50.0, 1.0f64..50.0).prop_map(|(c, w, h)| {
-        Aabb::new(c, Point::new(c.x + w, c.y + h))
-    })
+    (pt(), 1.0f64..50.0, 1.0f64..50.0)
+        .prop_map(|(c, w, h)| Aabb::new(c, Point::new(c.x + w, c.y + h)))
 }
 
 proptest! {

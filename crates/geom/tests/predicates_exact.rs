@@ -29,7 +29,8 @@ fn incircle_i128(a: (i64, i64), b: (i64, i64), c: (i64, i64), d: (i64, i64)) -> 
     let alift = adx * adx + ady * ady;
     let blift = bdx * bdx + bdy * bdy;
     let clift = cdx * cdx + cdy * cdy;
-    alift * (bdx * cdy - cdx * bdy) + blift * (cdx * ady - adx * cdy)
+    alift * (bdx * cdy - cdx * bdy)
+        + blift * (cdx * ady - adx * cdy)
         + clift * (adx * bdy - bdx * ady)
 }
 
@@ -57,8 +58,8 @@ fn expected_incircle(det: i128) -> InCircle {
 /// a small range makes collinear/cocircular quadruples common.
 fn coord() -> impl Strategy<Value = i64> {
     prop_oneof![
-        -8i64..=8,               // dense: frequent exact degeneracies
-        -1_000_000i64..=1_000_000 // wide: large determinant magnitudes
+        -8i64..=8,                 // dense: frequent exact degeneracies
+        -1_000_000i64..=1_000_000  // wide: large determinant magnitudes
     ]
 }
 

@@ -120,8 +120,8 @@ impl RTree {
         for slab in items.chunks_mut(per_slab.max(1)) {
             slab.sort_by(|a, b| a.point.y.total_cmp(&b.point.y));
             for group in slab.chunks(MAX_ENTRIES) {
-                let bbox = Aabb::of_points(group.iter().map(|e| e.point))
-                    .expect("group is non-empty");
+                let bbox =
+                    Aabb::of_points(group.iter().map(|e| e.point)).expect("group is non-empty");
                 let id = tree.alloc(Node {
                     bbox,
                     kind: NodeKind::Leaf {
@@ -251,9 +251,7 @@ impl RTree {
                     grown.expand_to(entry.point);
                     let enlarge = grown.area() - bb.area();
                     let area = bb.area();
-                    if enlarge < best_enlarge
-                        || (enlarge == best_enlarge && area < best_area)
-                    {
+                    if enlarge < best_enlarge || (enlarge == best_enlarge && area < best_area) {
                         best = c;
                         best_enlarge = enlarge;
                         best_area = area;
@@ -400,9 +398,12 @@ impl RTree {
     }
 
     fn collect_entries(&mut self, node: u32, out: &mut Vec<Entry>) {
-        match std::mem::replace(&mut self.nodes[node as usize].kind, NodeKind::Leaf {
-            entries: Vec::new(),
-        }) {
+        match std::mem::replace(
+            &mut self.nodes[node as usize].kind,
+            NodeKind::Leaf {
+                entries: Vec::new(),
+            },
+        ) {
             NodeKind::Leaf { entries } => out.extend(entries),
             NodeKind::Internal { children } => {
                 for c in children {
@@ -418,9 +419,9 @@ impl RTree {
             NodeKind::Leaf { entries } => {
                 Aabb::of_points(entries.iter().map(|e| e.point)).unwrap_or_else(Aabb::empty)
             }
-            NodeKind::Internal { children } => children
-                .iter()
-                .fold(Aabb::empty(), |acc, &c| acc.union(&self.nodes[c as usize].bbox)),
+            NodeKind::Internal { children } => children.iter().fold(Aabb::empty(), |acc, &c| {
+                acc.union(&self.nodes[c as usize].bbox)
+            }),
         };
         self.nodes[node as usize].bbox = bbox;
     }
@@ -703,7 +704,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         }
     }
@@ -870,7 +873,11 @@ mod tests {
             tree.insert(Point::new(1.0, 1.0), id);
         }
         tree.insert(Point::new(2.0, 2.0), 100);
-        let got: Vec<u32> = tree.knn(Point::new(1.0, 1.0), 21).iter().map(|(e, _)| e.id).collect();
+        let got: Vec<u32> = tree
+            .knn(Point::new(1.0, 1.0), 21)
+            .iter()
+            .map(|(e, _)| e.id)
+            .collect();
         assert_eq!(got.len(), 21);
         assert_eq!(got[20], 100, "farther point comes last");
     }

@@ -150,7 +150,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         }
     }
@@ -171,10 +173,13 @@ mod tests {
         for _ in 0..50 {
             let q = Point::new(next() * 100.0, next() * 100.0);
             for k in [1usize, 4, 16] {
-                let via_voronoi: Vec<u32> =
-                    tree.knn(q, k).into_iter().map(|(s, _)| s.0).collect();
-                let via_rtree: Vec<u32> =
-                    tree.rtree().knn(q, k).into_iter().map(|(e, _)| e.id).collect();
+                let via_voronoi: Vec<u32> = tree.knn(q, k).into_iter().map(|(s, _)| s.0).collect();
+                let via_rtree: Vec<u32> = tree
+                    .rtree()
+                    .knn(q, k)
+                    .into_iter()
+                    .map(|(e, _)| e.id)
+                    .collect();
                 assert_eq!(via_voronoi, via_rtree, "k={k} q={q:?}");
             }
         }
@@ -187,7 +192,12 @@ mod tests {
         let tree = build_random(100, 5);
         let q = Point::new(-500.0, 900.0);
         let via_voronoi: Vec<u32> = tree.knn(q, 10).into_iter().map(|(s, _)| s.0).collect();
-        let via_rtree: Vec<u32> = tree.rtree().knn(q, 10).into_iter().map(|(e, _)| e.id).collect();
+        let via_rtree: Vec<u32> = tree
+            .rtree()
+            .knn(q, 10)
+            .into_iter()
+            .map(|(e, _)| e.id)
+            .collect();
         assert_eq!(via_voronoi, via_rtree);
     }
 

@@ -43,9 +43,10 @@ pub fn astar(net: &RoadNetwork, from: VertexId, to: VertexId) -> AStarResult {
 /// long as its endpoints' straight-line distance) and falls back to the
 /// zero heuristic otherwise. The check is O(|E|).
 pub fn astar_distance_checked(net: &RoadNetwork, from: VertexId, to: VertexId) -> AStarResult {
-    let admissible = net.edges().iter().all(|e| {
-        e.len + 1e-9 >= net.coord(e.u).distance(net.coord(e.v))
-    });
+    let admissible = net
+        .edges()
+        .iter()
+        .all(|e| e.len + 1e-9 >= net.coord(e.u).distance(net.coord(e.v)));
     if admissible {
         astar(net, from, to)
     } else {
@@ -204,10 +205,22 @@ mod tests {
                 Point::new(5.0, 8.0),
             ],
             vec![
-                EdgeRec { u: VertexId(0), v: VertexId(1), len: 10.0 },
+                EdgeRec {
+                    u: VertexId(0),
+                    v: VertexId(1),
+                    len: 10.0,
+                },
                 // Weight far below the Euclidean endpoint distance (9.43).
-                EdgeRec { u: VertexId(0), v: VertexId(2), len: 1.0 },
-                EdgeRec { u: VertexId(2), v: VertexId(1), len: 1.0 },
+                EdgeRec {
+                    u: VertexId(0),
+                    v: VertexId(2),
+                    len: 1.0,
+                },
+                EdgeRec {
+                    u: VertexId(2),
+                    v: VertexId(1),
+                    len: 1.0,
+                },
             ],
         )
         .unwrap();

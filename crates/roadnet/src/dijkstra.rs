@@ -79,8 +79,14 @@ pub fn distance_between(net: &RoadNetwork, from: NetPosition, to: NetPosition) -
     // competes with paths through the endpoints.
     let direct = match (from, to) {
         (
-            NetPosition::OnEdge { edge: e1, offset: o1 },
-            NetPosition::OnEdge { edge: e2, offset: o2 },
+            NetPosition::OnEdge {
+                edge: e1,
+                offset: o1,
+            },
+            NetPosition::OnEdge {
+                edge: e2,
+                offset: o2,
+            },
         ) if e1 == e2 => Some((o1 - o2).abs()),
         _ => None,
     };
@@ -97,11 +103,7 @@ pub fn distance_between(net: &RoadNetwork, from: NetPosition, to: NetPosition) -
 }
 
 /// Shortest path (distance and vertex sequence) between two vertices.
-pub fn shortest_path(
-    net: &RoadNetwork,
-    from: VertexId,
-    to: VertexId,
-) -> (f64, Vec<VertexId>) {
+pub fn shortest_path(net: &RoadNetwork, from: VertexId, to: VertexId) -> (f64, Vec<VertexId>) {
     let n = net.num_vertices();
     let mut dist = vec![f64::INFINITY; n];
     let mut parent: Vec<VertexId> = vec![VertexId(u32::MAX); n];
@@ -193,11 +195,7 @@ pub fn multi_source(net: &RoadNetwork, sources: &[VertexId]) -> (Vec<f64>, Vec<u
 /// Voronoi computations.
 ///
 /// Complexity `O(k · (|E| + |V|) log(k |V|))`.
-pub fn k_label_dijkstra(
-    net: &RoadNetwork,
-    sources: &[VertexId],
-    k: usize,
-) -> Vec<Vec<(u32, f64)>> {
+pub fn k_label_dijkstra(net: &RoadNetwork, sources: &[VertexId], k: usize) -> Vec<Vec<(u32, f64)>> {
     let n = net.num_vertices();
     let mut labels: Vec<Vec<(u32, f64)>> = vec![Vec::with_capacity(k); n];
     let mut heap: BinaryHeap<Reverse<(HeapEntry, u32)>> = BinaryHeap::new();
@@ -364,8 +362,7 @@ mod tests {
             for i in 0..k {
                 assert_eq!(got[i].1, brute[i].1, "vertex {v} rank {i}");
             }
-            let got_set: std::collections::BTreeSet<u32> =
-                got.iter().map(|&(s, _)| s).collect();
+            let got_set: std::collections::BTreeSet<u32> = got.iter().map(|&(s, _)| s).collect();
             // On ties the label sets can differ; distances decide. Check
             // multiset of distances only, plus set size.
             assert_eq!(got_set.len(), k);

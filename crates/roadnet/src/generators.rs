@@ -329,11 +329,7 @@ mod tests {
         }
         let c = grid_network(&GridConfig::default(), 8).unwrap();
         // Overwhelmingly likely to differ.
-        let same = a
-            .coords()
-            .iter()
-            .zip(c.coords())
-            .all(|(x, y)| x == y);
+        let same = a.coords().iter().zip(c.coords()).all(|(x, y)| x == y);
         assert!(!same, "different seeds should give different jitter");
     }
 

@@ -104,7 +104,10 @@ impl RoadNetwork {
                 return Err(RoadNetError::SelfLoop { edge: i });
             }
             if !(e.len > 0.0 && e.len.is_finite()) {
-                return Err(RoadNetError::BadEdgeLength { edge: i, len: e.len });
+                return Err(RoadNetError::BadEdgeLength {
+                    edge: i,
+                    len: e.len,
+                });
             }
         }
 

@@ -149,7 +149,12 @@ mod tests {
         (net, sites)
     }
 
-    fn brute_knn(net: &RoadNetwork, sites: &SiteSet, pos: NetPosition, k: usize) -> Vec<(SiteIdx, f64)> {
+    fn brute_knn(
+        net: &RoadNetwork,
+        sites: &SiteSet,
+        pos: NetPosition,
+        k: usize,
+    ) -> Vec<(SiteIdx, f64)> {
         let d = all_site_distances(net, sites, pos);
         let mut v: Vec<(SiteIdx, f64)> = d
             .into_iter()

@@ -113,8 +113,7 @@ impl NetworkVoronoi {
         for d in &degree {
             nbr_offsets.push(nbr_offsets.last().expect("non-empty") + d);
         }
-        let mut nbr_adjacency =
-            vec![SiteIdx(0); *nbr_offsets.last().expect("non-empty") as usize];
+        let mut nbr_adjacency = vec![SiteIdx(0); *nbr_offsets.last().expect("non-empty") as usize];
         let mut cursor: Vec<u32> = nbr_offsets[..m].to_vec();
         for &(a, b) in &pairs {
             nbr_adjacency[cursor[a.idx()] as usize] = b;

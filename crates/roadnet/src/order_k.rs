@@ -175,11 +175,7 @@ pub fn order_k_segments(
 }
 
 /// All order-k segments of the network, grouped per edge.
-pub fn order_k_diagram(
-    net: &RoadNetwork,
-    matrix: &[Vec<f64>],
-    k: usize,
-) -> Vec<OrderKSegment> {
+pub fn order_k_diagram(net: &RoadNetwork, matrix: &[Vec<f64>], k: usize) -> Vec<OrderKSegment> {
     (0..net.num_edges() as u32)
         .flat_map(|e| order_k_segments(net, matrix, EdgeId(e), k))
         .collect()
@@ -229,10 +225,9 @@ pub fn network_mis(
 /// offsets, or endpoints meeting at a common vertex).
 fn segments_touch(net: &RoadNetwork, a: &OrderKSegment, b: &OrderKSegment) -> bool {
     const EPS: f64 = 1e-9;
-    if a.edge == b.edge
-        && ((a.to - b.from).abs() < EPS || (b.to - a.from).abs() < EPS) {
-            return true;
-        }
+    if a.edge == b.edge && ((a.to - b.from).abs() < EPS || (b.to - a.from).abs() < EPS) {
+        return true;
+    }
     // Vertex touching: an endpoint of `a` at offset 0/len coincides with an
     // endpoint of `b` at offset 0/len on an edge sharing that vertex.
     let verts_of = |s: &OrderKSegment| {
@@ -337,8 +332,7 @@ mod tests {
         let all = order_k_diagram(&net, &matrix, 2);
         // Segments must tile each edge exactly.
         for e in 0..net.num_edges() as u32 {
-            let segs: Vec<&OrderKSegment> =
-                all.iter().filter(|s| s.edge == EdgeId(e)).collect();
+            let segs: Vec<&OrderKSegment> = all.iter().filter(|s| s.edge == EdgeId(e)).collect();
             let total: f64 = segs.iter().map(|s| s.to - s.from).sum();
             assert!((total - net.edge(EdgeId(e)).len).abs() < 1e-9);
         }

@@ -28,7 +28,11 @@ impl NetPosition {
     /// Canonicalises an edge offset: clamps to `[0, len]` and collapses the
     /// endpoints to [`NetPosition::Vertex`]. Returns an error for non-finite
     /// offsets or out-of-range edges.
-    pub fn on_edge(net: &RoadNetwork, edge: EdgeId, offset: f64) -> Result<NetPosition, RoadNetError> {
+    pub fn on_edge(
+        net: &RoadNetwork,
+        edge: EdgeId,
+        offset: f64,
+    ) -> Result<NetPosition, RoadNetError> {
         if edge.idx() >= net.num_edges() {
             return Err(RoadNetError::EdgeOutOfRange { edge: edge.idx() });
         }

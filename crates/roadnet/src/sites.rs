@@ -139,7 +139,10 @@ mod tests {
         assert_eq!(sites.site_at(VertexId(0)), Some(SiteIdx(1)));
         assert_eq!(sites.site_at(VertexId(1)), None);
         let pairs: Vec<_> = sites.iter().collect();
-        assert_eq!(pairs, vec![(SiteIdx(0), VertexId(2)), (SiteIdx(1), VertexId(0))]);
+        assert_eq!(
+            pairs,
+            vec![(SiteIdx(0), VertexId(2)), (SiteIdx(1), VertexId(0))]
+        );
     }
 
     #[test]

@@ -171,9 +171,9 @@ pub fn restricted_knn(
             // Traverse only edges entirely inside the masked region.
             let passable = match nvd.edge_ownership(e) {
                 EdgeOwnership::Whole(o) => mask.contains(o),
-                EdgeOwnership::Split { owner_u, owner_v, .. } => {
-                    mask.contains(owner_u) && mask.contains(owner_v)
-                }
+                EdgeOwnership::Split {
+                    owner_u, owner_v, ..
+                } => mask.contains(owner_u) && mask.contains(owner_v),
             };
             if !passable {
                 continue;
@@ -287,8 +287,14 @@ mod tests {
         let s0 = sites.site_at(VertexId(0)).unwrap();
         let mut mask = SiteMask::new(sites.len());
         mask.set([s0]);
-        let (res, stats) =
-            restricted_knn(&net, &sites, &nvd, &mask, NetPosition::Vertex(VertexId(0)), 5);
+        let (res, stats) = restricted_knn(
+            &net,
+            &sites,
+            &nvd,
+            &mask,
+            NetPosition::Vertex(VertexId(0)),
+            5,
+        );
         assert_eq!(res.len(), 1);
         assert_eq!(res[0].0, s0);
         assert_eq!(res[0].1, 0.0);
@@ -306,8 +312,14 @@ mod tests {
         let far = sites.site_at(VertexId(35)).unwrap();
         let mut mask = SiteMask::new(sites.len());
         mask.set([far]);
-        let (res, _) =
-            restricted_knn(&net, &sites, &nvd, &mask, NetPosition::Vertex(VertexId(0)), 3);
+        let (res, _) = restricted_knn(
+            &net,
+            &sites,
+            &nvd,
+            &mask,
+            NetPosition::Vertex(VertexId(0)),
+            3,
+        );
         assert!(res.is_empty());
     }
 
@@ -336,7 +348,10 @@ mod tests {
             .map(crate::graph::EdgeId)
             .find(|&e| matches!(nvd.edge_ownership(e), EdgeOwnership::Split { .. }))
             .expect("grid with scattered sites has split edges");
-        let EdgeOwnership::Split { owner_u, border, .. } = nvd.edge_ownership(split) else {
+        let EdgeOwnership::Split {
+            owner_u, border, ..
+        } = nvd.edge_ownership(split)
+        else {
             unreachable!()
         };
         let pos = NetPosition::OnEdge {

@@ -27,7 +27,10 @@ impl NetTrajectory {
     /// Builds a trajectory from a vertex walk. Consecutive vertices must be
     /// adjacent in the network (the connecting edge is looked up; for
     /// parallel edges the first is used).
-    pub fn from_walk(net: &RoadNetwork, walk: Vec<VertexId>) -> Result<NetTrajectory, RoadNetError> {
+    pub fn from_walk(
+        net: &RoadNetwork,
+        walk: Vec<VertexId>,
+    ) -> Result<NetTrajectory, RoadNetError> {
         if walk.len() < 2 {
             return Err(RoadNetError::TrajectoryTooShort { got: walk.len() });
         }
@@ -111,10 +114,7 @@ impl NetTrajectory {
     /// trajectory).
     pub fn position(&self, net: &RoadNetwork, s: f64) -> NetPosition {
         let s = s.clamp(0.0, self.length());
-        let i = match self
-            .cumulative
-            .binary_search_by(|c| c.total_cmp(&s))
-        {
+        let i = match self.cumulative.binary_search_by(|c| c.total_cmp(&s)) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
@@ -127,7 +127,11 @@ impl NetTrajectory {
         // The walk may traverse the edge u->v or v->u; offsets are stored
         // from the edge's canonical `u`.
         let from = self.vertices[i];
-        let offset = if from == rec.u { along } else { rec.len - along };
+        let offset = if from == rec.u {
+            along
+        } else {
+            rec.len - along
+        };
         NetPosition::on_edge(net, e, offset).expect("edge id and offset valid by construction")
     }
 
@@ -173,11 +177,8 @@ mod tests {
     #[test]
     fn walk_positions() {
         let net = square();
-        let t = NetTrajectory::from_walk(
-            &net,
-            vec![VertexId(0), VertexId(1), VertexId(2)],
-        )
-        .unwrap();
+        let t =
+            NetTrajectory::from_walk(&net, vec![VertexId(0), VertexId(1), VertexId(2)]).unwrap();
         assert_eq!(t.length(), 3.0);
         assert_eq!(t.position(&net, 0.0), NetPosition::Vertex(VertexId(0)));
         assert_eq!(
@@ -236,7 +237,13 @@ mod tests {
         let net = square();
         let t = NetTrajectory::from_walk(
             &net,
-            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3), VertexId(0)],
+            vec![
+                VertexId(0),
+                VertexId(1),
+                VertexId(2),
+                VertexId(3),
+                VertexId(0),
+            ],
         )
         .unwrap();
         assert_eq!(t.length(), 6.0);

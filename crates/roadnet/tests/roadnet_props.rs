@@ -12,8 +12,15 @@ use insq_roadnet::{NetPosition, NetTrajectory, NetworkVoronoi, RoadNetwork, Site
 use proptest::prelude::*;
 
 fn network_strategy() -> impl Strategy<Value = RoadNetwork> {
-    (3u32..8, 3u32..8, 0.0f64..0.3, 0.0f64..0.3, 0.0f64..0.25, 0u64..10_000).prop_map(
-        |(cols, rows, jitter, diag, del, seed)| {
+    (
+        3u32..8,
+        3u32..8,
+        0.0f64..0.3,
+        0.0f64..0.3,
+        0.0f64..0.25,
+        0u64..10_000,
+    )
+        .prop_map(|(cols, rows, jitter, diag, del, seed)| {
             grid_network(
                 &GridConfig {
                     cols,
@@ -26,8 +33,7 @@ fn network_strategy() -> impl Strategy<Value = RoadNetwork> {
                 seed,
             )
             .expect("valid grid config")
-        },
-    )
+        })
 }
 
 proptest! {

@@ -101,8 +101,10 @@ mod tests {
     #[test]
     fn engine_records_every_tick() {
         let idx = index(150, 3);
-        let traj = TrajectoryKind::RandomWaypoint { waypoints: 6 }
-            .generate(&Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)), 5);
+        let traj = TrajectoryKind::RandomWaypoint { waypoints: 6 }.generate(
+            &Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+            5,
+        );
         let mut ins = InsProcessor::new(&idx, InsConfig::new(3, 1.6)).unwrap();
         let run = run_euclidean(&mut ins, &traj, 200, 0.5);
         assert_eq!(run.len(), 200);
@@ -121,8 +123,7 @@ mod tests {
         let sites = SiteSet::new(&net, random_site_vertices(&net, 15, 11).unwrap()).unwrap();
         let nvd = NetworkVoronoi::build(&net, &sites);
         let tour = NetTrajectory::random_tour(&net, 5, 11).unwrap();
-        let mut p =
-            NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 1.6)).unwrap();
+        let mut p = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 1.6)).unwrap();
         let run = run_network(&mut p, &net, &tour, 150, 0.1);
         assert_eq!(run.len(), 150);
         assert_eq!(run.stats.ticks, 150);
@@ -137,8 +138,10 @@ mod tests {
     #[test]
     fn ins_and_naive_agree_tick_by_tick() {
         let idx = index(200, 9);
-        let traj = TrajectoryKind::Circular { radius_frac: 0.6 }
-            .generate(&Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)), 1);
+        let traj = TrajectoryKind::Circular { radius_frac: 0.6 }.generate(
+            &Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+            1,
+        );
         let mut ins = InsProcessor::new(&idx, InsConfig::new(4, 1.6)).unwrap();
         let mut naive = NaiveProcessor::new(idx.rtree(), 4).unwrap();
         let run_a = run_euclidean(&mut ins, &traj, 300, 0.4);

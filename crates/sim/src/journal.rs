@@ -43,8 +43,7 @@ impl<Id: Clone + PartialEq> RunRecord<Id> {
             let changed = match last {
                 None => true,
                 Some(prev) => {
-                    prev.len() != rec.knn.len()
-                        || !prev.iter().all(|s| rec.knn.contains(s))
+                    prev.len() != rec.knn.len() || !prev.iter().all(|s| rec.knn.contains(s))
                 }
             };
             if changed {

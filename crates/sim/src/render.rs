@@ -217,10 +217,7 @@ mod tests {
 
     #[test]
     fn region_fill_appears() {
-        let poly = ConvexPolygon::from_aabb(&Aabb::new(
-            Point::new(4.0, 4.0),
-            Point::new(6.0, 6.0),
-        ));
+        let poly = ConvexPolygon::from_aabb(&Aabb::new(Point::new(4.0, 4.0), Point::new(6.0, 6.0)));
         let s = render_euclidean(
             &[],
             &[],

@@ -2,7 +2,9 @@
 //! run every method over it, and return the comparison — the programmatic
 //! equivalent of one `report` table row group.
 
-use insq_baselines::{NaiveProcessor, NetNaiveProcessor, OkvProcessor, VStarConfig, VStarProcessor};
+use insq_baselines::{
+    NaiveProcessor, NetNaiveProcessor, OkvProcessor, VStarConfig, VStarProcessor,
+};
 use insq_core::{InsConfig, InsProcessor, NetInsConfig, NetInsProcessor};
 use insq_index::VorTree;
 use insq_roadnet::{NetworkVoronoi, RoadNetError};
@@ -77,10 +79,19 @@ pub fn run_network_scenario(sc: &NetworkScenario) -> Result<Comparison, Scenario
     let nvd = NetworkVoronoi::build(&inst.net, &inst.sites);
     let mut cmp = Comparison::new();
 
-    let mut ins = NetInsProcessor::new(&inst.net, &inst.sites, &nvd, NetInsConfig::new(sc.k, sc.rho))?;
-    cmp.add(&run_network(&mut ins, &inst.net, &inst.tour, sc.ticks, sc.speed));
+    let mut ins = NetInsProcessor::new(
+        &inst.net,
+        &inst.sites,
+        &nvd,
+        NetInsConfig::new(sc.k, sc.rho),
+    )?;
+    cmp.add(&run_network(
+        &mut ins, &inst.net, &inst.tour, sc.ticks, sc.speed,
+    ));
     let mut naive = NetNaiveProcessor::new(&inst.net, &inst.sites, sc.k)?;
-    cmp.add(&run_network(&mut naive, &inst.net, &inst.tour, sc.ticks, sc.speed));
+    cmp.add(&run_network(
+        &mut naive, &inst.net, &inst.tour, sc.ticks, sc.speed,
+    ));
     Ok(cmp)
 }
 
@@ -118,8 +129,7 @@ mod tests {
         let cmp = run_network_scenario(&sc).unwrap();
         assert_eq!(cmp.rows().len(), 2);
         assert!(
-            cmp.row("INS-road").unwrap().comm_objects
-                < cmp.row("Naive-road").unwrap().comm_objects
+            cmp.row("INS-road").unwrap().comm_objects < cmp.row("Naive-road").unwrap().comm_objects
         );
     }
 

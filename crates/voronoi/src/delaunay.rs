@@ -229,10 +229,16 @@ impl Builder {
             Orientation::Collinear => return Err(VoronoiError::AllCollinear),
         };
         let (i0, i1, i2) = (i0 as u32, i1 as u32, i2 as u32);
-        let center = circumcenter_fast(points[i0 as usize], points[i1 as usize], points[i2 as usize]);
+        let center = circumcenter_fast(
+            points[i0 as usize],
+            points[i1 as usize],
+            points[i2 as usize],
+        );
 
         // Insertion order: ascending distance from the seed circumcenter.
-        let mut order: Vec<u32> = (0..n as u32).filter(|&i| i != i0 && i != i1 && i != i2).collect();
+        let mut order: Vec<u32> = (0..n as u32)
+            .filter(|&i| i != i0 && i != i1 && i != i2)
+            .collect();
         order.sort_unstable_by(|&a, &b| {
             points[a as usize]
                 .distance_sq(center)
@@ -529,11 +535,7 @@ mod tests {
     fn assert_delaunay(points: &[Point], tri: &Triangulation) {
         for t in 0..tri.num_triangles() as u32 {
             let [a, b, c] = tri.triangle_vertices(t);
-            let (pa, pb, pc) = (
-                points[a as usize],
-                points[b as usize],
-                points[c as usize],
-            );
+            let (pa, pb, pc) = (points[a as usize], points[b as usize], points[c as usize]);
             assert_eq!(
                 orient2d(pa, pb, pc),
                 Orientation::CounterClockwise,
@@ -655,7 +657,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible without rand.
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         for n in [10usize, 40, 120] {
@@ -672,7 +676,9 @@ mod tests {
     fn hull_is_convex_ccw() {
         let mut state = 0xabcdef12u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let points: Vec<Point> = (0..60)

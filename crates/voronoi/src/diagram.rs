@@ -236,7 +236,11 @@ mod tests {
     fn cell_of_grid_center() {
         let v = grid_3x3();
         let cell = v.cell(SiteId(4));
-        assert!((cell.area() - 1.0).abs() < 1e-9, "unit cell, got {}", cell.area());
+        assert!(
+            (cell.area() - 1.0).abs() < 1e-9,
+            "unit cell, got {}",
+            cell.area()
+        );
         assert!(cell.contains(Point::new(1.0, 1.0)));
     }
 
@@ -270,7 +274,9 @@ mod tests {
     fn random_sites_cell_membership() {
         let mut state = 0x5eed5eedu64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let points: Vec<Point> = (0..50)

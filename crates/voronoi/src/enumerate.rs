@@ -110,7 +110,9 @@ mod tests {
     fn random_voronoi(n: usize, seed: u64) -> Voronoi {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let points: Vec<Point> = (0..n)
@@ -204,8 +206,7 @@ mod tests {
         for c in &cells {
             // Re-derive the cell and sample its centroid.
             let ins = super::influential_neighbors(&v, &c.knn_set);
-            let cell =
-                crate::order_k::order_k_cell(v.points(), &c.knn_set, &ins, &v.bounds());
+            let cell = crate::order_k::order_k_cell(v.points(), &c.knn_set, &ins, &v.bounds());
             if let Some(centroid) = cell.centroid() {
                 if cell.contains(centroid) {
                     let mut brute = v.knn_brute(centroid, 2);

@@ -206,8 +206,10 @@ fn clip_tagged(
     let n = verts.len();
     // Merging a duplicate vertex keeps the *newer* outgoing-edge tag: the
     // zero-length edge between the twins carries no geometry.
-    let push = |out_v: &mut Vec<Point>, out_t: &mut Vec<EdgeSource>, p: Point, t: EdgeSource| {
-        match out_v.last() {
+    let push =
+        |out_v: &mut Vec<Point>, out_t: &mut Vec<EdgeSource>, p: Point, t: EdgeSource| match out_v
+            .last()
+        {
             Some(&last) if nearly_same(last, p) => {
                 *out_t.last_mut().expect("tags track vertices") = t;
             }
@@ -215,8 +217,7 @@ fn clip_tagged(
                 out_v.push(p);
                 out_t.push(t);
             }
-        }
-    };
+        };
     for i in 0..n {
         let cur = verts[i];
         let nxt = verts[(i + 1) % n];
@@ -287,7 +288,8 @@ mod tests {
         let (points, bounds) = grid_3x3();
         let voro = Voronoi::build(points.clone(), bounds).unwrap();
         for i in 0..points.len() as u32 {
-            let via_order_k = order_k_cell(&points, &[SiteId(i)], &all_sites(points.len()), &bounds);
+            let via_order_k =
+                order_k_cell(&points, &[SiteId(i)], &all_sites(points.len()), &bounds);
             let via_diagram = voro.cell(SiteId(i));
             assert!(
                 (via_order_k.area() - via_diagram.area()).abs() < 1e-9,

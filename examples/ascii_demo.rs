@@ -20,8 +20,7 @@ fn main() {
     let index = VorTree::build(points.clone(), space.inflated(10.0)).expect("valid data");
 
     // k = 5, ρ = 1.6: the exact parameters of Fig. 4.
-    let mut query =
-        InsProcessor::new(&index, InsConfig::new(5, 1.6)).expect("valid configuration");
+    let mut query = InsProcessor::new(&index, InsConfig::new(5, 1.6)).expect("valid configuration");
 
     let trajectory = Trajectory::new(vec![
         Point::new(20.0, 25.0),
@@ -42,16 +41,7 @@ fn main() {
         let knn: Vec<usize> = query.current_knn().iter().map(|s| s.idx()).collect();
         let ins: Vec<usize> = query.influential_set().iter().map(|s| s.idx()).collect();
         let region = query.safe_region();
-        let frame = render_euclidean(
-            &points,
-            &knn,
-            &ins,
-            pos,
-            Some(&region),
-            space,
-            72,
-            26,
-        );
+        let frame = render_euclidean(&points, &knn, &ins, pos, Some(&region), space, 72, 26);
         let state = if outcome.changed() {
             "kNN set UPDATED (was invalid)"
         } else {

@@ -22,9 +22,7 @@ fn main() {
 
     let walk = TrajectoryKind::RandomWaypoint { waypoints: 25 }.generate(&space, 7);
     let (k, ticks, speed) = (5usize, 5_000usize, 0.05f64);
-    println!(
-        "city POI tour: n=10000 clustered, k={k}, {ticks} ticks, speed {speed}/tick\n"
-    );
+    println!("city POI tour: n=10000 clustered, k={k}, {ticks} ticks, speed {speed}/tick\n");
 
     let mut comparison = Comparison::new();
 
@@ -62,9 +60,6 @@ fn main() {
     );
     println!(
         "  everyone communicates less than naive ({} objects): INS {}, OkV {}, V* {}",
-        naive_row.comm_objects,
-        ins_row.comm_objects,
-        okv_row.comm_objects,
-        vstar_row.comm_objects
+        naive_row.comm_objects, ins_row.comm_objects, okv_row.comm_objects, vstar_row.comm_objects
     );
 }

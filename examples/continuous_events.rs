@@ -32,10 +32,7 @@ fn main() {
     );
     println!("first events:");
     for e in trace.events.iter().take(8) {
-        println!(
-            "  t={:.5}  p{} out, p{} in",
-            e.t, e.removed.0, e.added.0
-        );
+        println!("  t={:.5}  p{} out, p{} in", e.t, e.removed.0, e.added.0);
     }
 
     // How many of those changes does tick-based sampling observe?

@@ -58,7 +58,11 @@ fn main() {
             println!("tick {tick}: full recomputation against the new data set");
         }
         // The result is always the exact kNN of whichever world is live.
-        let live = if tick < update_at { &index_v1 } else { &index_v2 };
+        let live = if tick < update_at {
+            &index_v1
+        } else {
+            &index_v2
+        };
         let mut got = query.current_knn();
         got.sort_unstable();
         let mut want = live.voronoi().knn_brute(pos, 5);

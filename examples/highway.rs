@@ -80,5 +80,8 @@ fn main() {
         .iter()
         .map(|&s| nvd.cell_fragments(&net, s).len())
         .sum();
-    println!("covering {frag} edge fragments of {} edges total", net.num_edges());
+    println!(
+        "covering {frag} edge fragments of {} edges total",
+        net.num_edges()
+    );
 }

@@ -19,8 +19,7 @@ fn main() {
     let index = VorTree::build(points, space.inflated(10.0)).expect("valid data set");
 
     // 3. A moving 5-NN query with the demo's prefetch ratio ρ = 1.6.
-    let mut query = InsProcessor::new(&index, InsConfig::new(5, 1.6))
-        .expect("valid configuration");
+    let mut query = InsProcessor::new(&index, InsConfig::new(5, 1.6)).expect("valid configuration");
 
     // 4. Drive it across the space and watch the outcomes.
     let trajectory = Trajectory::new(vec![
@@ -43,7 +42,10 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(",");
             let dmax = knn.iter().map(|&(_, d)| d).fold(0.0, f64::max);
-            println!("{i:>4}  {:<12} [{ids:<28}] {dmax:.2}", format!("{outcome:?}"));
+            println!(
+                "{i:>4}  {:<12} [{ids:<28}] {dmax:.2}",
+                format!("{outcome:?}")
+            );
         }
     }
 

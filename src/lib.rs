@@ -77,7 +77,9 @@ pub mod prelude {
         influential_neighbor_set, minimal_influential_set, InsConfig, InsProcessor, MovingKnn,
         NetInsConfig, NetInsProcessor, QueryStats, TickOutcome,
     };
-    pub use insq_geom::{Aabb, Circle, ConvexPolygon, HalfPlane, Point, Segment, Trajectory, Vector};
+    pub use insq_geom::{
+        Aabb, Circle, ConvexPolygon, HalfPlane, Point, Segment, Trajectory, Vector,
+    };
     pub use insq_index::{RTree, VorTree};
     pub use insq_roadnet::{
         NetPosition, NetTrajectory, NetworkVoronoi, RoadNetwork, SiteIdx, SiteSet, VertexId,

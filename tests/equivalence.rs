@@ -8,11 +8,7 @@
 
 use insq::prelude::*;
 
-fn euclidean_setup(
-    n: usize,
-    distribution: Distribution,
-    seed: u64,
-) -> (VorTree, Trajectory) {
+fn euclidean_setup(n: usize, distribution: Distribution, seed: u64) -> (VorTree, Trajectory) {
     let space = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
     let points = distribution.generate(n, &space, seed);
     let index = VorTree::build(points, space.inflated(10.0)).expect("valid data");
@@ -48,7 +44,14 @@ fn all_euclidean_methods_agree_with_brute_force() {
     for (seed, k, dist) in [
         (1u64, 1usize, Distribution::Uniform),
         (2, 4, Distribution::Uniform),
-        (3, 8, Distribution::Clustered { clusters: 5, spread: 0.05 }),
+        (
+            3,
+            8,
+            Distribution::Clustered {
+                clusters: 5,
+                spread: 0.05,
+            },
+        ),
         (4, 3, Distribution::GridJitter { jitter: 0.3 }),
     ] {
         let (index, traj) = euclidean_setup(400, dist, seed);
@@ -155,9 +158,16 @@ fn network_ins_agrees_with_naive_ine() {
             let b = naive.current_knn();
             // Compare by distances to tolerate ties.
             if !knn_sets_equal(&a, &b) {
-                let da: Vec<f64> = ins.current_knn_with_dists().iter().map(|&(_, d)| d).collect();
-                let db: Vec<f64> =
-                    naive.current_knn_with_dists().iter().map(|&(_, d)| d).collect();
+                let da: Vec<f64> = ins
+                    .current_knn_with_dists()
+                    .iter()
+                    .map(|&(_, d)| d)
+                    .collect();
+                let db: Vec<f64> = naive
+                    .current_knn_with_dists()
+                    .iter()
+                    .map(|&(_, d)| d)
+                    .collect();
                 for (x, y) in da.iter().zip(&db) {
                     assert!(
                         (x - y).abs() < 1e-9,

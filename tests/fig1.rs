@@ -19,18 +19,18 @@ use insq::voronoi::{order_k_cell_tagged, EdgeSource};
 /// the first ring; the rest outside).
 fn fig1_points() -> Vec<Point> {
     vec![
-        Point::new(0.0, 8.5),   // p1  (far)
-        Point::new(8.3, 7.9),   // p2  (far)
-        Point::new(2.1, 5.2),   // p3  (ring)
-        Point::new(4.1, 4.4),   // p4  (central)
-        Point::new(6.9, 4.9),   // p5  (ring)
-        Point::new(3.6, 3.1),   // p6  (central)
-        Point::new(5.2, 3.4),   // p7  (central)
-        Point::new(0.3, 2.6),   // p8  (far)
-        Point::new(8.9, 2.2),   // p9  (far)
-        Point::new(5.9, 1.4),   // p10 (ring)
-        Point::new(0.9, 0.3),   // p11 (far)
-        Point::new(3.2, 0.8),   // p12 (ring)
+        Point::new(0.0, 8.5), // p1  (far)
+        Point::new(8.3, 7.9), // p2  (far)
+        Point::new(2.1, 5.2), // p3  (ring)
+        Point::new(4.1, 4.4), // p4  (central)
+        Point::new(6.9, 4.9), // p5  (ring)
+        Point::new(3.6, 3.1), // p6  (central)
+        Point::new(5.2, 3.4), // p7  (central)
+        Point::new(0.3, 2.6), // p8  (far)
+        Point::new(8.9, 2.2), // p9  (far)
+        Point::new(5.9, 1.4), // p10 (ring)
+        Point::new(0.9, 0.3), // p11 (far)
+        Point::new(3.2, 0.8), // p12 (ring)
     ]
 }
 
@@ -91,7 +91,10 @@ fn mis_is_the_union_of_adjacent_cell_swaps() {
     assert!(mis.len() >= 3 && mis.len() <= 6, "MIS = {mis:?}");
     // The ring objects of this reconstruction.
     for required in [p(3), p(5), p(12)] {
-        assert!(mis.contains(&required), "{required} expected in MIS: {mis:?}");
+        assert!(
+            mis.contains(&required),
+            "{required} expected in MIS: {mis:?}"
+        );
     }
 }
 

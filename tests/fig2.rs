@@ -23,20 +23,20 @@ use insq::roadnet::EdgeId;
 /// lengths (coordinates are for rendering only).
 fn fig2_network() -> (RoadNetwork, SiteSet) {
     let coords = vec![
-        Point::new(10.0, 20.0),  // v0: p1
-        Point::new(0.0, 20.0),   // v1: p2
-        Point::new(-20.0, 0.0),  // v2: p3
-        Point::new(22.0, 0.0),   // v3: p4
-        Point::new(-10.0, 0.0),  // v4: p5
-        Point::new(0.0, 0.0),    // v5: p6
-        Point::new(10.0, 0.0),   // v6: p7
-        Point::new(10.0, 12.0),  // v7: p8
-        Point::new(0.0, 12.0),   // v8: p9
-        Point::new(5.0, 0.0),    // v9: mid of the central p6-p7 road
-        Point::new(0.0, 5.0),    // v10: junction towards p9
-        Point::new(10.0, 5.0),   // v11: junction towards p8
-        Point::new(30.0, 0.0),   // v12: beyond p4
-        Point::new(-26.0, 0.0),  // v13: beyond p3
+        Point::new(10.0, 20.0), // v0: p1
+        Point::new(0.0, 20.0),  // v1: p2
+        Point::new(-20.0, 0.0), // v2: p3
+        Point::new(22.0, 0.0),  // v3: p4
+        Point::new(-10.0, 0.0), // v4: p5
+        Point::new(0.0, 0.0),   // v5: p6
+        Point::new(10.0, 0.0),  // v6: p7
+        Point::new(10.0, 12.0), // v7: p8
+        Point::new(0.0, 12.0),  // v8: p9
+        Point::new(5.0, 0.0),   // v9: mid of the central p6-p7 road
+        Point::new(0.0, 5.0),   // v10: junction towards p9
+        Point::new(10.0, 5.0),  // v11: junction towards p8
+        Point::new(30.0, 0.0),  // v12: beyond p4
+        Point::new(-26.0, 0.0), // v13: beyond p3
     ];
     let e = |u: u32, v: u32, len: f64| EdgeRec {
         u: VertexId(u),
@@ -47,7 +47,7 @@ fn fig2_network() -> (RoadNetwork, SiteSet) {
         e(5, 9, 5.0),  // p6 - mid
         e(9, 6, 5.0),  // mid - p7           (d(p6,p7) = 10)
         e(5, 4, 10.4), // p6 - p5 (10.4, not 10: avoids an exact d(p6,p5) =
-                       // d(p6,p7) tie that the paper's real map does not have)
+        // d(p6,p7) tie that the paper's real map does not have)
         e(4, 2, 10.0), // p5 - p3
         e(2, 13, 6.0), // p3 - v13
         e(6, 3, 12.0), // p7 - p4
@@ -133,7 +133,10 @@ fn theorem_1_mis_subset_of_network_ins() {
     let mis = network_mis(&net, &matrix, &knn, 2);
     let ins = influential_neighbor_set_net(&nvd, &knn);
     for m in &mis {
-        assert!(ins.contains(m), "Theorem 1 violated: {m} not in INS {ins:?}");
+        assert!(
+            ins.contains(m),
+            "Theorem 1 violated: {m} not in INS {ins:?}"
+        );
     }
 }
 
@@ -182,11 +185,11 @@ fn theorem_2_validation_on_the_subnetwork() {
     // the branches (outside): the restricted kNN must decide both cases
     // exactly as the global search does.
     let samples = [
-        (0u32, 2.5),  // p6-mid road
-        (1, 2.5),     // mid-p7 road
-        (5, 0.5),     // just past p7 toward p4 (still {6,7})
-        (5, 3.0),     // deeper toward p4 ({4,7} region)
-        (11, 2.0),    // toward p8 past the swap point
+        (0u32, 2.5), // p6-mid road
+        (1, 2.5),    // mid-p7 road
+        (5, 0.5),    // just past p7 toward p4 (still {6,7})
+        (5, 3.0),    // deeper toward p4 ({4,7} region)
+        (11, 2.0),   // toward p8 past the swap point
     ];
     for (eid, off) in samples {
         let pos = NetPosition::on_edge(&net, EdgeId(eid), off).unwrap();

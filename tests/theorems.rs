@@ -9,8 +9,8 @@
 //! * Theorem 2: the kNN on the `kNN ∪ INS` subnetwork determines the
 //!   global kNN.
 
-use insq::prelude::*;
 use insq::core::{minimal_influential_set, mis_with_candidates};
+use insq::prelude::*;
 use insq::voronoi::order_k_cell;
 use proptest::prelude::*;
 
@@ -89,11 +89,11 @@ proptest! {
 
 // ---------------------------------------------------------------- networks
 
+use insq::core::influential_neighbor_set_net;
 use insq::roadnet::generators::{grid_network, random_site_vertices, GridConfig};
 use insq::roadnet::ine::network_knn;
 use insq::roadnet::order_k::{knn_sets_equal, network_mis, site_distance_matrix};
 use insq::roadnet::subnetwork::{restricted_knn, SiteMask};
-use insq::core::influential_neighbor_set_net;
 
 fn small_network(seed: u64) -> (RoadNetwork, SiteSet) {
     let net = grid_network(
