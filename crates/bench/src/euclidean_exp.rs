@@ -4,7 +4,6 @@
 //! and trajectory, so the rows of each table differ only in the method.
 //! Sweep cells are independent and run on a small thread pool.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use insq_baselines::{NaiveProcessor, OkvProcessor, VStarConfig, VStarProcessor};
@@ -54,42 +53,10 @@ pub fn run_all_methods(
     cmp
 }
 
-/// Maps `f` over `items` on up to `available_parallelism` threads,
-/// preserving order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(2)
-        .min(n.max(1));
-    let next = AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<R>>> = (0..n).map(|_| None.into()).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock().expect("slot poisoned") = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot poisoned")
-                .expect("all slots filled")
-        })
-        .collect()
-}
+// The general-purpose ordered parallel map lives with the rest of the
+// concurrency machinery in `insq-server`; re-exported here because the
+// sweep experiments below are its original call sites.
+pub use insq_server::parallel_map;
 
 fn methods_header() -> String {
     format!(

@@ -14,6 +14,7 @@
 
 pub mod euclidean_exp;
 pub mod figures;
+pub mod fleet_exp;
 pub mod network_exp;
 
 /// How much work to spend per experiment.
@@ -125,6 +126,11 @@ pub fn experiments() -> Vec<Experiment> {
             id: "e9",
             title: "E9 — safe-region construction micro-cost per recomputation",
             run: euclidean_exp::e9_construction_micro,
+        },
+        Experiment {
+            id: "e_fleet",
+            title: "E-fleet — multi-query fleet engine: throughput and thread scaling",
+            run: fleet_exp::e_fleet,
         },
         Experiment {
             id: "ablation",

@@ -22,6 +22,8 @@
 //! equals the brute-force kNN at every tick (integration tests assert
 //! this).
 
+use std::borrow::Borrow;
+
 use insq_geom::{Circle, ConvexPolygon, Point};
 use insq_index::VorTree;
 use insq_voronoi::{order_k_cell, SiteId};
@@ -77,9 +79,15 @@ impl InsConfig {
 }
 
 /// The INS moving-kNN processor over a [`VorTree`].
+///
+/// The processor is generic over *how* it holds the index: any
+/// `B: Borrow<VorTree>` works. Single-threaded callers pass `&VorTree`
+/// (the original API); the `insq-server` fleet engine passes
+/// `Arc<VorTree>` so queries own their world snapshot and can be rebound
+/// to a newly published epoch without lifetime entanglement.
 #[derive(Debug, Clone)]
-pub struct InsProcessor<'a> {
-    index: &'a VorTree,
+pub struct InsProcessor<B: Borrow<VorTree>> {
+    index: B,
     cfg: InsConfig,
     /// Last processed query position.
     q: Point,
@@ -94,15 +102,15 @@ pub struct InsProcessor<'a> {
     initialized: bool,
 }
 
-impl<'a> InsProcessor<'a> {
+impl<B: Borrow<VorTree>> InsProcessor<B> {
     /// Creates a processor; fails on `k = 0`, `k > n`, or `ρ < 1`.
-    pub fn new(index: &'a VorTree, cfg: InsConfig) -> Result<InsProcessor<'a>, CoreError> {
+    pub fn new(index: B, cfg: InsConfig) -> Result<InsProcessor<B>, CoreError> {
         if cfg.k == 0 {
             return Err(CoreError::BadConfig {
                 reason: "k must be at least 1",
             });
         }
-        if cfg.k > index.len() {
+        if cfg.k > index.borrow().len() {
             return Err(CoreError::BadConfig {
                 reason: "k exceeds the number of data objects",
             });
@@ -112,12 +120,13 @@ impl<'a> InsProcessor<'a> {
                 reason: "prefetch ratio rho must be finite and >= 1",
             });
         }
+        let cached = vec![false; index.borrow().len()];
         Ok(InsProcessor {
             index,
             cfg,
             q: Point::ORIGIN,
             knn: Vec::new(),
-            cached: vec![false; index.len()],
+            cached,
             cached_list: Vec::new(),
             stats: QueryStats::default(),
             initialized: false,
@@ -129,17 +138,22 @@ impl<'a> InsProcessor<'a> {
         self.cfg
     }
 
+    /// The index the processor is currently bound to.
+    pub fn index(&self) -> &VorTree {
+        self.index.borrow()
+    }
+
     /// The current kNN with distances from the last position, ascending.
     pub fn current_knn_with_dists(&self) -> Vec<(SiteId, f64)> {
         self.knn
             .iter()
-            .map(|&s| (s, self.index.point(s).distance(self.q)))
+            .map(|&s| (s, self.index().point(s).distance(self.q)))
             .collect()
     }
 
     /// The influential neighbor set `I(kNN)` of the current result.
     pub fn influential_set(&self) -> Vec<SiteId> {
-        influential_neighbor_set(self.index.voronoi(), &self.knn)
+        influential_neighbor_set(self.index().voronoi(), &self.knn)
     }
 
     /// The guard set used for validation: every held object that is not a
@@ -162,7 +176,7 @@ impl<'a> InsProcessor<'a> {
     /// (exact, because `MIS ⊆ INS`). This is the cyan polygon of the
     /// demo's 2D-plane mode; the INS algorithm itself never constructs it.
     pub fn safe_region(&self) -> ConvexPolygon {
-        let voronoi = self.index.voronoi();
+        let voronoi = self.index().voronoi();
         let ins = self.influential_set();
         order_k_cell(voronoi.points(), &self.knn, &ins, &voronoi.bounds())
     }
@@ -175,12 +189,12 @@ impl<'a> InsProcessor<'a> {
         let knn_far = self
             .knn
             .iter()
-            .map(|&s| self.index.point(s).distance(self.q))
+            .map(|&s| self.index().point(s).distance(self.q))
             .fold(f64::NEG_INFINITY, f64::max);
         let guard = self.guard_set();
         let guard_near = guard
             .iter()
-            .map(|&s| self.index.point(s).distance(self.q))
+            .map(|&s| self.index().point(s).distance(self.q))
             .fold(f64::INFINITY, f64::min);
         if !knn_far.is_finite() || !guard_near.is_finite() {
             return None;
@@ -210,9 +224,15 @@ impl<'a> InsProcessor<'a> {
     /// client continues the same moving query against the new data set).
     /// Implies [`InsProcessor::invalidate`]. Statistics are preserved so a
     /// run's totals include the update's recomputation cost.
-    pub fn rebind(&mut self, index: &'a VorTree) {
+    ///
+    /// `insq-server` epoch-versioned worlds call this with the freshly
+    /// published `Arc<VorTree>` snapshot; manual single-query code passes
+    /// the new `&VorTree` as before. If the new index holds fewer than
+    /// `k` objects, subsequent ticks return all of them (`current_knn`
+    /// shrinks below `k`) rather than failing.
+    pub fn rebind(&mut self, index: B) {
+        self.cached = vec![false; index.borrow().len()];
         self.index = index;
-        self.cached = vec![false; index.len()];
         self.cached_list.clear();
         self.knn.clear();
         self.initialized = false;
@@ -237,11 +257,11 @@ impl<'a> InsProcessor<'a> {
 
     /// Full recomputation (update case (iii) / initial computation).
     fn recompute(&mut self, q: Point) {
-        let m = self.cfg.prefetch_count().min(self.index.len());
-        let r = self.index.knn(q, m);
+        let m = self.cfg.prefetch_count().min(self.index().len());
+        let r = self.index().knn(q, m);
         self.stats.search_ops += m as u64;
         let r_ids: Vec<SiteId> = r.iter().map(|&(s, _)| s).collect();
-        let ins_r = influential_neighbor_set(self.index.voronoi(), &r_ids);
+        let ins_r = influential_neighbor_set(self.index().voronoi(), &r_ids);
         self.stats.construction_ops += (r_ids.len() + ins_r.len()) as u64;
 
         // Replace the client cache by R ∪ I(R); only genuinely new objects
@@ -263,7 +283,10 @@ impl<'a> InsProcessor<'a> {
         }
         self.stats.comm_objects += newly;
 
-        self.knn = r_ids[..self.cfg.k].to_vec();
+        // A rebind may have installed an index with fewer than k objects;
+        // degrade to all of them (mirrors the network processor) instead
+        // of panicking mid-fleet.
+        self.knn = r_ids[..self.cfg.k.min(r_ids.len())].to_vec();
         self.q = q;
     }
 
@@ -283,7 +306,7 @@ impl<'a> InsProcessor<'a> {
         let mut ranked: Vec<(SiteId, f64)> = self
             .cached_list
             .iter()
-            .map(|&s| (s, self.index.point(s).distance_sq(q)))
+            .map(|&s| (s, self.index().point(s).distance_sq(q)))
             .collect();
         self.stats.search_ops += ranked.len() as u64;
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -296,7 +319,7 @@ impl<'a> InsProcessor<'a> {
         }
 
         // The candidate can only be certified against its own INS.
-        let ins_cand = influential_neighbor_set(self.index.voronoi(), &cand);
+        let ins_cand = influential_neighbor_set(self.index().voronoi(), &cand);
         self.stats.construction_ops += (cand.len() + ins_cand.len()) as u64;
         let missing: Vec<SiteId> = ins_cand
             .iter()
@@ -325,7 +348,7 @@ impl<'a> InsProcessor<'a> {
             .copied()
             .filter(|s| !cand.contains(s))
             .collect();
-        let val = validate_by_distance(self.index.voronoi().points(), q, &cand, &guard);
+        let val = validate_by_distance(self.index().voronoi().points(), q, &cand, &guard);
         self.stats.validation_ops += val.ops;
         if !val.valid {
             return None;
@@ -343,7 +366,7 @@ impl<'a> InsProcessor<'a> {
     }
 }
 
-impl MovingKnn<Point, SiteId> for InsProcessor<'_> {
+impl<B: Borrow<VorTree>> MovingKnn<Point, SiteId> for InsProcessor<B> {
     fn name(&self) -> &'static str {
         "INS"
     }
@@ -360,7 +383,7 @@ impl MovingKnn<Point, SiteId> for InsProcessor<'_> {
         // §III-A validation scan.
         self.q = pos;
         let guard = self.guard_set();
-        let val = validate_by_distance(self.index.voronoi().points(), pos, &self.knn, &guard);
+        let val = validate_by_distance(self.index().voronoi().points(), pos, &self.knn, &guard);
         self.stats.validation_ops += val.ops;
         let outcome = if val.valid {
             TickOutcome::Valid
@@ -597,6 +620,27 @@ mod tests {
         want.sort_unstable();
         assert_eq!(got, want, "results come from the new data set");
         // Subsequent ticks validate against the new guards.
+        assert_eq!(p.tick(q), TickOutcome::Valid);
+    }
+
+    #[test]
+    fn rebind_to_smaller_than_k_index_degrades_gracefully() {
+        // A published update may shrink the data set below k (mass POI
+        // deletions). The query must keep answering with everything that
+        // is left, not panic.
+        let idx_a = build_index(100, 7);
+        let idx_b = build_index(3, 8);
+        let mut p = InsProcessor::new(&idx_a, InsConfig::new(5, 1.6)).unwrap();
+        let q = Point::new(40.0, 60.0);
+        p.tick(q);
+        assert_eq!(p.current_knn().len(), 5);
+        p.rebind(&idx_b);
+        p.tick(q);
+        let mut got = p.current_knn();
+        got.sort_unstable();
+        let mut want = idx_b.voronoi().knn_brute(q, 3);
+        want.sort_unstable();
+        assert_eq!(got, want, "all remaining objects, exactly");
         assert_eq!(p.tick(q), TickOutcome::Valid);
     }
 

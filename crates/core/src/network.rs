@@ -15,6 +15,8 @@
 //!   adopted (update cases (i)/(ii)); only when that fails is a full INE
 //!   recomputation performed (case (iii)).
 
+use std::borrow::Borrow;
+
 use insq_roadnet::ine::network_knn_with_stats;
 use insq_roadnet::order_k::knn_sets_equal;
 use insq_roadnet::subnetwork::restricted_knn;
@@ -51,11 +53,21 @@ impl NetInsConfig {
 }
 
 /// The INS moving-kNN processor on a road network.
+///
+/// Like the Euclidean [`crate::InsProcessor`], the processor is generic
+/// over how it holds its substrate: `&RoadNetwork`/`&SiteSet`/
+/// `&NetworkVoronoi` for single-threaded use, or `Arc`s of the same when
+/// an `insq-server` fleet owns epoch-versioned world snapshots.
 #[derive(Debug)]
-pub struct NetInsProcessor<'a> {
-    net: &'a RoadNetwork,
-    sites: &'a SiteSet,
-    nvd: &'a NetworkVoronoi,
+pub struct NetInsProcessor<N, S, V>
+where
+    N: Borrow<RoadNetwork>,
+    S: Borrow<SiteSet>,
+    V: Borrow<NetworkVoronoi>,
+{
+    net: N,
+    sites: S,
+    nvd: V,
     cfg: NetInsConfig,
     /// Current kNN, ascending by network distance at the last maintenance
     /// point.
@@ -69,20 +81,26 @@ pub struct NetInsProcessor<'a> {
     initialized: bool,
 }
 
-impl<'a> NetInsProcessor<'a> {
+impl<N, S, V> NetInsProcessor<N, S, V>
+where
+    N: Borrow<RoadNetwork>,
+    S: Borrow<SiteSet>,
+    V: Borrow<NetworkVoronoi>,
+{
     /// Creates a processor over a prebuilt network Voronoi diagram.
     pub fn new(
-        net: &'a RoadNetwork,
-        sites: &'a SiteSet,
-        nvd: &'a NetworkVoronoi,
+        net: N,
+        sites: S,
+        nvd: V,
         cfg: NetInsConfig,
-    ) -> Result<NetInsProcessor<'a>, CoreError> {
+    ) -> Result<NetInsProcessor<N, S, V>, CoreError> {
         if cfg.k == 0 {
             return Err(CoreError::BadConfig {
                 reason: "k must be at least 1",
             });
         }
-        if cfg.k > sites.len() {
+        let n_sites = sites.borrow().len();
+        if cfg.k > n_sites {
             return Err(CoreError::BadConfig {
                 reason: "k exceeds the number of data objects",
             });
@@ -98,8 +116,8 @@ impl<'a> NetInsProcessor<'a> {
             nvd,
             cfg,
             knn: Vec::new(),
-            mask: SiteMask::new(sites.len()),
-            cached: vec![false; sites.len()],
+            mask: SiteMask::new(n_sites),
+            cached: vec![false; n_sites],
             cached_count: 0,
             stats: QueryStats::default(),
             initialized: false,
@@ -111,6 +129,21 @@ impl<'a> NetInsProcessor<'a> {
         self.cfg
     }
 
+    /// The road network the processor runs on.
+    pub fn net(&self) -> &RoadNetwork {
+        self.net.borrow()
+    }
+
+    /// The data-object site set the processor is bound to.
+    pub fn sites(&self) -> &SiteSet {
+        self.sites.borrow()
+    }
+
+    /// The network Voronoi diagram the processor is bound to.
+    pub fn nvd(&self) -> &NetworkVoronoi {
+        self.nvd.borrow()
+    }
+
     /// Current kNN with network distances (as of the last tick).
     pub fn current_knn_with_dists(&self) -> &[(SiteIdx, f64)] {
         &self.knn
@@ -120,7 +153,7 @@ impl<'a> NetInsProcessor<'a> {
     /// adjacency, Definition 4 + Theorem 1).
     pub fn influential_set(&self) -> Vec<SiteIdx> {
         let ids: Vec<SiteIdx> = self.knn.iter().map(|&(s, _)| s).collect();
-        influential_neighbor_set_net(self.nvd, &ids)
+        influential_neighbor_set_net(self.nvd(), &ids)
     }
 
     /// The sites whose cells form the Theorem-2 validation subnetwork.
@@ -141,15 +174,25 @@ impl<'a> NetInsProcessor<'a> {
     /// Rebinds the processor to a rebuilt site set / network Voronoi
     /// diagram after data-object updates (the network itself must be
     /// unchanged). Implies [`NetInsProcessor::invalidate`]; statistics are
-    /// preserved.
-    pub fn rebind(&mut self, sites: &'a SiteSet, nvd: &'a NetworkVoronoi) {
+    /// preserved. Epoch-versioned worlds in `insq-server` call this with
+    /// the published `Arc` snapshots.
+    pub fn rebind(&mut self, sites: S, nvd: V) {
+        let n_sites = sites.borrow().len();
         self.sites = sites;
         self.nvd = nvd;
-        self.cached = vec![false; sites.len()];
+        self.cached = vec![false; n_sites];
         self.cached_count = 0;
-        self.mask = SiteMask::new(sites.len());
+        self.mask = SiteMask::new(n_sites);
         self.knn.clear();
         self.initialized = false;
+    }
+
+    /// [`NetInsProcessor::rebind`] including the road network itself —
+    /// for worlds whose map can change between epochs (the site set and
+    /// NVD must have been built over the new network).
+    pub fn rebind_world(&mut self, net: N, sites: S, nvd: V) {
+        self.net = net;
+        self.rebind(sites, nvd);
     }
 
     fn fetch(&mut self, sites: &[SiteIdx]) {
@@ -178,13 +221,13 @@ impl<'a> NetInsProcessor<'a> {
 
     /// Full recomputation via INE (initial computation / case (iii)).
     fn recompute(&mut self, pos: NetPosition) {
-        let m = self.cfg.prefetch_count().min(self.sites.len());
-        let (r, st) = network_knn_with_stats(self.net, self.sites, pos, m);
+        let m = self.cfg.prefetch_count().min(self.sites().len());
+        let (r, st) = network_knn_with_stats(self.net(), self.sites(), pos, m);
         self.stats.search_ops += st.settled as u64;
 
         let knn: Vec<(SiteIdx, f64)> = r[..self.cfg.k.min(r.len())].to_vec();
         let knn_ids: Vec<SiteIdx> = knn.iter().map(|&(s, _)| s).collect();
-        let ins = influential_neighbor_set_net(self.nvd, &knn_ids);
+        let ins = influential_neighbor_set_net(self.nvd(), &knn_ids);
         self.stats.construction_ops += (knn_ids.len() + ins.len()) as u64;
 
         // Client cache := R ∪ I(kNN).
@@ -204,12 +247,19 @@ impl<'a> NetInsProcessor<'a> {
             return None;
         }
         let cand_ids: Vec<SiteIdx> = cand.iter().map(|&(s, _)| s).collect();
-        let ins = influential_neighbor_set_net(self.nvd, &cand_ids);
+        let ins = influential_neighbor_set_net(self.nvd(), &cand_ids);
         self.stats.construction_ops += (cand_ids.len() + ins.len()) as u64;
 
-        let mut cand_mask = SiteMask::new(self.sites.len());
+        let mut cand_mask = SiteMask::new(self.sites().len());
         cand_mask.set(cand_ids.iter().copied().chain(ins.iter().copied()));
-        let (res, st) = restricted_knn(self.net, self.sites, self.nvd, &cand_mask, pos, self.cfg.k);
+        let (res, st) = restricted_knn(
+            self.net(),
+            self.sites(),
+            self.nvd(),
+            &cand_mask,
+            pos,
+            self.cfg.k,
+        );
         self.stats.search_ops += st.settled as u64;
         let res_ids: Vec<SiteIdx> = res.iter().map(|&(s, _)| s).collect();
         if !knn_sets_equal(&res_ids, &cand_ids) {
@@ -251,7 +301,12 @@ pub fn influential_neighbor_set_net(nvd: &NetworkVoronoi, knn: &[SiteIdx]) -> Ve
     ins
 }
 
-impl MovingKnn<NetPosition, SiteIdx> for NetInsProcessor<'_> {
+impl<N, S, V> MovingKnn<NetPosition, SiteIdx> for NetInsProcessor<N, S, V>
+where
+    N: Borrow<RoadNetwork>,
+    S: Borrow<SiteSet>,
+    V: Borrow<NetworkVoronoi>,
+{
     fn name(&self) -> &'static str {
         "INS-road"
     }
@@ -267,7 +322,14 @@ impl MovingKnn<NetPosition, SiteIdx> for NetInsProcessor<'_> {
 
         // Theorem-2 validation: restricted INE on the kNN ∪ INS
         // subnetwork must return the current kNN set.
-        let (res, st) = restricted_knn(self.net, self.sites, self.nvd, &self.mask, pos, self.cfg.k);
+        let (res, st) = restricted_knn(
+            self.net(),
+            self.sites(),
+            self.nvd(),
+            &self.mask,
+            pos,
+            self.cfg.k,
+        );
         self.stats.validation_ops += st.settled as u64;
         let res_ids: Vec<SiteIdx> = res.iter().map(|&(s, _)| s).collect();
         let cur_ids: Vec<SiteIdx> = self.knn.iter().map(|&(s, _)| s).collect();

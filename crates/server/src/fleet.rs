@@ -1,0 +1,354 @@
+//! The multi-query fleet engine.
+//!
+//! [`FleetEngine`] owns a sharded registry of live [`FleetQuery`]s over
+//! one shared, epoch-versioned [`World`] and advances all of them per
+//! timestamp in parallel batches on a scoped-thread worker pool.
+//!
+//! **Determinism.** Queries are independent (they share only the
+//! immutable world snapshot), every query belongs to exactly one shard,
+//! shards process their queries in registration order, and per-shard
+//! statistics are merged in shard order — so `tick_all` results and all
+//! aggregate counters are bit-identical to sequential execution at every
+//! thread count. The equivalence test in `tests/fleet_equivalence.rs`
+//! asserts exactly this, across an epoch swap.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use insq_core::{QueryStats, TickOutcome};
+
+use crate::queries::FleetQuery;
+use crate::world::{Epoch, World};
+
+/// Identifier of a registered query. Ids are assigned sequentially from
+/// 0 in registration order and are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl QueryId {
+    /// The id as a dense index (valid while no query was deregistered).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Worker-pool and sharding configuration of a [`FleetEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of registry shards (≥ 1). Queries are assigned round-robin
+    /// by id, so shards stay evenly sized; `tick_all` statically splits
+    /// the shard list into one contiguous block per worker (deterministic
+    /// by construction — there is no dynamic stealing). The default suits
+    /// fleets of thousands.
+    pub shards: usize,
+    /// Worker threads for `tick_all` (≥ 1). `1` means strictly
+    /// sequential execution on the calling thread.
+    pub threads: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 64,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A configuration with the given thread count and default sharding.
+    pub fn with_threads(threads: usize) -> FleetConfig {
+        FleetConfig {
+            threads,
+            ..FleetConfig::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry<Q> {
+    id: QueryId,
+    query: Q,
+}
+
+/// What one [`FleetEngine::tick_all`] did, aggregated over the fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickSummary {
+    /// The world epoch this tick ran against.
+    pub epoch: Epoch,
+    /// Queries advanced.
+    pub ticked: u64,
+    /// Queries that detected an epoch bump and rebound to the new
+    /// snapshot before ticking.
+    pub rebinds: u64,
+    /// Ticks that validated without any result change.
+    pub valid: u64,
+    /// Single-swap local repairs (update case (i)).
+    pub swaps: u64,
+    /// Multi-object local repairs (update case (ii)).
+    pub local_reranks: u64,
+    /// Full recomputations (update case (iii) / initial / post-rebind).
+    pub recomputations: u64,
+}
+
+impl TickSummary {
+    fn absorb(&mut self, other: &TickSummary) {
+        self.ticked += other.ticked;
+        self.rebinds += other.rebinds;
+        self.valid += other.valid;
+        self.swaps += other.swaps;
+        self.local_reranks += other.local_reranks;
+        self.recomputations += other.recomputations;
+    }
+
+    fn record(&mut self, outcome: TickOutcome) {
+        self.ticked += 1;
+        match outcome {
+            TickOutcome::Valid => self.valid += 1,
+            TickOutcome::Swap => self.swaps += 1,
+            TickOutcome::LocalRerank => self.local_reranks += 1,
+            TickOutcome::Recompute => self.recomputations += 1,
+        }
+    }
+}
+
+/// Aggregated fleet statistics (see [`FleetEngine::stats`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetStats {
+    /// Cumulative statistics merged per shard, in shard order.
+    pub per_shard: Vec<QueryStats>,
+    /// The fleet-wide totals (merge of `per_shard`).
+    pub total: QueryStats,
+    /// Live queries.
+    pub queries: usize,
+    /// Wall-clock time spent inside `tick_all` since engine creation.
+    pub elapsed: Duration,
+}
+
+impl FleetStats {
+    /// Fleet throughput: query-ticks processed per wall-clock second.
+    pub fn ticks_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.total.ticks as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean validation operations per query-tick.
+    pub fn validations_per_tick(&self) -> f64 {
+        self.total.validation_ops_per_tick()
+    }
+
+    /// Fraction of query-ticks that needed a full recomputation.
+    pub fn recompute_rate(&self) -> f64 {
+        self.total.recompute_rate()
+    }
+}
+
+/// A concurrent multi-query engine over one epoch-versioned [`World`].
+///
+/// `W` is the world snapshot payload, `Q` the fleet client type (see
+/// [`crate::InsFleetQuery`] / [`crate::NetFleetQuery`]).
+#[derive(Debug)]
+pub struct FleetEngine<W, Q> {
+    world: Arc<World<W>>,
+    shards: Vec<Vec<Entry<Q>>>,
+    threads: usize,
+    next_id: u64,
+    len: usize,
+    elapsed: Duration,
+}
+
+impl<W, Q> FleetEngine<W, Q>
+where
+    W: Send + Sync,
+    Q: FleetQuery<W>,
+{
+    /// Creates an engine over `world` (shard/thread counts are clamped to
+    /// at least 1).
+    pub fn new(world: Arc<World<W>>, cfg: FleetConfig) -> FleetEngine<W, Q> {
+        let shards = cfg.shards.max(1);
+        FleetEngine {
+            world,
+            shards: (0..shards).map(|_| Vec::new()).collect(),
+            threads: cfg.threads.max(1),
+            next_id: 0,
+            len: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// The shared world.
+    pub fn world(&self) -> &Arc<World<W>> {
+        &self.world
+    }
+
+    /// Number of live queries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Worker threads used by [`FleetEngine::tick_all`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Registers a query; returns its id. Ids are sequential from 0, so
+    /// while no query is deregistered, `QueryId::index` doubles as a
+    /// dense index into caller-side position tables.
+    ///
+    /// The query is bound to *this* engine's world snapshot on insert —
+    /// epochs are world-relative, so a query created against a different
+    /// `World` could otherwise carry a matching epoch number and keep
+    /// answering from the wrong data set undetected. A freshly created
+    /// (never ticked) query pays nothing for this; a warm query pays one
+    /// recomputation at its next tick.
+    pub fn register(&mut self, mut query: Q) -> QueryId {
+        let (epoch, snapshot) = self.world.snapshot();
+        query.bind(epoch, &snapshot);
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let shard = id.index() % self.shards.len();
+        self.shards[shard].push(Entry { id, query });
+        self.len += 1;
+        id
+    }
+
+    /// Removes a query, returning it (with its cumulative statistics).
+    pub fn deregister(&mut self, id: QueryId) -> Option<Q> {
+        let shard_at = id.index() % self.shards.len();
+        let shard = &mut self.shards[shard_at];
+        let at = shard.iter().position(|e| e.id == id)?;
+        self.len -= 1;
+        Some(shard.remove(at).query)
+    }
+
+    /// Read access to a live query.
+    pub fn query(&self, id: QueryId) -> Option<&Q> {
+        self.shards[id.index() % self.shards.len()]
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| &e.query)
+    }
+
+    /// All live query ids, ascending.
+    pub fn ids(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.iter().map(|e| e.id))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Advances every query to its position for this timestamp.
+    ///
+    /// `positions` maps a query id to its new position; it is called from
+    /// worker threads and must be pure (same id → same position within
+    /// one call). Queries bound to an older epoch than the world's
+    /// current one are rebound first (paying a recomputation on this
+    /// tick), so a [`World::publish`] between ticks reaches the whole
+    /// fleet exactly once.
+    pub fn tick_all<F>(&mut self, positions: F) -> TickSummary
+    where
+        F: Fn(QueryId) -> Q::Pos + Sync,
+    {
+        let t0 = Instant::now();
+        let (epoch, snapshot) = self.world.snapshot();
+        let n_shards = self.shards.len();
+        let threads = self.threads.min(n_shards).max(1);
+        let mut per_shard = vec![TickSummary::default(); n_shards];
+
+        let tick_shard = |shard: &mut Vec<Entry<Q>>, out: &mut TickSummary| {
+            out.epoch = epoch;
+            for entry in shard.iter_mut() {
+                if entry.query.bound_epoch() != epoch {
+                    entry.query.bind(epoch, &snapshot);
+                    out.rebinds += 1;
+                }
+                let outcome = entry.query.tick(positions(entry.id));
+                out.record(outcome);
+            }
+        };
+
+        if threads == 1 {
+            for (shard, out) in self.shards.iter_mut().zip(per_shard.iter_mut()) {
+                tick_shard(shard, out);
+            }
+        } else {
+            let chunk = n_shards.div_ceil(threads);
+            let tick_shard = &tick_shard;
+            std::thread::scope(|scope| {
+                for (shards, outs) in self
+                    .shards
+                    .chunks_mut(chunk)
+                    .zip(per_shard.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for (shard, out) in shards.iter_mut().zip(outs.iter_mut()) {
+                            tick_shard(shard, out);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Merge in shard order: identical totals at any thread count.
+        let mut summary = TickSummary {
+            epoch,
+            ..TickSummary::default()
+        };
+        for s in &per_shard {
+            summary.absorb(s);
+        }
+        self.elapsed += t0.elapsed();
+        summary
+    }
+
+    /// Aggregated fleet statistics: per-shard [`QueryStats`] merges (in
+    /// shard order) plus the fleet-wide total — deterministic at any
+    /// thread count.
+    pub fn stats(&self) -> FleetStats {
+        let per_shard: Vec<QueryStats> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut merged = QueryStats::default();
+                for e in shard {
+                    merged.merge(e.query.stats());
+                }
+                merged
+            })
+            .collect();
+        let mut total = QueryStats::default();
+        for s in &per_shard {
+            total.merge(s);
+        }
+        FleetStats {
+            per_shard,
+            total,
+            queries: self.len,
+            elapsed: self.elapsed,
+        }
+    }
+
+    /// Clears every query's statistics (keeps query state).
+    pub fn reset_stats(&mut self) {
+        for shard in &mut self.shards {
+            for e in shard {
+                e.query.reset_stats();
+            }
+        }
+        self.elapsed = Duration::ZERO;
+    }
+}

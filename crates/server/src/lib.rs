@@ -1,0 +1,110 @@
+//! # insq-server
+//!
+//! The INSQ query-processing *system* layer (paper §III pitches INSQ as a
+//! server maintaining moving kNN results for many clients at once): a
+//! concurrent multi-query **fleet engine** over a shared,
+//! **epoch-versioned world**.
+//!
+//! * [`World`] / [`Epoch`] — the server-owned index (`VorTree` for the
+//!   Euclidean plane, [`NetworkWorld`] = road network + sites + NVD for
+//!   networks), published atomically. Data-object updates become a
+//!   [`World::publish`]; live queries detect the epoch bump at their next
+//!   tick and self-rebind, replacing the manual `rebind` dance of
+//!   single-query code.
+//! * [`FleetEngine`] — a sharded registry of live queries (each a
+//!   [`insq_core::MovingKnn`] implementor wrapped as a [`FleetQuery`]),
+//!   ticked in parallel batches on a scoped-thread worker pool with
+//!   deterministic per-shard scheduling: results and statistics are
+//!   bit-identical to sequential execution at any thread count.
+//! * [`FleetStats`] — per-shard [`insq_core::QueryStats`] aggregation
+//!   surfacing fleet throughput (ticks/s, validations/tick, recompute
+//!   rate).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use insq_core::InsConfig;
+//! use insq_geom::{Aabb, Point};
+//! use insq_index::VorTree;
+//! use insq_server::{FleetConfig, FleetEngine, InsFleetQuery, World};
+//!
+//! // Server side: the epoch-versioned world.
+//! let bounds = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+//! let pts = (0..200).map(|i| Point::new((i % 20) as f64 * 5.0, (i / 20) as f64 * 10.0 + 0.5 * (i % 7) as f64)).collect();
+//! let world = Arc::new(World::new(VorTree::build(pts, bounds.inflated(10.0)).unwrap()));
+//!
+//! // Fleet side: register clients, tick them all per timestamp.
+//! let mut fleet = FleetEngine::new(Arc::clone(&world), FleetConfig::with_threads(2));
+//! for _ in 0..50 {
+//!     let q = InsFleetQuery::new(&world, InsConfig::with_k(4)).unwrap();
+//!     fleet.register(q);
+//! }
+//! for tick in 0..20 {
+//!     let summary = fleet.tick_all(|id| {
+//!         Point::new(5.0 + (id.0 % 90) as f64, 5.0 + 0.4 * tick as f64)
+//!     });
+//!     assert_eq!(summary.ticked, 50);
+//! }
+//! assert_eq!(fleet.stats().total.ticks, 50 * 20);
+//! ```
+//!
+//! A mid-run data-object update is one call — `world.publish(new_index)`
+//! — and the next `tick_all` rebinds every query exactly once (see
+//! `examples/fleet.rs` and the epoch model section of the README).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fleet;
+pub mod queries;
+pub mod util;
+pub mod world;
+
+pub use fleet::{FleetConfig, FleetEngine, FleetStats, QueryId, TickSummary};
+pub use queries::{FleetQuery, InsFleetQuery, NetFleetQuery};
+pub use util::parallel_map;
+pub use world::{Epoch, NetworkWorld, World};
+
+/// Compile-time thread-safety assertions: every type the fleet engine
+/// shares or moves across worker threads must stay `Send + Sync`. A
+/// regression (e.g. an `Rc` or `RefCell` slipping into an index) fails
+/// compilation here rather than deep inside a scoped-thread bound.
+#[allow(dead_code)]
+fn assert_thread_safety() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    use std::sync::Arc;
+
+    // Substrates.
+    assert_send_sync::<insq_index::RTree>();
+    assert_send_sync::<insq_index::VorTree>();
+    assert_send_sync::<insq_roadnet::RoadNetwork>();
+    assert_send_sync::<insq_roadnet::SiteSet>();
+    assert_send_sync::<insq_roadnet::NetworkVoronoi>();
+
+    // Processors, in both borrow flavors.
+    assert_send_sync::<insq_core::InsProcessor<&'static insq_index::VorTree>>();
+    assert_send_sync::<insq_core::InsProcessor<Arc<insq_index::VorTree>>>();
+    assert_send_sync::<
+        insq_core::NetInsProcessor<
+            &'static insq_roadnet::RoadNetwork,
+            &'static insq_roadnet::SiteSet,
+            &'static insq_roadnet::NetworkVoronoi,
+        >,
+    >();
+    assert_send_sync::<
+        insq_core::NetInsProcessor<
+            Arc<insq_roadnet::RoadNetwork>,
+            Arc<insq_roadnet::SiteSet>,
+            Arc<insq_roadnet::NetworkVoronoi>,
+        >,
+    >();
+
+    // Server layer.
+    assert_send_sync::<World<insq_index::VorTree>>();
+    assert_send_sync::<World<NetworkWorld>>();
+    assert_send_sync::<InsFleetQuery>();
+    assert_send_sync::<NetFleetQuery>();
+    assert_send_sync::<FleetEngine<insq_index::VorTree, InsFleetQuery>>();
+    assert_send_sync::<FleetEngine<NetworkWorld, NetFleetQuery>>();
+}

@@ -1,0 +1,170 @@
+//! Fleet clients: epoch-aware moving-kNN queries.
+//!
+//! A [`FleetQuery`] is a [`MovingKnn`] processor that additionally knows
+//! which world [`Epoch`] it is bound to and how to rebind itself to a
+//! newly published snapshot. The [`crate::FleetEngine`] compares each
+//! query's bound epoch against the world's current epoch at tick time and
+//! calls [`FleetQuery::bind`] on the stale ones — the fleet equivalent of
+//! the paper's "if there are data object updates, we also update the kNN
+//! set and the IS".
+
+use std::sync::Arc;
+
+use insq_core::{
+    CoreError, InsConfig, InsProcessor, MovingKnn, NetInsConfig, NetInsProcessor, QueryStats,
+};
+use insq_geom::Point;
+use insq_index::VorTree;
+use insq_roadnet::{NetPosition, NetworkVoronoi, RoadNetwork, SiteIdx, SiteSet};
+use insq_voronoi::SiteId;
+
+use crate::world::{Epoch, NetworkWorld, World};
+
+/// A live query in a fleet: a moving-kNN processor bound to one epoch of
+/// a shared world `W`.
+pub trait FleetQuery<W>: MovingKnn<Self::Pos, Self::Id> + Send {
+    /// The position type ticks are driven with.
+    type Pos: Copy + Send;
+    /// The data-object identifier type of results.
+    type Id;
+
+    /// The epoch of the snapshot the query currently holds.
+    fn bound_epoch(&self) -> Epoch;
+
+    /// Rebinds the query to a newly published snapshot. The next tick
+    /// pays one full recomputation; statistics are preserved.
+    fn bind(&mut self, epoch: Epoch, snapshot: &Arc<W>);
+}
+
+/// A Euclidean INS fleet client over a `World<VorTree>`.
+#[derive(Debug, Clone)]
+pub struct InsFleetQuery {
+    epoch: Epoch,
+    proc: InsProcessor<Arc<VorTree>>,
+}
+
+impl InsFleetQuery {
+    /// Creates a client bound to the world's current snapshot.
+    pub fn new(world: &World<VorTree>, cfg: InsConfig) -> Result<InsFleetQuery, CoreError> {
+        let (epoch, index) = world.snapshot();
+        Ok(InsFleetQuery {
+            epoch,
+            proc: InsProcessor::new(index, cfg)?,
+        })
+    }
+
+    /// The wrapped INS processor (current kNN, guard set, safe region…).
+    pub fn processor(&self) -> &InsProcessor<Arc<VorTree>> {
+        &self.proc
+    }
+}
+
+impl MovingKnn<Point, SiteId> for InsFleetQuery {
+    fn name(&self) -> &'static str {
+        self.proc.name()
+    }
+
+    fn tick(&mut self, pos: Point) -> insq_core::TickOutcome {
+        self.proc.tick(pos)
+    }
+
+    fn current_knn(&self) -> Vec<SiteId> {
+        self.proc.current_knn()
+    }
+
+    fn stats(&self) -> &QueryStats {
+        self.proc.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.proc.reset_stats();
+    }
+}
+
+impl FleetQuery<VorTree> for InsFleetQuery {
+    type Pos = Point;
+    type Id = SiteId;
+
+    fn bound_epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    fn bind(&mut self, epoch: Epoch, snapshot: &Arc<VorTree>) {
+        self.proc.rebind(Arc::clone(snapshot));
+        self.epoch = epoch;
+    }
+}
+
+/// A road-network INS fleet client over a `World<NetworkWorld>`.
+#[derive(Debug)]
+pub struct NetFleetQuery {
+    epoch: Epoch,
+    proc: NetInsProcessor<Arc<RoadNetwork>, Arc<SiteSet>, Arc<NetworkVoronoi>>,
+}
+
+impl NetFleetQuery {
+    /// Creates a client bound to the world's current snapshot.
+    pub fn new(world: &World<NetworkWorld>, cfg: NetInsConfig) -> Result<NetFleetQuery, CoreError> {
+        let (epoch, snap) = world.snapshot();
+        Ok(NetFleetQuery {
+            epoch,
+            proc: NetInsProcessor::new(
+                Arc::clone(&snap.net),
+                Arc::clone(&snap.sites),
+                Arc::clone(&snap.nvd),
+                cfg,
+            )?,
+        })
+    }
+
+    /// The wrapped network INS processor.
+    pub fn processor(
+        &self,
+    ) -> &NetInsProcessor<Arc<RoadNetwork>, Arc<SiteSet>, Arc<NetworkVoronoi>> {
+        &self.proc
+    }
+}
+
+impl MovingKnn<NetPosition, SiteIdx> for NetFleetQuery {
+    fn name(&self) -> &'static str {
+        self.proc.name()
+    }
+
+    fn tick(&mut self, pos: NetPosition) -> insq_core::TickOutcome {
+        self.proc.tick(pos)
+    }
+
+    fn current_knn(&self) -> Vec<SiteIdx> {
+        self.proc.current_knn()
+    }
+
+    fn stats(&self) -> &QueryStats {
+        self.proc.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.proc.reset_stats();
+    }
+}
+
+impl FleetQuery<NetworkWorld> for NetFleetQuery {
+    type Pos = NetPosition;
+    type Id = SiteIdx;
+
+    fn bound_epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    fn bind(&mut self, epoch: Epoch, snapshot: &Arc<NetworkWorld>) {
+        // Rebind the network too: `NetworkWorld`'s fields are public, so
+        // a published snapshot may carry a different network (map update)
+        // whose site set / NVD index into *its* adjacency. In the common
+        // POIs-changed case this is a no-op `Arc` clone.
+        self.proc.rebind_world(
+            Arc::clone(&snapshot.net),
+            Arc::clone(&snapshot.sites),
+            Arc::clone(&snapshot.nvd),
+        );
+        self.epoch = epoch;
+    }
+}

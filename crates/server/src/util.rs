@@ -1,0 +1,64 @@
+//! Small shared concurrency utilities.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on up to `available_parallelism` threads,
+/// preserving order.
+///
+/// Items are claimed from an atomic counter, so the mapping order across
+/// threads is arbitrary but the result order always matches the input
+/// order (slot `i` holds `f(&items[i])`).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<R>>> = (0..n).map(|_| None.into()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("slot poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("all slots filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_maps_everything() {
+        let out = parallel_map((0..500).collect(), |&x: &i32| x * 2);
+        assert_eq!(out.len(), 500);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i as i32);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = parallel_map(Vec::<u8>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+}

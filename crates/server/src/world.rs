@@ -1,0 +1,161 @@
+//! Epoch-versioned shared worlds.
+//!
+//! The INSQ server owns the data-object index; clients only hold guard
+//! sets certified against it (paper §III). When data objects change, the
+//! server rebuilds the index and *publishes* it: the [`World`] swaps its
+//! snapshot atomically and bumps the [`Epoch`]. Live queries keep reading
+//! their old `Arc`-held snapshot — results stay exact against the epoch
+//! they are bound to — and self-rebind to the new snapshot at their next
+//! tick, paying exactly one recomputation. This replaces the manual
+//! `rebind` dance of single-query code (`examples/data_updates.rs`).
+
+use std::sync::{Arc, RwLock};
+
+use insq_roadnet::{NetworkVoronoi, RoadNetwork, SiteSet};
+
+/// A monotonically increasing world version. Epoch 0 is the world a
+/// [`World`] was created with; every [`World::publish`] bumps it by one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(pub u64);
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
+
+impl Epoch {
+    /// The next epoch.
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+/// An epoch-versioned, shareable world: the server side of the INSQ
+/// system. `S` is the snapshot payload — [`insq_index::VorTree`] for the
+/// Euclidean mode, [`NetworkWorld`] for road networks.
+///
+/// Readers take cheap `Arc` snapshots and are never blocked by a publish
+/// for longer than the pointer swap; old snapshots stay alive until the
+/// last query drops them (no tearing, no torn reads, no manual lifetime
+/// management).
+#[derive(Debug)]
+pub struct World<S> {
+    state: RwLock<(Epoch, Arc<S>)>,
+}
+
+impl<S> World<S> {
+    /// Creates a world at epoch 0.
+    pub fn new(data: S) -> World<S> {
+        World::from_arc(Arc::new(data))
+    }
+
+    /// Creates a world at epoch 0 from an already-shared snapshot.
+    pub fn from_arc(data: Arc<S>) -> World<S> {
+        World {
+            state: RwLock::new((Epoch(0), data)),
+        }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.state.read().expect("world lock poisoned").0
+    }
+
+    /// The current epoch and its snapshot, taken atomically.
+    pub fn snapshot(&self) -> (Epoch, Arc<S>) {
+        let guard = self.state.read().expect("world lock poisoned");
+        (guard.0, Arc::clone(&guard.1))
+    }
+
+    /// Publishes a rebuilt snapshot, bumping the epoch. Returns the new
+    /// epoch. Existing snapshot holders are unaffected; queries observe
+    /// the bump at their next tick and self-rebind.
+    pub fn publish(&self, data: S) -> Epoch {
+        self.publish_arc(Arc::new(data))
+    }
+
+    /// [`World::publish`] for an already-shared snapshot (lets sweeps
+    /// republish the same prebuilt index without a rebuild).
+    pub fn publish_arc(&self, data: Arc<S>) -> Epoch {
+        let mut guard = self.state.write().expect("world lock poisoned");
+        guard.0 = guard.0.next();
+        guard.1 = data;
+        guard.0
+    }
+}
+
+/// The road-network world snapshot: the (stable) network plus the
+/// per-epoch site set and its precomputed network Voronoi diagram.
+///
+/// Data-object updates replace `sites`/`nvd`; the network itself is
+/// assumed fixed across epochs (the paper's setting: POIs change, streets
+/// do not).
+#[derive(Debug)]
+pub struct NetworkWorld {
+    /// The road network (shared unchanged across epochs).
+    pub net: Arc<RoadNetwork>,
+    /// The data objects of this epoch.
+    pub sites: Arc<SiteSet>,
+    /// The network Voronoi diagram of `sites` over `net`.
+    pub nvd: Arc<NetworkVoronoi>,
+}
+
+impl NetworkWorld {
+    /// Builds a snapshot from a network and site set, computing the NVD.
+    pub fn build(net: Arc<RoadNetwork>, sites: SiteSet) -> NetworkWorld {
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        NetworkWorld {
+            net,
+            sites: Arc::new(sites),
+            nvd: Arc::new(nvd),
+        }
+    }
+
+    /// The next epoch's snapshot: same network, new site set (the server
+    /// half of a data-object update).
+    pub fn with_sites(&self, sites: SiteSet) -> NetworkWorld {
+        NetworkWorld::build(Arc::clone(&self.net), sites)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_bump_and_snapshots_stay_alive() {
+        let world = World::new(vec![1, 2, 3]);
+        assert_eq!(world.epoch(), Epoch(0));
+        let (e0, snap0) = world.snapshot();
+        assert_eq!(e0, Epoch(0));
+
+        let e1 = world.publish(vec![4, 5]);
+        assert_eq!(e1, Epoch(1));
+        assert_eq!(world.epoch(), Epoch(1));
+
+        // The old snapshot is unaffected by the publish.
+        assert_eq!(*snap0, vec![1, 2, 3]);
+        let (e, snap1) = world.snapshot();
+        assert_eq!(e, Epoch(1));
+        assert_eq!(*snap1, vec![4, 5]);
+    }
+
+    #[test]
+    fn publish_arc_reuses_prebuilt_snapshots() {
+        let a = Arc::new(7u32);
+        let b = Arc::new(8u32);
+        let world = World::from_arc(Arc::clone(&a));
+        world.publish_arc(Arc::clone(&b));
+        assert!(Arc::ptr_eq(&world.snapshot().1, &b));
+        world.publish_arc(a);
+        assert_eq!(world.epoch(), Epoch(2));
+    }
+
+    #[test]
+    fn epoch_display_and_next() {
+        assert_eq!(Epoch(3).next(), Epoch(4));
+        assert_eq!(format!("{}", Epoch(3)), "epoch 3");
+    }
+}

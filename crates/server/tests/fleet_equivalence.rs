@@ -1,0 +1,262 @@
+//! Fleet-vs-sequential equivalence: `FleetEngine::tick_all` must produce
+//! bit-identical results (kNN sets and `QueryStats`, per query and in
+//! aggregate) to driving each query sequentially by hand — at every
+//! thread count, including across a mid-run epoch swap.
+
+use std::sync::Arc;
+
+use insq_core::{InsConfig, InsProcessor, MovingKnn, NetInsConfig, NetInsProcessor, QueryStats};
+use insq_geom::{Point, Trajectory};
+use insq_index::VorTree;
+use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
+use insq_roadnet::{NetPosition, NetTrajectory, NetworkVoronoi, SiteSet};
+use insq_server::{
+    FleetConfig, FleetEngine, InsFleetQuery, NetFleetQuery, NetworkWorld, QueryId, World,
+};
+use insq_workload::FleetScenario;
+
+const CLIENTS: usize = 120;
+const TICKS: usize = 80;
+const SWAP_AT: usize = 40;
+
+fn scenario() -> FleetScenario {
+    FleetScenario {
+        clients: CLIENTS,
+        n: 1_500,
+        k: 4,
+        ticks: TICKS,
+        updates: vec![SWAP_AT],
+        seed: 77,
+        ..Default::default()
+    }
+}
+
+struct PerQuery {
+    knn: Vec<insq_voronoi::SiteId>,
+    stats: QueryStats,
+}
+
+/// The ground truth: each client driven by hand on one thread, with a
+/// manual rebind at the swap tick.
+fn run_sequential(
+    sc: &FleetScenario,
+    idx_v0: &VorTree,
+    idx_v1: &VorTree,
+    trajs: &[Trajectory],
+) -> Vec<PerQuery> {
+    (0..sc.clients)
+        .map(|c| {
+            let mut p = InsProcessor::new(idx_v0, InsConfig::new(sc.k, sc.rho)).unwrap();
+            for tick in 0..sc.ticks {
+                if tick == SWAP_AT {
+                    p.rebind(idx_v1);
+                }
+                p.tick(sc.position(&trajs[c], c, tick));
+            }
+            PerQuery {
+                knn: p.current_knn(),
+                stats: *p.stats(),
+            }
+        })
+        .collect()
+}
+
+/// The same run through the fleet engine at `threads` workers.
+fn run_fleet(
+    sc: &FleetScenario,
+    idx_v0: &Arc<VorTree>,
+    idx_v1: &Arc<VorTree>,
+    trajs: &[Trajectory],
+    threads: usize,
+    shards: usize,
+) -> (Vec<PerQuery>, QueryStats) {
+    let world = Arc::new(World::from_arc(Arc::clone(idx_v0)));
+    let mut fleet: FleetEngine<VorTree, InsFleetQuery> =
+        FleetEngine::new(Arc::clone(&world), FleetConfig { shards, threads });
+    for _ in 0..sc.clients {
+        let q = InsFleetQuery::new(&world, InsConfig::new(sc.k, sc.rho)).unwrap();
+        fleet.register(q);
+    }
+
+    for tick in 0..sc.ticks {
+        if tick == SWAP_AT {
+            world.publish_arc(Arc::clone(idx_v1));
+        }
+        let positions: Vec<Point> = (0..sc.clients)
+            .map(|c| sc.position(&trajs[c], c, tick))
+            .collect();
+        let summary = fleet.tick_all(|id| positions[id.index()]);
+        assert_eq!(summary.ticked as usize, sc.clients, "tick {tick}");
+        let expected_rebinds = if tick == SWAP_AT { sc.clients } else { 0 };
+        assert_eq!(
+            summary.rebinds as usize, expected_rebinds,
+            "the epoch bump must reach every query exactly once (tick {tick})"
+        );
+    }
+
+    let per_query: Vec<PerQuery> = (0..sc.clients)
+        .map(|c| {
+            let q = fleet.query(QueryId(c as u64)).unwrap();
+            PerQuery {
+                knn: q.current_knn(),
+                stats: *q.stats(),
+            }
+        })
+        .collect();
+    (per_query, fleet.stats().total)
+}
+
+#[test]
+fn fleet_matches_sequential_at_every_thread_count_across_epoch_swap() {
+    let sc = scenario();
+    let idx_v0 = Arc::new(VorTree::build(sc.points(0), sc.clip_window()).unwrap());
+    let idx_v1 = Arc::new(VorTree::build(sc.points(1), sc.clip_window()).unwrap());
+    let trajs: Vec<Trajectory> = (0..sc.clients).map(|c| sc.client_trajectory(c)).collect();
+
+    let reference = run_sequential(&sc, &idx_v0, &idx_v1, &trajs);
+    let mut reference_total = QueryStats::default();
+    for r in &reference {
+        reference_total.merge(&r.stats);
+    }
+    // Sanity: the swap really happened and cost each client one extra
+    // recomputation (1 initial + 1 post-swap at minimum).
+    assert!(reference_total.recomputations >= 2 * sc.clients as u64);
+
+    for threads in [1usize, 2, 8] {
+        // An uneven shard count exercises chunked scheduling paths.
+        for shards in [7usize, 64] {
+            let (fleet, fleet_total) = run_fleet(&sc, &idx_v0, &idx_v1, &trajs, threads, shards);
+            assert_eq!(
+                fleet_total, reference_total,
+                "aggregate stats diverged (threads={threads}, shards={shards})"
+            );
+            for (c, (f, r)) in fleet.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    f.knn, r.knn,
+                    "kNN diverged for client {c} (threads={threads}, shards={shards})"
+                );
+                assert_eq!(
+                    f.stats, r.stats,
+                    "stats diverged for client {c} (threads={threads}, shards={shards})"
+                );
+            }
+        }
+    }
+
+    // Exactness across the swap: final results are the brute-force kNN of
+    // the *new* world.
+    for c in [0usize, 11, 63, CLIENTS - 1] {
+        let pos = sc.position(&trajs[c], c, sc.ticks - 1);
+        let mut got = reference[c].knn.clone();
+        got.sort_unstable();
+        let mut want = idx_v1.voronoi().knn_brute(pos, sc.k);
+        want.sort_unstable();
+        assert_eq!(got, want, "client {c} must answer from the new epoch");
+    }
+}
+
+#[test]
+fn register_binds_the_query_to_the_engines_world() {
+    // Epochs are world-relative: a query created against world A carries
+    // Epoch(0) just like world B does. register() must rebind it so it
+    // answers from the engine's world, not the one it was created with.
+    let sc = scenario();
+    let idx_a = Arc::new(VorTree::build(sc.points(0), sc.clip_window()).unwrap());
+    let idx_b = Arc::new(VorTree::build(sc.points(1), sc.clip_window()).unwrap());
+    let world_a = Arc::new(World::from_arc(idx_a));
+    let world_b = Arc::new(World::from_arc(Arc::clone(&idx_b)));
+
+    let stray = InsFleetQuery::new(&world_a, InsConfig::new(sc.k, sc.rho)).unwrap();
+    let mut fleet: FleetEngine<VorTree, InsFleetQuery> =
+        FleetEngine::new(Arc::clone(&world_b), FleetConfig::with_threads(1));
+    let id = fleet.register(stray);
+
+    let pos = Point::new(42.0, 57.0);
+    fleet.tick_all(|_| pos);
+    let mut got = fleet.query(id).unwrap().current_knn();
+    got.sort_unstable();
+    let mut want = idx_b.voronoi().knn_brute(pos, sc.k);
+    want.sort_unstable();
+    assert_eq!(got, want, "results must come from the engine's world");
+}
+
+#[test]
+fn network_fleet_matches_sequential_across_epoch_swap() {
+    let ticks = 50usize;
+    let swap_at = 25usize;
+    let clients = 24usize;
+    let k = 3usize;
+    let speed = 0.12;
+
+    let net = Arc::new(
+        grid_network(
+            &GridConfig {
+                cols: 10,
+                rows: 10,
+                ..GridConfig::default()
+            },
+            5,
+        )
+        .unwrap(),
+    );
+    let sites_a = SiteSet::new(&net, random_site_vertices(&net, 22, 5).unwrap()).unwrap();
+    let sites_b = SiteSet::new(&net, random_site_vertices(&net, 18, 91).unwrap()).unwrap();
+    let nvd_a = NetworkVoronoi::build(&net, &sites_a);
+    let nvd_b = NetworkVoronoi::build(&net, &sites_b);
+
+    let tours: Vec<NetTrajectory> = (0..clients)
+        .map(|c| NetTrajectory::random_tour(&net, 6, 100 + c as u64).unwrap())
+        .collect();
+    let pos_of = |c: usize, tick: usize| -> NetPosition {
+        tours[c].position_looped(&net, speed * tick as f64 + 0.31 * c as f64)
+    };
+
+    // Sequential reference with a manual rebind.
+    let reference: Vec<(Vec<insq_roadnet::SiteIdx>, QueryStats)> = (0..clients)
+        .map(|c| {
+            let mut p =
+                NetInsProcessor::new(&*net, &sites_a, &nvd_a, NetInsConfig::new(k, 1.6)).unwrap();
+            for tick in 0..ticks {
+                if tick == swap_at {
+                    p.rebind(&sites_b, &nvd_b);
+                }
+                p.tick(pos_of(c, tick));
+            }
+            (p.current_knn(), *p.stats())
+        })
+        .collect();
+
+    for threads in [1usize, 2, 8] {
+        let world = Arc::new(World::new(NetworkWorld::build(
+            Arc::clone(&net),
+            sites_a.clone(),
+        )));
+        let mut fleet: FleetEngine<NetworkWorld, NetFleetQuery> =
+            FleetEngine::new(Arc::clone(&world), FleetConfig { shards: 5, threads });
+        for _ in 0..clients {
+            fleet.register(NetFleetQuery::new(&world, NetInsConfig::new(k, 1.6)).unwrap());
+        }
+        for tick in 0..ticks {
+            if tick == swap_at {
+                let (_, snap) = world.snapshot();
+                world.publish(snap.with_sites(sites_b.clone()));
+            }
+            let positions: Vec<NetPosition> = (0..clients).map(|c| pos_of(c, tick)).collect();
+            let summary = fleet.tick_all(|id| positions[id.index()]);
+            assert_eq!(summary.ticked as usize, clients);
+        }
+        for (c, (ref_knn, ref_stats)) in reference.iter().enumerate() {
+            let q = fleet.query(QueryId(c as u64)).unwrap();
+            assert_eq!(
+                q.current_knn(),
+                *ref_knn,
+                "client {c} knn, threads={threads}"
+            );
+            assert_eq!(
+                *q.stats(),
+                *ref_stats,
+                "client {c} stats, threads={threads}"
+            );
+        }
+    }
+}

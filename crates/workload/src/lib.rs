@@ -10,9 +10,11 @@
 #![forbid(unsafe_code)]
 
 pub mod datasets;
+pub mod fleet;
 pub mod scenario;
 pub mod trajectories;
 
 pub use datasets::Distribution;
+pub use fleet::FleetScenario;
 pub use scenario::{EuclideanScenario, NetworkInstance, NetworkKind, NetworkScenario};
 pub use trajectories::TrajectoryKind;

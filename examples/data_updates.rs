@@ -7,6 +7,13 @@
 //! guards are invalidated, and the moving query continues seamlessly —
 //! paying exactly one extra recomputation.
 //!
+//! This example shows the *mechanism* on a single hand-driven query. In
+//! a multi-query deployment you do not call `rebind` yourself: hold the
+//! index in an `insq_server::World`, call `World::publish(new_index)`
+//! once, and every registered query self-rebinds at its next tick (see
+//! `examples/fleet.rs` and the "Epoch-versioned worlds" section of the
+//! README).
+//!
 //! Run with: `cargo run --example data_updates`
 
 use insq::prelude::*;
@@ -46,6 +53,8 @@ fn main() {
         if tick == update_at {
             // Server: new index built out of band. Client: rebind + drop
             // guards (they certify nothing against the new object set).
+            // With `insq-server` this is `world.publish(index_v2)` and no
+            // per-client code at all.
             query.rebind(&index_v2);
             println!(
                 "tick {tick}: database updated ({} -> {} objects); client rebound",

@@ -5,9 +5,10 @@
 //! Deng — ICDE 2016), including every substrate the system depends on:
 //! robust computational geometry, Delaunay/Voronoi construction, R-/VoR-
 //! trees, road networks with network Voronoi diagrams, the INS algorithm
-//! for Euclidean space and road networks, the competing baselines, and a
+//! for Euclidean space and road networks, the competing baselines, a
 //! simulation/benchmark harness reproducing the paper's demonstration and
-//! the companion evaluation.
+//! the companion evaluation, and the system layer itself: a concurrent
+//! multi-query fleet engine over epoch-versioned worlds ([`server`]).
 //!
 //! ## Quick start
 //!
@@ -53,6 +54,15 @@
 //! assert!(query.stats().comm_objects < 100); // vs 600 for naive (3/tick)
 //! ```
 //!
+//! ## Many queries at once (the INSQ *system*)
+//!
+//! A server maintaining results for a whole fleet of clients holds the
+//! index in an epoch-versioned [`server::World`] and ticks every
+//! registered query per timestamp through a [`server::FleetEngine`] —
+//! parallel, deterministic, and with data-object updates reduced to one
+//! [`server::World::publish`] call (see the README's fleet quick start
+//! and `examples/fleet.rs`).
+//!
 //! See the `examples/` directory for the demonstration scenarios and
 //! `insq-bench` for the full experiment harness.
 
@@ -64,6 +74,7 @@ pub use insq_core as core;
 pub use insq_geom as geom;
 pub use insq_index as index;
 pub use insq_roadnet as roadnet;
+pub use insq_server as server;
 pub use insq_sim as sim;
 pub use insq_voronoi as voronoi;
 pub use insq_workload as workload;
@@ -84,10 +95,14 @@ pub mod prelude {
     pub use insq_roadnet::{
         NetPosition, NetTrajectory, NetworkVoronoi, RoadNetwork, SiteIdx, SiteSet, VertexId,
     };
+    pub use insq_server::{
+        Epoch, FleetConfig, FleetEngine, FleetQuery, FleetStats, InsFleetQuery, NetFleetQuery,
+        NetworkWorld, QueryId, TickSummary, World,
+    };
     pub use insq_sim::{run_euclidean, run_network, Comparison, RunRecord};
     pub use insq_voronoi::{SiteId, Voronoi};
     pub use insq_workload::{
-        Distribution, EuclideanScenario, NetworkInstance, NetworkKind, NetworkScenario,
-        TrajectoryKind,
+        Distribution, EuclideanScenario, FleetScenario, NetworkInstance, NetworkKind,
+        NetworkScenario, TrajectoryKind,
     };
 }
