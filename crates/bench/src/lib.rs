@@ -16,6 +16,7 @@ pub mod euclidean_exp;
 pub mod figures;
 pub mod fleet_exp;
 pub mod network_exp;
+pub mod update_exp;
 
 /// How much work to spend per experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +132,11 @@ pub fn experiments() -> Vec<Experiment> {
             id: "e_fleet",
             title: "E-fleet — multi-query fleet engine: throughput and thread scaling",
             run: fleet_exp::e_fleet,
+        },
+        Experiment {
+            id: "e_update",
+            title: "E-update — incremental delta epochs vs full rebuild republishes",
+            run: update_exp::e_update,
         },
         Experiment {
             id: "ablation",

@@ -1,0 +1,74 @@
+//! Site deltas: batched incremental updates to a [`crate::VorTree`].
+//!
+//! A [`SiteDelta`] describes a data-object update as the paper's server
+//! sees it — "if there are data object updates" (§III) — without implying
+//! a rebuild: `insq-server`'s `World::apply` patches the published index
+//! in place of constructing a new one, at cost proportional to the delta.
+
+use insq_geom::Point;
+use insq_voronoi::SiteId;
+
+/// A batch of site insertions and removals, applied atomically by
+/// [`crate::VorTree::apply`] (and, one level up, by
+/// `insq_server::World::apply` as a single epoch bump).
+///
+/// # Id semantics
+///
+/// `removed` ids refer to the index state *before* the delta. Removals
+/// are applied first, in descending id order, each with swap-remove
+/// semantics (the then-last site takes the removed id); insertions are
+/// appended afterwards in order, receiving the next dense ids. Two
+/// deltas with the same contents therefore produce bit-identical site
+/// orderings — which is what the conformance suite's
+/// rebuilt-from-scratch reference relies on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteDelta {
+    /// Sites to add (positions must be finite, inside the index bounds,
+    /// and distinct from every surviving site).
+    pub added: Vec<Point>,
+    /// Ids of sites to remove, relative to the pre-delta index.
+    pub removed: Vec<SiteId>,
+}
+
+impl SiteDelta {
+    /// A delta that only inserts.
+    pub fn insert(added: Vec<Point>) -> SiteDelta {
+        SiteDelta {
+            added,
+            removed: Vec::new(),
+        }
+    }
+
+    /// A delta that only removes.
+    pub fn remove(removed: Vec<SiteId>) -> SiteDelta {
+        SiteDelta {
+            added: Vec::new(),
+            removed,
+        }
+    }
+
+    /// Number of individual site changes.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_len() {
+        let d = SiteDelta::insert(vec![Point::new(1.0, 2.0)]);
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+        let d = SiteDelta::remove(vec![SiteId(3), SiteId(1)]);
+        assert_eq!(d.len(), 2);
+        assert!(SiteDelta::default().is_empty());
+    }
+}

@@ -9,13 +9,20 @@
 //!   the paper): the same R-tree bundled with the precomputed Voronoi
 //!   diagram, so kNN search can expand Voronoi neighbor links after a
 //!   single best-first descent and the INS construction gets its neighbor
-//!   lists for free.
+//!   lists for free;
+//! * [`SiteDelta`] — a batched incremental update
+//!   ([`VorTree::insert_site`] / [`VorTree::remove_site`] /
+//!   [`VorTree::apply`]) that patches both structures locally instead of
+//!   rebuilding, proven equivalent to a from-scratch build by
+//!   `tests/incremental_conformance.rs`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod delta;
 pub mod rtree;
 pub mod vortree;
 
+pub use delta::SiteDelta;
 pub use rtree::{Entry, RTree};
 pub use vortree::VorTree;

@@ -15,6 +15,7 @@
 use insq_geom::{Aabb, Point};
 use insq_voronoi::{SiteId, Voronoi, VoronoiError};
 
+use crate::delta::SiteDelta;
 use crate::rtree::{Entry, RTree};
 
 /// An R-tree over Voronoi sites, bundled with the diagram it indexes.
@@ -77,6 +78,59 @@ impl VorTree {
     #[inline]
     pub fn point(&self, s: SiteId) -> Point {
         self.voronoi.point(s)
+    }
+
+    /// Inserts a new site, patching the diagram and the R-tree locally
+    /// (the R-tree's nearest-site probe doubles as the point-location
+    /// hint, so the Delaunay walk is O(1)). Returns the new site's id,
+    /// always `SiteId(len - 1)`.
+    pub fn insert_site(&mut self, p: Point) -> Result<SiteId, VoronoiError> {
+        let hint = self.rtree.nearest(p).map(|(e, _)| SiteId(e.id));
+        let id = self.voronoi.insert_site(p, hint)?;
+        self.rtree.insert(p, id.0);
+        Ok(id)
+    }
+
+    /// Removes site `s` with swap-remove semantics: when `s` is not the
+    /// last site, the last site is renumbered to `s` (the R-tree entry is
+    /// re-keyed to match) and the moved site's old id is returned.
+    pub fn remove_site(&mut self, s: SiteId) -> Result<Option<SiteId>, VoronoiError> {
+        if s.idx() >= self.voronoi.len() {
+            return Err(VoronoiError::SiteOutOfRange {
+                site: s.idx(),
+                len: self.voronoi.len(),
+            });
+        }
+        let p = self.voronoi.point(s);
+        let moved = self.voronoi.remove_site(s)?;
+        let found = self.rtree.remove(p, s.0);
+        debug_assert!(found, "R-tree entry for a live site");
+        if let Some(old) = moved {
+            let q = self.voronoi.point(s);
+            let found = self.rtree.remove(q, old.0);
+            debug_assert!(found, "R-tree entry for the moved site");
+            self.rtree.insert(q, s.0);
+        }
+        Ok(moved)
+    }
+
+    /// Applies a batched [`SiteDelta`]: removals first (descending
+    /// pre-delta ids, swap-remove semantics), then insertions in order.
+    /// See [`SiteDelta`] for the id semantics; on error the index is left
+    /// with the delta partially applied — callers that need atomicity
+    /// (like `insq_server::World::apply`) patch a clone and publish only
+    /// on success.
+    pub fn apply(&mut self, delta: &SiteDelta) -> Result<(), VoronoiError> {
+        let mut removed = delta.removed.clone();
+        removed.sort_unstable();
+        removed.dedup();
+        for &s in removed.iter().rev() {
+            self.remove_site(s)?;
+        }
+        for &p in &delta.added {
+            self.insert_site(p)?;
+        }
+        Ok(())
     }
 
     /// The k nearest sites to `q`, ascending by distance, found by the

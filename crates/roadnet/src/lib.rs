@@ -35,7 +35,7 @@ pub mod trajectory;
 pub use graph::{EdgeId, EdgeRec, RoadNetwork, VertexId};
 pub use nvd::{BorderPoint, EdgeFragment, EdgeOwnership, NetworkVoronoi};
 pub use position::NetPosition;
-pub use sites::{SiteIdx, SiteSet};
+pub use sites::{NetSiteDelta, SiteIdx, SiteSet};
 pub use subnetwork::SiteMask;
 pub use trajectory::NetTrajectory;
 

@@ -10,10 +10,24 @@
 //! whose cells share a border point), which is exactly what the network INS
 //! is built from, and per-site **cell edge fragments**, which is what the
 //! demo renders as the green/yellow edge sets.
+//!
+//! The diagram is also *incrementally maintainable*
+//! ([`NetworkVoronoi::insert_site`] / [`NetworkVoronoi::remove_site`]): a
+//! site insertion runs one pruned Dijkstra limited to the new cell, a
+//! removal re-expands only the orphaned cell from its boundary, and edge
+//! ownership plus neighbor sets are re-tallied for exactly the edges
+//! incident to re-owned vertices — cost proportional to the changed
+//! region, not the network (the delta-epoch path of `insq-server`).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::dijkstra::multi_source;
 use crate::graph::{EdgeId, RoadNetwork, VertexId};
 use crate::sites::{SiteIdx, SiteSet};
+
+/// Sentinel owner for vertices not (yet) claimed by any site.
+const NO_SITE: SiteIdx = SiteIdx(u32::MAX);
 
 /// How a single edge is partitioned between network Voronoi cells.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,9 +80,33 @@ pub struct NetworkVoronoi {
     owner: Vec<SiteIdx>,
     /// Per-edge ownership.
     edge_ownership: Vec<EdgeOwnership>,
-    /// CSR adjacency over sites (network Voronoi neighbors).
-    nbr_offsets: Vec<u32>,
-    nbr_adjacency: Vec<SiteIdx>,
+    /// Per-site neighbor lists (sorted ascending).
+    adj: Vec<Vec<SiteIdx>>,
+    /// How many split edges separate each adjacent cell pair (key is the
+    /// ordered pair `(min, max)`); a pair is adjacent iff its count > 0.
+    border_counts: HashMap<(u32, u32), u32>,
+}
+
+/// A candidate in the localized re-expansion heaps, ordered by distance
+/// with vertex-id tie-breaks for determinism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    dist: f64,
+    vertex: VertexId,
+}
+
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.vertex.cmp(&other.vertex))
+    }
 }
 
 impl NetworkVoronoi {
@@ -79,7 +117,7 @@ impl NetworkVoronoi {
         let owner: Vec<SiteIdx> = owner_raw.into_iter().map(SiteIdx).collect();
 
         let mut edge_ownership = Vec::with_capacity(net.num_edges());
-        let mut pairs: Vec<(SiteIdx, SiteIdx)> = Vec::new();
+        let mut border_counts: HashMap<(u32, u32), u32> = HashMap::new();
         for rec in net.edges() {
             let ou = owner[rec.u.idx()];
             let ov = owner[rec.v.idx()];
@@ -95,42 +133,203 @@ impl NetworkVoronoi {
                 owner_v: ov,
                 border,
             });
-            let (a, b) = if ou < ov { (ou, ov) } else { (ov, ou) };
-            pairs.push((a, b));
+            *border_counts.entry(pair_key(ou, ov)).or_insert(0) += 1;
         }
 
-        // CSR over sites from the (deduplicated) adjacency pairs.
-        pairs.sort_unstable();
-        pairs.dedup();
-        let m = sites.len();
-        let mut degree = vec![0u32; m];
-        for &(a, b) in &pairs {
-            degree[a.idx()] += 1;
-            degree[b.idx()] += 1;
+        let mut adj: Vec<Vec<SiteIdx>> = vec![Vec::new(); sites.len()];
+        for &(a, b) in border_counts.keys() {
+            adj[a as usize].push(SiteIdx(b));
+            adj[b as usize].push(SiteIdx(a));
         }
-        let mut nbr_offsets = Vec::with_capacity(m + 1);
-        nbr_offsets.push(0u32);
-        for d in &degree {
-            nbr_offsets.push(nbr_offsets.last().expect("non-empty") + d);
-        }
-        let mut nbr_adjacency = vec![SiteIdx(0); *nbr_offsets.last().expect("non-empty") as usize];
-        let mut cursor: Vec<u32> = nbr_offsets[..m].to_vec();
-        for &(a, b) in &pairs {
-            nbr_adjacency[cursor[a.idx()] as usize] = b;
-            cursor[a.idx()] += 1;
-            nbr_adjacency[cursor[b.idx()] as usize] = a;
-            cursor[b.idx()] += 1;
-        }
-        for i in 0..m {
-            nbr_adjacency[nbr_offsets[i] as usize..nbr_offsets[i + 1] as usize].sort_unstable();
+        for list in &mut adj {
+            list.sort_unstable();
         }
 
         NetworkVoronoi {
             dist,
             owner,
             edge_ownership,
-            nbr_offsets,
-            nbr_adjacency,
+            adj,
+            border_counts,
+        }
+    }
+
+    /// Extends the diagram with a new site at `vertex` (which must be the
+    /// vertex just appended to the matching [`SiteSet`]): one pruned
+    /// Dijkstra claims exactly the new cell — expansion stops wherever the
+    /// existing distance is not strictly improved — then edge ownership
+    /// and neighbor sets are re-tallied around the claimed vertices.
+    /// Returns the new site's index.
+    pub fn insert_site(&mut self, net: &RoadNetwork, vertex: VertexId) -> SiteIdx {
+        let s = SiteIdx(self.adj.len() as u32);
+        self.adj.push(Vec::new());
+
+        let mut changed: Vec<VertexId> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        debug_assert!(
+            self.dist[vertex.idx()] > 0.0,
+            "site vertices are distinct (SiteSet enforces this)"
+        );
+        self.dist[vertex.idx()] = 0.0;
+        self.owner[vertex.idx()] = s;
+        changed.push(vertex);
+        heap.push(Reverse(Cand { dist: 0.0, vertex }));
+        while let Some(Reverse(Cand { dist: d, vertex: u })) = heap.pop() {
+            if d > self.dist[u.idx()] || self.owner[u.idx()] != s {
+                continue; // stale, or reclaimed by nothing (ties keep old owners)
+            }
+            for &(w, e) in net.neighbors(u) {
+                let nd = d + net.edge(e).len;
+                if nd < self.dist[w.idx()] {
+                    if self.owner[w.idx()] != s {
+                        changed.push(w);
+                    }
+                    self.dist[w.idx()] = nd;
+                    self.owner[w.idx()] = s;
+                    heap.push(Reverse(Cand {
+                        dist: nd,
+                        vertex: w,
+                    }));
+                }
+            }
+        }
+
+        let edges = incident_edges(net, &changed);
+        self.refresh_edges(net, &edges);
+        s
+    }
+
+    /// Removes site `s` from the diagram, re-owning its cell from the
+    /// boundary inward with one localized Dijkstra.
+    ///
+    /// Must be called *after* the matching
+    /// [`SiteSet::remove`](crate::SiteSet::remove); pass its return value
+    /// as `moved` so vertices of the swap-relabelled last site are re-
+    /// tagged. Requires every vertex to reach some surviving site (the
+    /// same connectivity assumption as [`NetworkVoronoi::build`]).
+    pub fn remove_site(&mut self, net: &RoadNetwork, s: SiteIdx, moved: Option<SiteIdx>) {
+        debug_assert_ne!(Some(s), moved, "swap-remove never relabels onto itself");
+        let mut orphans: Vec<VertexId> = Vec::new();
+        let mut changed: Vec<VertexId> = Vec::new();
+        for v in 0..self.owner.len() {
+            if self.owner[v] == s {
+                self.owner[v] = NO_SITE;
+                self.dist[v] = f64::INFINITY;
+                orphans.push(VertexId(v as u32));
+                changed.push(VertexId(v as u32));
+            } else if moved == Some(self.owner[v]) {
+                self.owner[v] = s;
+                changed.push(VertexId(v as u32));
+            }
+        }
+
+        // Seed the orphaned region from its boundary, then expand inward.
+        let mut heap: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        for &u in &orphans {
+            for &(w, e) in net.neighbors(u) {
+                if self.owner[w.idx()] == NO_SITE {
+                    continue;
+                }
+                let nd = self.dist[w.idx()] + net.edge(e).len;
+                if nd < self.dist[u.idx()] {
+                    self.dist[u.idx()] = nd;
+                    self.owner[u.idx()] = self.owner[w.idx()];
+                    heap.push(Reverse(Cand {
+                        dist: nd,
+                        vertex: u,
+                    }));
+                }
+            }
+        }
+        while let Some(Reverse(Cand { dist: d, vertex: u })) = heap.pop() {
+            if d > self.dist[u.idx()] {
+                continue;
+            }
+            for &(w, e) in net.neighbors(u) {
+                let nd = d + net.edge(e).len;
+                if nd < self.dist[w.idx()] {
+                    self.dist[w.idx()] = nd;
+                    self.owner[w.idx()] = self.owner[u.idx()];
+                    heap.push(Reverse(Cand {
+                        dist: nd,
+                        vertex: w,
+                    }));
+                }
+            }
+        }
+
+        let edges = incident_edges(net, &changed);
+        self.refresh_edges(net, &edges);
+
+        // Both the removed site's and the relabelled site's old pairs are
+        // fully re-tallied above, so the popped tail slot is empty.
+        let tail = self.adj.pop().expect("at least one site");
+        debug_assert!(tail.is_empty(), "tail adjacency drained by re-tally");
+    }
+
+    /// Recomputes ownership of the given edges from the current
+    /// vertex owners/distances, keeping the border-pair counts and the
+    /// per-site neighbor lists in sync.
+    fn refresh_edges(&mut self, net: &RoadNetwork, edges: &[EdgeId]) {
+        for &e in edges {
+            if let EdgeOwnership::Split {
+                owner_u, owner_v, ..
+            } = self.edge_ownership[e.idx()]
+            {
+                self.release_pair(owner_u, owner_v);
+            }
+            let rec = net.edge(e);
+            let ou = self.owner[rec.u.idx()];
+            let ov = self.owner[rec.v.idx()];
+            let new = if ou == ov {
+                EdgeOwnership::Whole(ou)
+            } else {
+                debug_assert!(
+                    ou != NO_SITE && ov != NO_SITE,
+                    "every vertex reaches a surviving site"
+                );
+                let border = 0.5 * (rec.len + self.dist[rec.v.idx()] - self.dist[rec.u.idx()]);
+                self.claim_pair(ou, ov);
+                EdgeOwnership::Split {
+                    owner_u: ou,
+                    owner_v: ov,
+                    border: border.clamp(0.0, rec.len),
+                }
+            };
+            self.edge_ownership[e.idx()] = new;
+        }
+    }
+
+    fn release_pair(&mut self, a: SiteIdx, b: SiteIdx) {
+        let key = pair_key(a, b);
+        let count = self
+            .border_counts
+            .get_mut(&key)
+            .expect("released pair was counted");
+        *count -= 1;
+        if *count == 0 {
+            self.border_counts.remove(&key);
+            let at = self.adj[a.idx()]
+                .binary_search(&b)
+                .expect("adjacency mirrors counts");
+            self.adj[a.idx()].remove(at);
+            let at = self.adj[b.idx()]
+                .binary_search(&a)
+                .expect("adjacency mirrors counts");
+            self.adj[b.idx()].remove(at);
+        }
+    }
+
+    fn claim_pair(&mut self, a: SiteIdx, b: SiteIdx) {
+        let count = self.border_counts.entry(pair_key(a, b)).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            if let Err(at) = self.adj[a.idx()].binary_search(&b) {
+                self.adj[a.idx()].insert(at, b);
+            }
+            if let Err(at) = self.adj[b.idx()].binary_search(&a) {
+                self.adj[b.idx()].insert(at, a);
+            }
         }
     }
 
@@ -155,9 +354,7 @@ impl NetworkVoronoi {
     /// The network Voronoi neighbor set of site `s` (sorted).
     #[inline]
     pub fn neighbors(&self, s: SiteIdx) -> &[SiteIdx] {
-        let lo = self.nbr_offsets[s.idx()] as usize;
-        let hi = self.nbr_offsets[s.idx() + 1] as usize;
-        &self.nbr_adjacency[lo..hi]
+        &self.adj[s.idx()]
     }
 
     /// Whether two sites' cells are adjacent.
@@ -233,6 +430,33 @@ impl NetworkVoronoi {
             .map(|f| f.to - f.from)
             .sum()
     }
+
+    /// Number of sites the diagram currently covers.
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// Normalised (min, max) key for an unordered cell pair.
+#[inline]
+fn pair_key(a: SiteIdx, b: SiteIdx) -> (u32, u32) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+/// The deduplicated edges incident to any of `verts`.
+fn incident_edges(net: &RoadNetwork, verts: &[VertexId]) -> Vec<EdgeId> {
+    let mut out: Vec<EdgeId> = verts
+        .iter()
+        .flat_map(|&v| net.neighbors(v).iter().map(|&(_, e)| e))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 #[cfg(test)]

@@ -99,6 +99,90 @@ impl SiteSet {
             .enumerate()
             .map(|(i, &v)| (SiteIdx(i as u32), v))
     }
+
+    /// Adds a site at `v`, returning its (dense, last) index. Fails when
+    /// `v` is out of range or already hosts a site.
+    pub fn insert(&mut self, net: &RoadNetwork, v: VertexId) -> Result<SiteIdx, RoadNetError> {
+        let i = self.vertices.len();
+        if v.idx() >= net.num_vertices() {
+            return Err(RoadNetError::SiteOutOfRange { site: i });
+        }
+        if self.at_vertex[v.idx()] != u32::MAX {
+            return Err(RoadNetError::DuplicateSite {
+                first: self.at_vertex[v.idx()] as usize,
+                second: i,
+            });
+        }
+        self.at_vertex[v.idx()] = i as u32;
+        self.vertices.push(v);
+        Ok(SiteIdx(i as u32))
+    }
+
+    /// Removes site `s` with *swap-remove semantics*: when `s` is not the
+    /// last site, the last site takes index `s` and its old index is
+    /// returned (callers holding per-site state — like a
+    /// [`crate::NetworkVoronoi`] — must apply the same rename). The set
+    /// never shrinks below one site.
+    pub fn remove(&mut self, s: SiteIdx) -> Result<Option<SiteIdx>, RoadNetError> {
+        if s.idx() >= self.vertices.len() {
+            return Err(RoadNetError::SiteOutOfRange { site: s.idx() });
+        }
+        if self.vertices.len() == 1 {
+            return Err(RoadNetError::NoSites);
+        }
+        let last = self.vertices.len() - 1;
+        self.at_vertex[self.vertices[s.idx()].idx()] = u32::MAX;
+        self.vertices.swap_remove(s.idx());
+        if s.idx() != last {
+            self.at_vertex[self.vertices[s.idx()].idx()] = s.0;
+            Ok(Some(SiteIdx(last as u32)))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// A batch of site insertions and removals over one road network —
+/// the network analogue of `insq_index::SiteDelta`, applied as one
+/// epoch bump by `insq_server::World::apply`.
+///
+/// Removals are applied first, in descending pre-delta index order, each
+/// with the swap-remove semantics of [`SiteSet::remove`]; additions are
+/// appended afterwards in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetSiteDelta {
+    /// Vertices gaining a site (must not already host one).
+    pub added: Vec<VertexId>,
+    /// Site indices to remove, relative to the pre-delta set.
+    pub removed: Vec<SiteIdx>,
+}
+
+impl NetSiteDelta {
+    /// A delta that only inserts.
+    pub fn insert(added: Vec<VertexId>) -> NetSiteDelta {
+        NetSiteDelta {
+            added,
+            removed: Vec::new(),
+        }
+    }
+
+    /// A delta that only removes.
+    pub fn remove(removed: Vec<SiteIdx>) -> NetSiteDelta {
+        NetSiteDelta {
+            added: Vec::new(),
+            removed,
+        }
+    }
+
+    /// Number of individual site changes.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
 }
 
 #[cfg(test)]

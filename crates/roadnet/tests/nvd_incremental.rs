@@ -1,0 +1,231 @@
+//! Incremental NVD conformance: a [`NetworkVoronoi`] maintained through
+//! interleaved site insertions/removals must match a from-scratch
+//! `NetworkVoronoi::build` over the same site set — structurally
+//! (distances bit-identical; owners, edge ownership and neighbor sets
+//! equal) on tie-free jittered networks, and up to tie choices on
+//! degenerate unit-length grids.
+
+use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig, SplitMix64};
+use insq_roadnet::{
+    dijkstra::distances_from_vertex, EdgeId, EdgeOwnership, NetworkVoronoi, RoadNetwork, SiteIdx,
+    SiteSet, VertexId,
+};
+
+/// Full structural equivalence — valid when shortest-path ties are absent
+/// (jittered edge lengths).
+fn assert_structurally_equal(net: &RoadNetwork, inc: &NetworkVoronoi, sites: &SiteSet) {
+    let rebuilt = NetworkVoronoi::build(net, sites);
+    assert_eq!(inc.num_sites(), rebuilt.num_sites());
+    for v in 0..net.num_vertices() {
+        let v = VertexId(v as u32);
+        assert_eq!(
+            inc.dist(v).to_bits(),
+            rebuilt.dist(v).to_bits(),
+            "dist diverged at {v:?}"
+        );
+        assert_eq!(inc.owner(v), rebuilt.owner(v), "owner diverged at {v:?}");
+    }
+    for e in 0..net.num_edges() {
+        let e = EdgeId(e as u32);
+        assert_eq!(
+            inc.edge_ownership(e),
+            rebuilt.edge_ownership(e),
+            "edge ownership diverged at {e:?}"
+        );
+    }
+    for s in 0..sites.len() as u32 {
+        assert_eq!(
+            inc.neighbors(SiteIdx(s)),
+            rebuilt.neighbors(SiteIdx(s)),
+            "neighbor set diverged at site {s}"
+        );
+    }
+}
+
+/// Weak (tie-tolerant) conformance: distances must still be exact and the
+/// owner of every vertex must be *a* nearest site; cells partition the
+/// network length.
+fn assert_exact_up_to_ties(net: &RoadNetwork, inc: &NetworkVoronoi, sites: &SiteSet) {
+    let per_site: Vec<Vec<f64>> = sites
+        .vertices()
+        .iter()
+        .map(|&v| distances_from_vertex(net, v))
+        .collect();
+    for v in 0..net.num_vertices() {
+        let min = per_site.iter().map(|d| d[v]).fold(f64::INFINITY, f64::min);
+        assert_eq!(inc.dist(VertexId(v as u32)), min, "dist at vertex {v}");
+        assert_eq!(
+            per_site[inc.owner(VertexId(v as u32)).idx()][v],
+            min,
+            "owner of vertex {v} is not a nearest site"
+        );
+    }
+    let total: f64 = (0..sites.len() as u32)
+        .map(|s| inc.cell_length(net, SiteIdx(s)))
+        .sum();
+    assert!(
+        (total - net.total_length()).abs() < 1e-9,
+        "cells partition the network: {total} vs {}",
+        net.total_length()
+    );
+}
+
+#[test]
+fn interleaved_updates_match_rebuild_exactly() {
+    // Jittered grid: irrational edge lengths, no shortest-path ties.
+    let net = grid_network(
+        &GridConfig {
+            cols: 12,
+            rows: 12,
+            ..GridConfig::default()
+        },
+        42,
+    )
+    .unwrap();
+    let mut sites = SiteSet::new(&net, random_site_vertices(&net, 18, 7).unwrap()).unwrap();
+    let mut nvd = NetworkVoronoi::build(&net, &sites);
+    let mut rng = SplitMix64::new(0xbead);
+
+    for step in 0..90 {
+        let grow = sites.len() <= 3 || rng.next_f64() < 0.55;
+        if grow {
+            let v = VertexId(rng.below(net.num_vertices()) as u32);
+            if sites.site_at(v).is_some() {
+                continue;
+            }
+            let idx = sites.insert(&net, v).unwrap();
+            assert_eq!(nvd.insert_site(&net, v), idx);
+        } else {
+            let s = SiteIdx(rng.below(sites.len()) as u32);
+            let moved = sites.remove(s).unwrap();
+            nvd.remove_site(&net, s, moved);
+        }
+        assert_structurally_equal(&net, &nvd, &sites);
+        if step % 10 == 0 {
+            assert_exact_up_to_ties(&net, &nvd, &sites);
+        }
+    }
+}
+
+#[test]
+fn degenerate_unit_grid_stays_exact_up_to_ties() {
+    // Unit-length edges: massive shortest-path ties. Incremental and
+    // rebuilt diagrams may pick different (equally correct) owners, but
+    // distances and the partition property must hold after every step.
+    let w = 7u32;
+    let mut coords = Vec::new();
+    let mut edges = Vec::new();
+    for r in 0..w {
+        for c in 0..w {
+            coords.push(insq_geom::Point::new(c as f64, r as f64));
+        }
+    }
+    for r in 0..w {
+        for c in 0..w {
+            let id = r * w + c;
+            if c + 1 < w {
+                edges.push(insq_roadnet::EdgeRec {
+                    u: VertexId(id),
+                    v: VertexId(id + 1),
+                    len: 1.0,
+                });
+            }
+            if r + 1 < w {
+                edges.push(insq_roadnet::EdgeRec {
+                    u: VertexId(id),
+                    v: VertexId(id + w),
+                    len: 1.0,
+                });
+            }
+        }
+    }
+    let net = RoadNetwork::new(coords, edges).unwrap();
+    let mut sites = SiteSet::new(&net, vec![VertexId(0), VertexId(24), VertexId(48)]).unwrap();
+    let mut nvd = NetworkVoronoi::build(&net, &sites);
+    let mut rng = SplitMix64::new(3);
+
+    for _ in 0..50 {
+        if sites.len() <= 2 || rng.next_f64() < 0.6 {
+            let v = VertexId(rng.below(net.num_vertices()) as u32);
+            if sites.site_at(v).is_some() {
+                continue;
+            }
+            let idx = sites.insert(&net, v).unwrap();
+            assert_eq!(nvd.insert_site(&net, v), idx);
+        } else {
+            let s = SiteIdx(rng.below(sites.len()) as u32);
+            let moved = sites.remove(s).unwrap();
+            nvd.remove_site(&net, s, moved);
+        }
+        assert_exact_up_to_ties(&net, &nvd, &sites);
+    }
+}
+
+#[test]
+fn removal_relabels_the_swapped_site_everywhere() {
+    let net = grid_network(
+        &GridConfig {
+            cols: 8,
+            rows: 8,
+            ..GridConfig::default()
+        },
+        11,
+    )
+    .unwrap();
+    let mut sites = SiteSet::new(&net, random_site_vertices(&net, 9, 23).unwrap()).unwrap();
+    let mut nvd = NetworkVoronoi::build(&net, &sites);
+
+    // Remove a middle site: the last site (index 8) is renamed to 2.
+    let moved = sites.remove(SiteIdx(2)).unwrap();
+    assert_eq!(moved, Some(SiteIdx(8)));
+    nvd.remove_site(&net, SiteIdx(2), moved);
+    assert_structurally_equal(&net, &nvd, &sites);
+    // Split-edge ownership labels must all be in range after the rename.
+    for e in 0..net.num_edges() {
+        match nvd.edge_ownership(EdgeId(e as u32)) {
+            EdgeOwnership::Whole(o) => assert!(o.idx() < sites.len()),
+            EdgeOwnership::Split {
+                owner_u, owner_v, ..
+            } => {
+                assert!(owner_u.idx() < sites.len());
+                assert!(owner_v.idx() < sites.len());
+            }
+        }
+    }
+
+    // Removing the last site needs no rename.
+    let s = SiteIdx((sites.len() - 1) as u32);
+    let moved = sites.remove(s).unwrap();
+    assert_eq!(moved, None);
+    nvd.remove_site(&net, s, moved);
+    assert_structurally_equal(&net, &nvd, &sites);
+}
+
+#[test]
+fn site_set_insert_remove_bookkeeping() {
+    let net = grid_network(&GridConfig::default(), 1).unwrap();
+    let mut sites = SiteSet::new(&net, vec![VertexId(0), VertexId(5), VertexId(9)]).unwrap();
+    let idx = sites.insert(&net, VertexId(7)).unwrap();
+    assert_eq!(idx, SiteIdx(3));
+    assert_eq!(sites.site_at(VertexId(7)), Some(SiteIdx(3)));
+    assert!(sites.insert(&net, VertexId(7)).is_err(), "duplicate vertex");
+    assert!(
+        sites
+            .insert(&net, VertexId(net.num_vertices() as u32))
+            .is_err(),
+        "out of range"
+    );
+
+    // Swap-remove moves the last site into the hole.
+    let moved = sites.remove(SiteIdx(1)).unwrap();
+    assert_eq!(moved, Some(SiteIdx(3)));
+    assert_eq!(sites.vertex(SiteIdx(1)), VertexId(7));
+    assert_eq!(sites.site_at(VertexId(7)), Some(SiteIdx(1)));
+    assert_eq!(sites.site_at(VertexId(5)), None);
+
+    // The set never becomes empty.
+    sites.remove(SiteIdx(1)).unwrap();
+    sites.remove(SiteIdx(1)).unwrap();
+    assert_eq!(sites.len(), 1);
+    assert!(sites.remove(SiteIdx(0)).is_err());
+}

@@ -8,9 +8,13 @@
 //! * [`World`] / [`Epoch`] — the server-owned index (`VorTree` for the
 //!   Euclidean plane, [`NetworkWorld`] = road network + sites + NVD for
 //!   networks), published atomically. Data-object updates become a
-//!   [`World::publish`]; live queries detect the epoch bump at their next
-//!   tick and self-rebind, replacing the manual `rebind` dance of
-//!   single-query code.
+//!   [`World::publish`] (full rebuild) or — the cheap path — a **delta
+//!   epoch** via `World::apply` (`insq_index::SiteDelta` /
+//!   `insq_roadnet::NetSiteDelta`): the snapshot is cloned copy-on-write
+//!   and patched incrementally, at cost proportional to the delta
+//!   instead of O(n log n). Live queries detect the epoch bump at their
+//!   next tick and self-rebind either way, replacing the manual `rebind`
+//!   dance of single-query code.
 //! * [`FleetEngine`] — a sharded registry of live queries (each a
 //!   [`insq_core::MovingKnn`] implementor wrapped as a [`FleetQuery`]),
 //!   ticked in parallel batches on a scoped-thread worker pool with

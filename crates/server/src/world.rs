@@ -2,16 +2,29 @@
 //!
 //! The INSQ server owns the data-object index; clients only hold guard
 //! sets certified against it (paper §III). When data objects change, the
-//! server rebuilds the index and *publishes* it: the [`World`] swaps its
-//! snapshot atomically and bumps the [`Epoch`]. Live queries keep reading
-//! their old `Arc`-held snapshot — results stay exact against the epoch
-//! they are bound to — and self-rebind to the new snapshot at their next
-//! tick, paying exactly one recomputation. This replaces the manual
-//! `rebind` dance of single-query code (`examples/data_updates.rs`).
+//! server has two routes to the next epoch:
+//!
+//! * [`World::publish`] — swap in a *wholly rebuilt* snapshot (O(n log n)
+//!   construction);
+//! * [`World::apply`] — **delta epochs**: clone the current snapshot
+//!   copy-on-write, patch it incrementally (cost proportional to the
+//!   delta's neighborhood, see `insq_index::VorTree::apply` /
+//!   `insq_roadnet::NetworkVoronoi::insert_site`), and publish the patched
+//!   clone. Structures untouched by the delta are shared via `Arc` where
+//!   the snapshot allows it (a [`NetworkWorld`] keeps its road network).
+//!
+//! Either way the [`World`] swaps its snapshot atomically and bumps the
+//! [`Epoch`]. Live queries keep reading their old `Arc`-held snapshot —
+//! results stay exact against the epoch they are bound to — and
+//! self-rebind to the new snapshot at their next tick, paying exactly one
+//! recomputation. This replaces the manual `rebind` dance of single-query
+//! code (`examples/data_updates.rs`).
 
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
-use insq_roadnet::{NetworkVoronoi, RoadNetwork, SiteSet};
+use insq_index::{SiteDelta, VorTree};
+use insq_roadnet::{NetSiteDelta, NetworkVoronoi, RoadNetError, RoadNetwork, SiteSet};
+use insq_voronoi::VoronoiError;
 
 /// A monotonically increasing world version. Epoch 0 is the world a
 /// [`World`] was created with; every [`World::publish`] bumps it by one.
@@ -43,6 +56,10 @@ impl Epoch {
 #[derive(Debug)]
 pub struct World<S> {
     state: RwLock<(Epoch, Arc<S>)>,
+    /// Serialises writers: `apply` is a read-modify-write, so two
+    /// concurrent appliers (or an applier racing a publisher) must not
+    /// interleave. Readers are never blocked by this lock.
+    writer: Mutex<()>,
 }
 
 impl<S> World<S> {
@@ -55,6 +72,7 @@ impl<S> World<S> {
     pub fn from_arc(data: Arc<S>) -> World<S> {
         World {
             state: RwLock::new((Epoch(0), data)),
+            writer: Mutex::new(()),
         }
     }
 
@@ -79,10 +97,52 @@ impl<S> World<S> {
     /// [`World::publish`] for an already-shared snapshot (lets sweeps
     /// republish the same prebuilt index without a rebuild).
     pub fn publish_arc(&self, data: Arc<S>) -> Epoch {
+        let _serial = self.writer.lock().expect("world writer poisoned");
+        self.swap_in(data)
+    }
+
+    /// The snapshot swap itself (callers hold the writer lock).
+    fn swap_in(&self, data: Arc<S>) -> Epoch {
         let mut guard = self.state.write().expect("world lock poisoned");
         guard.0 = guard.0.next();
         guard.1 = data;
         guard.0
+    }
+}
+
+impl World<VorTree> {
+    /// Applies a batched [`SiteDelta`] as a **delta epoch**: the current
+    /// snapshot is cloned copy-on-write, patched incrementally
+    /// ([`VorTree::apply`] — local Delaunay cavity repair plus R-tree
+    /// point updates, no rebuild), and published. Cost scales with the
+    /// delta's neighborhood instead of O(n log n); queries rebind exactly
+    /// as they do for a full [`World::publish`].
+    ///
+    /// On error nothing is published and the world is unchanged.
+    /// Concurrent `apply`/`publish` calls serialise; readers are never
+    /// blocked for longer than the final pointer swap.
+    pub fn apply(&self, delta: &SiteDelta) -> Result<Epoch, VoronoiError> {
+        let _serial = self.writer.lock().expect("world writer poisoned");
+        let current = Arc::clone(&self.state.read().expect("world lock poisoned").1);
+        let mut next = (*current).clone();
+        next.apply(delta)?;
+        Ok(self.swap_in(Arc::new(next)))
+    }
+}
+
+impl World<NetworkWorld> {
+    /// Applies a batched [`NetSiteDelta`] as a **delta epoch**: same
+    /// contract as [`World::apply`] for `VorTree` worlds. The road
+    /// network is shared untouched via `Arc` across epochs; the site set
+    /// and NVD are cloned and patched with localized re-expansion
+    /// ([`NetworkVoronoi::insert_site`] /
+    /// [`NetworkVoronoi::remove_site`]) instead of a full multi-source
+    /// Dijkstra.
+    pub fn apply(&self, delta: &NetSiteDelta) -> Result<Epoch, RoadNetError> {
+        let _serial = self.writer.lock().expect("world writer poisoned");
+        let current = Arc::clone(&self.state.read().expect("world lock poisoned").1);
+        let next = current.apply_delta(delta)?;
+        Ok(self.swap_in(Arc::new(next)))
     }
 }
 
@@ -117,6 +177,34 @@ impl NetworkWorld {
     /// half of a data-object update).
     pub fn with_sites(&self, sites: SiteSet) -> NetworkWorld {
         NetworkWorld::build(Arc::clone(&self.net), sites)
+    }
+
+    /// The next epoch's snapshot produced *incrementally*: the network is
+    /// shared untouched via `Arc`, the site set and NVD are cloned and
+    /// patched per delta entry (removals first, descending pre-delta
+    /// indices with swap-remove renames, then insertions in order). The
+    /// original snapshot is never modified; on error it stays the live
+    /// one.
+    pub fn apply_delta(&self, delta: &NetSiteDelta) -> Result<NetworkWorld, RoadNetError> {
+        let mut sites = (*self.sites).clone();
+        let mut nvd = (*self.nvd).clone();
+        let mut removed = delta.removed.clone();
+        removed.sort_unstable();
+        removed.dedup();
+        for &s in removed.iter().rev() {
+            let moved = sites.remove(s)?;
+            nvd.remove_site(&self.net, s, moved);
+        }
+        for &v in &delta.added {
+            let idx = sites.insert(&self.net, v)?;
+            let got = nvd.insert_site(&self.net, v);
+            debug_assert_eq!(idx, got, "site set and NVD agree on indices");
+        }
+        Ok(NetworkWorld {
+            net: Arc::clone(&self.net),
+            sites: Arc::new(sites),
+            nvd: Arc::new(nvd),
+        })
     }
 }
 
@@ -157,5 +245,108 @@ mod tests {
     fn epoch_display_and_next() {
         assert_eq!(Epoch(3).next(), Epoch(4));
         assert_eq!(format!("{}", Epoch(3)), "epoch 3");
+    }
+
+    fn small_vortree_world() -> World<VorTree> {
+        let mut state = 0x77u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let pts: Vec<insq_geom::Point> = (0..40)
+            .map(|_| insq_geom::Point::new(next() * 100.0, next() * 100.0))
+            .collect();
+        let bounds = insq_geom::Aabb::new(
+            insq_geom::Point::new(-10.0, -10.0),
+            insq_geom::Point::new(110.0, 110.0),
+        );
+        World::new(VorTree::build(pts, bounds).unwrap())
+    }
+
+    #[test]
+    fn apply_publishes_a_patched_clone() {
+        use insq_voronoi::SiteId;
+        let world = small_vortree_world();
+        let (e0, snap0) = world.snapshot();
+        let n0 = snap0.len();
+
+        let delta = SiteDelta {
+            added: vec![insq_geom::Point::new(51.3, 49.2)],
+            removed: vec![SiteId(3)],
+        };
+        let e1 = world.apply(&delta).unwrap();
+        assert_eq!(e1, e0.next());
+        let (_, snap1) = world.snapshot();
+        assert_eq!(snap1.len(), n0, "one added, one removed");
+        // The old snapshot is untouched (copy-on-write).
+        assert_eq!(snap0.len(), n0);
+        assert!(!Arc::ptr_eq(&snap0, &snap1));
+        assert!(snap1
+            .voronoi()
+            .points()
+            .contains(&insq_geom::Point::new(51.3, 49.2)));
+    }
+
+    #[test]
+    fn failed_apply_publishes_nothing() {
+        let world = small_vortree_world();
+        let (e0, snap0) = world.snapshot();
+        let dup = snap0.voronoi().point(insq_voronoi::SiteId(0));
+        let err = world.apply(&SiteDelta::insert(vec![dup]));
+        assert!(err.is_err());
+        let (e, snap) = world.snapshot();
+        assert_eq!(e, e0, "no epoch bump on failure");
+        assert!(Arc::ptr_eq(&snap0, &snap), "snapshot unchanged on failure");
+
+        // A stale (out-of-range) removal id errors cleanly too — it must
+        // not panic, which would poison the writer lock and kill every
+        // future apply/publish on this world.
+        let err = world.apply(&SiteDelta::remove(vec![insq_voronoi::SiteId(4242)]));
+        assert!(matches!(
+            err,
+            Err(insq_voronoi::VoronoiError::SiteOutOfRange { site: 4242, .. })
+        ));
+        assert_eq!(world.epoch(), e0);
+        // The world stays fully usable.
+        let ok = world.apply(&SiteDelta::insert(vec![insq_geom::Point::new(3.25, 4.75)]));
+        assert_eq!(ok.unwrap(), e0.next());
+    }
+
+    #[test]
+    fn network_apply_shares_the_road_network() {
+        use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
+        use insq_roadnet::{SiteIdx, VertexId};
+        let net = Arc::new(grid_network(&GridConfig::default(), 9).unwrap());
+        let sites = SiteSet::new(&net, random_site_vertices(&net, 6, 4).unwrap()).unwrap();
+        let world = World::new(NetworkWorld::build(Arc::clone(&net), sites));
+        let (_, snap0) = world.snapshot();
+
+        // Pick a vertex without a site.
+        let free = (0..net.num_vertices() as u32)
+            .map(VertexId)
+            .find(|&v| snap0.sites.site_at(v).is_none())
+            .unwrap();
+        let delta = NetSiteDelta {
+            added: vec![free],
+            removed: vec![SiteIdx(1)],
+        };
+        world.apply(&delta).unwrap();
+        let (_, snap1) = world.snapshot();
+        assert!(
+            Arc::ptr_eq(&snap0.net, &snap1.net),
+            "the network is shared across delta epochs"
+        );
+        assert!(!Arc::ptr_eq(&snap0.nvd, &snap1.nvd));
+        assert_eq!(snap1.sites.len(), snap0.sites.len());
+        // The patched NVD equals a from-scratch build over the new sites.
+        let rebuilt = NetworkVoronoi::build(&net, &snap1.sites);
+        for s in 0..snap1.sites.len() as u32 {
+            assert_eq!(
+                snap1.nvd.neighbors(SiteIdx(s)),
+                rebuilt.neighbors(SiteIdx(s))
+            );
+        }
     }
 }

@@ -7,12 +7,13 @@ use std::sync::Arc;
 
 use insq_core::{InsConfig, InsProcessor, MovingKnn, NetInsConfig, NetInsProcessor, QueryStats};
 use insq_geom::{Point, Trajectory};
-use insq_index::VorTree;
+use insq_index::{SiteDelta, VorTree};
 use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
-use insq_roadnet::{NetPosition, NetTrajectory, NetworkVoronoi, SiteSet};
+use insq_roadnet::{NetPosition, NetSiteDelta, NetTrajectory, NetworkVoronoi, SiteIdx, SiteSet};
 use insq_server::{
     FleetConfig, FleetEngine, InsFleetQuery, NetFleetQuery, NetworkWorld, QueryId, World,
 };
+use insq_voronoi::SiteId;
 use insq_workload::FleetScenario;
 
 const CLIENTS: usize = 120;
@@ -178,6 +179,304 @@ fn register_binds_the_query_to_the_engines_world() {
     let mut want = idx_b.voronoi().knn_brute(pos, sc.k);
     want.sort_unstable();
     assert_eq!(got, want, "results must come from the engine's world");
+}
+
+/// Drives a fleet over `idx_v0`, performing `update` at `SWAP_AT`, and
+/// returns per-query results plus the aggregate stats.
+fn run_fleet_with_update(
+    sc: &FleetScenario,
+    idx_v0: &Arc<VorTree>,
+    trajs: &[Trajectory],
+    threads: usize,
+    update: impl Fn(&World<VorTree>),
+) -> (Vec<PerQuery>, QueryStats) {
+    let world = Arc::new(World::from_arc(Arc::clone(idx_v0)));
+    let mut fleet: FleetEngine<VorTree, InsFleetQuery> = FleetEngine::new(
+        Arc::clone(&world),
+        FleetConfig {
+            shards: 13,
+            threads,
+        },
+    );
+    for _ in 0..sc.clients {
+        fleet.register(InsFleetQuery::new(&world, InsConfig::new(sc.k, sc.rho)).unwrap());
+    }
+    for tick in 0..sc.ticks {
+        if tick == SWAP_AT {
+            update(&world);
+        }
+        let positions: Vec<Point> = (0..sc.clients)
+            .map(|c| sc.position(&trajs[c], c, tick))
+            .collect();
+        let summary = fleet.tick_all(|id| positions[id.index()]);
+        let expected_rebinds = if tick == SWAP_AT { sc.clients } else { 0 };
+        assert_eq!(summary.rebinds as usize, expected_rebinds, "tick {tick}");
+    }
+    let per_query: Vec<PerQuery> = (0..sc.clients)
+        .map(|c| {
+            let q = fleet.query(QueryId(c as u64)).unwrap();
+            PerQuery {
+                knn: q.current_knn(),
+                stats: *q.stats(),
+            }
+        })
+        .collect();
+    (per_query, fleet.stats().total)
+}
+
+/// Delta epochs vs full republish: a mid-run `World::apply` of a
+/// `SiteDelta` must give every client results (and statistics)
+/// bit-identical to a mid-run `World::publish` of a from-scratch index
+/// over the equivalent site set — at every thread count.
+#[test]
+fn delta_epoch_matches_full_publish_mid_run() {
+    let sc = FleetScenario {
+        clients: 60,
+        n: 900,
+        k: 4,
+        ticks: TICKS,
+        updates: vec![SWAP_AT],
+        seed: 1312,
+        ..Default::default()
+    };
+    let idx_v0 = Arc::new(VorTree::build(sc.points(0), sc.clip_window()).unwrap());
+    let trajs: Vec<Trajectory> = (0..sc.clients).map(|c| sc.client_trajectory(c)).collect();
+
+    // A mixed batch: 25 insertions drawn from the epoch-1 point pool
+    // (deduplicated against the index) and 15 removals.
+    let mut added: Vec<Point> = sc.points(1).into_iter().take(40).collect();
+    added.retain(|p| !idx_v0.voronoi().points().contains(p));
+    added.truncate(25);
+    let removed: Vec<SiteId> = (0..15).map(|i| SiteId(i * 37)).collect();
+    let delta = SiteDelta { added, removed };
+
+    // The equivalent full-rebuild index: apply the delta to a clone and
+    // rebuild from scratch over the resulting (identically ordered) sites.
+    let equivalent = {
+        let mut patched = (*Arc::clone(&idx_v0)).clone();
+        patched.apply(&delta).unwrap();
+        Arc::new(VorTree::build(patched.voronoi().points().to_vec(), sc.clip_window()).unwrap())
+    };
+
+    let (ref_queries, ref_total) = run_fleet_with_update(&sc, &idx_v0, &trajs, 1, |world| {
+        world.publish_arc(Arc::clone(&equivalent));
+    });
+    for threads in [1usize, 2, 8] {
+        let (delta_queries, delta_total) =
+            run_fleet_with_update(&sc, &idx_v0, &trajs, threads, |world| {
+                world.apply(&delta).unwrap();
+            });
+        assert_eq!(
+            delta_total, ref_total,
+            "aggregate stats diverged (threads={threads})"
+        );
+        for (c, (d, r)) in delta_queries.iter().zip(&ref_queries).enumerate() {
+            assert_eq!(
+                d.knn, r.knn,
+                "kNN diverged for client {c} (threads={threads})"
+            );
+            assert_eq!(
+                d.stats, r.stats,
+                "stats diverged for client {c} (threads={threads})"
+            );
+        }
+    }
+
+    // Exactness: final results answer from the post-delta site set.
+    let (_, snap) = {
+        let world = World::from_arc(Arc::clone(&idx_v0));
+        world.apply(&delta).unwrap();
+        world.snapshot()
+    };
+    for c in [0usize, 17, sc.clients - 1] {
+        let pos = sc.position(&trajs[c], c, sc.ticks - 1);
+        let mut got = ref_queries[c].knn.clone();
+        got.sort_unstable();
+        let mut want = snap.voronoi().knn_brute(pos, sc.k);
+        want.sort_unstable();
+        assert_eq!(got, want, "client {c} must answer from the delta epoch");
+    }
+}
+
+/// Graceful degradation under delta epochs: a `remove`-only delta that
+/// shrinks the world below `k` must leave every query answering with all
+/// surviving sites (PR 2 covered this for full publishes only).
+#[test]
+fn delta_shrinks_world_below_k_and_queries_degrade_gracefully() {
+    let bounds = insq_geom::Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+    let mut state = 0x5ca1eu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    let pts: Vec<Point> = (0..7)
+        .map(|_| Point::new(next() * 100.0, next() * 100.0))
+        .collect();
+    let k = 5usize;
+    let world = Arc::new(World::new(
+        VorTree::build(pts, bounds.inflated(10.0)).unwrap(),
+    ));
+    let mut fleet: FleetEngine<VorTree, InsFleetQuery> =
+        FleetEngine::new(Arc::clone(&world), FleetConfig::with_threads(2));
+    for _ in 0..8 {
+        fleet.register(InsFleetQuery::new(&world, InsConfig::new(k, 1.6)).unwrap());
+    }
+    let pos_of = |id: QueryId, tick: usize| {
+        Point::new(
+            10.0 + (id.0 % 5) as f64 * 17.0,
+            10.0 + tick as f64 * 3.0 + (id.0 / 5) as f64 * 11.0,
+        )
+    };
+    for tick in 0..4 {
+        fleet.tick_all(|id| pos_of(id, tick));
+    }
+    for id in fleet.ids() {
+        assert_eq!(fleet.query(id).unwrap().current_knn().len(), k);
+    }
+
+    // Shrink to 3 sites (< k) with one delta epoch.
+    world
+        .apply(&SiteDelta::remove(vec![
+            SiteId(0),
+            SiteId(2),
+            SiteId(4),
+            SiteId(6),
+        ]))
+        .unwrap();
+    let (_, snap) = world.snapshot();
+    assert_eq!(snap.len(), 3);
+    for tick in 4..8 {
+        let summary = fleet.tick_all(|id| pos_of(id, tick));
+        if tick == 4 {
+            assert_eq!(summary.rebinds, 8, "the delta epoch reaches every query");
+        }
+    }
+    for id in fleet.ids() {
+        let mut got = fleet.query(id).unwrap().current_knn();
+        got.sort_unstable();
+        let mut want = snap.voronoi().knn_brute(pos_of(id, 7), k);
+        want.sort_unstable();
+        assert_eq!(got.len(), 3, "all surviving sites are the answer");
+        assert_eq!(got, want, "degraded answers stay exact (query {id:?})");
+    }
+
+    // Growing back above k with another delta restores full answers.
+    let (_, small) = world.snapshot();
+    let mut grow = SiteDelta::default();
+    while grow.added.len() < 4 {
+        let p = Point::new(next() * 100.0, next() * 100.0);
+        if !small.voronoi().points().contains(&p) {
+            grow.added.push(p);
+        }
+    }
+    world.apply(&grow).unwrap();
+    fleet.tick_all(|id| pos_of(id, 8));
+    for id in fleet.ids() {
+        assert_eq!(fleet.query(id).unwrap().current_knn().len(), k);
+    }
+}
+
+/// Network delta epochs: `World::apply(NetSiteDelta)` must match a full
+/// `publish(with_sites(...))` of the equivalent site set, across thread
+/// counts — the road network itself being shared untouched.
+#[test]
+fn network_delta_epoch_matches_full_publish() {
+    let ticks = 40usize;
+    let swap_at = 20usize;
+    let clients = 20usize;
+    let k = 3usize;
+    let speed = 0.14;
+
+    let net = Arc::new(
+        grid_network(
+            &GridConfig {
+                cols: 9,
+                rows: 9,
+                ..GridConfig::default()
+            },
+            17,
+        )
+        .unwrap(),
+    );
+    let sites_a = SiteSet::new(&net, random_site_vertices(&net, 20, 3).unwrap()).unwrap();
+    let world_a = NetworkWorld::build(Arc::clone(&net), sites_a.clone());
+
+    // Delta: remove 5 sites, add 4 fresh vertices.
+    let mut delta = NetSiteDelta::remove((0..5).map(|i| SiteIdx(i * 3)).collect());
+    let mut cursor = 0u32;
+    while delta.added.len() < 4 {
+        let v = insq_roadnet::VertexId(cursor);
+        cursor += 7;
+        if sites_a.site_at(v).is_none() {
+            delta.added.push(v);
+        }
+    }
+    let equivalent_sites = {
+        let patched = world_a.apply_delta(&delta).unwrap();
+        (*patched.sites).clone()
+    };
+
+    let tours: Vec<NetTrajectory> = (0..clients)
+        .map(|c| NetTrajectory::random_tour(&net, 5, 900 + c as u64).unwrap())
+        .collect();
+    let pos_of = |c: usize, tick: usize| -> NetPosition {
+        tours[c].position_looped(&net, speed * tick as f64 + 0.27 * c as f64)
+    };
+
+    let mut runs: Vec<Vec<(Vec<SiteIdx>, QueryStats)>> = Vec::new();
+    for (threads, use_delta) in [(1usize, false), (1, true), (2, true), (8, true)] {
+        let world = Arc::new(World::new(NetworkWorld::build(
+            Arc::clone(&net),
+            sites_a.clone(),
+        )));
+        let mut fleet: FleetEngine<NetworkWorld, NetFleetQuery> =
+            FleetEngine::new(Arc::clone(&world), FleetConfig { shards: 4, threads });
+        for _ in 0..clients {
+            fleet.register(NetFleetQuery::new(&world, NetInsConfig::new(k, 1.6)).unwrap());
+        }
+        for tick in 0..ticks {
+            if tick == swap_at {
+                if use_delta {
+                    world.apply(&delta).unwrap();
+                } else {
+                    let (_, snap) = world.snapshot();
+                    world.publish(snap.with_sites(equivalent_sites.clone()));
+                }
+            }
+            let positions: Vec<NetPosition> = (0..clients).map(|c| pos_of(c, tick)).collect();
+            fleet.tick_all(|id| positions[id.index()]);
+        }
+        if use_delta {
+            let (_, snap) = world.snapshot();
+            assert!(
+                Arc::ptr_eq(&snap.net, &net),
+                "delta epochs share the road network"
+            );
+        }
+        runs.push(
+            (0..clients)
+                .map(|c| {
+                    let q = fleet.query(QueryId(c as u64)).unwrap();
+                    (q.current_knn(), *q.stats())
+                })
+                .collect(),
+        );
+    }
+    let reference = &runs[0];
+    for (r, run) in runs.iter().enumerate().skip(1) {
+        for c in 0..clients {
+            assert_eq!(
+                run[c].0, reference[c].0,
+                "kNN diverged (run {r}, client {c})"
+            );
+            assert_eq!(
+                run[c].1, reference[c].1,
+                "stats diverged (run {r}, client {c})"
+            );
+        }
+    }
 }
 
 #[test]

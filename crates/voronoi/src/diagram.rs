@@ -1,14 +1,18 @@
 //! The order-1 Voronoi diagram: cells and neighbor sets.
 //!
-//! Built once over the static data set, as prescribed by the INSQ paper
-//! (§III: "we precompute the Voronoi diagram of O"). Neighbor lists are
-//! stored in CSR form — a flat pair of arrays — which both keeps the
-//! per-site overhead small (the paper's "\[stored\] with little overhead")
-//! and gives the O(1)-per-site slice access the INS construction needs.
+//! Built once over the data set, as prescribed by the INSQ paper (§III:
+//! "we precompute the Voronoi diagram of O"), then maintained
+//! *incrementally* under site insertions and removals: the underlying
+//! [`DynamicDelaunay`] repairs only the triangles of the affected cavity,
+//! and the per-site neighbor lists are refreshed for exactly the sites
+//! whose cells changed. Update cost is therefore proportional to the size
+//! of the delta's neighborhood, not the diagram — the substrate of the
+//! delta-epoch index maintenance in `insq-index` / `insq-server`.
 
 use insq_geom::{Aabb, ConvexPolygon, HalfPlane, Point};
 
-use crate::delaunay::{next_halfedge, Triangulation, EMPTY};
+use crate::delaunay::Triangulation;
+use crate::dynamic::DynamicDelaunay;
 use crate::VoronoiError;
 
 /// Identifier of a data object (site) — an index into the site array.
@@ -30,16 +34,14 @@ impl std::fmt::Display for SiteId {
 }
 
 /// An order-1 Voronoi diagram over a set of sites, clipped to a bounding
-/// window.
+/// window, maintainable under site insertions and removals.
 #[derive(Debug, Clone)]
 pub struct Voronoi {
     points: Vec<Point>,
     bounds: Aabb,
-    triangulation: Triangulation,
-    /// CSR neighbor lists: neighbors of site `i` are
-    /// `adjacency[offsets[i]..offsets[i+1]]`, sorted ascending.
-    offsets: Vec<u32>,
-    adjacency: Vec<SiteId>,
+    tri: DynamicDelaunay,
+    /// Per-site Voronoi neighbor lists, each sorted ascending.
+    adj: Vec<Vec<SiteId>>,
 }
 
 impl Voronoi {
@@ -48,49 +50,106 @@ impl Voronoi {
     pub fn build(points: Vec<Point>, bounds: Aabb) -> Result<Voronoi, VoronoiError> {
         let triangulation = Triangulation::build(&points)?;
         let n = points.len();
+        let tri = DynamicDelaunay::from_triangulation(triangulation, n);
 
-        // Count Delaunay edges per vertex, then fill CSR.
-        let mut degree = vec![0u32; n];
-        let tris = &triangulation.triangles;
-        let halves = &triangulation.halfedges;
-        for e in 0..tris.len() {
-            let twin = halves[e];
-            if twin == EMPTY || (e as u32) < twin {
-                let u = tris[e] as usize;
-                let v = tris[next_halfedge(e as u32) as usize] as usize;
-                degree[u] += 1;
-                degree[v] += 1;
-            }
+        let mut adj: Vec<Vec<SiteId>> = vec![Vec::new(); n];
+        for (u, v) in tri.edges() {
+            adj[u as usize].push(SiteId(v));
+            adj[v as usize].push(SiteId(u));
         }
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0u32);
-        for d in &degree {
-            offsets.push(offsets.last().expect("non-empty") + d);
-        }
-        let mut adjacency = vec![SiteId(0); *offsets.last().expect("non-empty") as usize];
-        let mut cursor: Vec<u32> = offsets[..n].to_vec();
-        for e in 0..tris.len() {
-            let twin = halves[e];
-            if twin == EMPTY || (e as u32) < twin {
-                let u = tris[e];
-                let v = tris[next_halfedge(e as u32) as usize];
-                adjacency[cursor[u as usize] as usize] = SiteId(v);
-                cursor[u as usize] += 1;
-                adjacency[cursor[v as usize] as usize] = SiteId(u);
-                cursor[v as usize] += 1;
-            }
-        }
-        for i in 0..n {
-            adjacency[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        for list in &mut adj {
+            list.sort_unstable();
         }
 
         Ok(Voronoi {
             points,
             bounds,
-            triangulation,
-            offsets,
-            adjacency,
+            tri,
+            adj,
         })
+    }
+
+    /// Inserts a new site at `p` (which must lie inside the clipping
+    /// window), repairing the diagram locally. `hint` — typically the
+    /// nearest known site, e.g. from an R-tree probe — makes point
+    /// location O(1); without it, location walks from an arbitrary
+    /// triangle.
+    ///
+    /// Returns the new site's id, which is always `SiteId(len - 1)` of
+    /// the grown diagram.
+    pub fn insert_site(&mut self, p: Point, hint: Option<SiteId>) -> Result<SiteId, VoronoiError> {
+        if !p.is_finite() {
+            return Err(VoronoiError::NonFinite {
+                index: self.points.len(),
+            });
+        }
+        let v = self.points.len() as u32;
+        self.points.push(p);
+        match self.tri.insert(&self.points, v, hint.map(|s| s.0)) {
+            Ok(affected) => {
+                self.adj.push(Vec::new());
+                self.refresh_adjacency(&affected);
+                Ok(SiteId(v))
+            }
+            Err(e) => {
+                self.points.pop();
+                self.tri.truncate_vertices(self.points.len());
+                Err(e)
+            }
+        }
+    }
+
+    /// Removes site `s`, repairing the diagram locally.
+    ///
+    /// Site ids are dense, so the removal uses *swap-remove semantics*:
+    /// when `s` is not the last site, the last site is renumbered to `s`
+    /// and `Some(old_id)` of the moved site is returned (callers holding
+    /// external per-site state — like the VoR-tree's R-tree entries —
+    /// must apply the same rename). Removal keeps at least 3 sites and
+    /// refuses to leave an all-collinear site set.
+    pub fn remove_site(&mut self, s: SiteId) -> Result<Option<SiteId>, VoronoiError> {
+        let n = self.points.len();
+        if s.idx() >= n {
+            return Err(VoronoiError::SiteOutOfRange {
+                site: s.idx(),
+                len: n,
+            });
+        }
+        if n <= 3 {
+            return Err(VoronoiError::TooFewSites { needed: 4, got: n });
+        }
+        let affected = self.tri.remove(&self.points, s.0)?;
+        let last = (n - 1) as u32;
+        let moved = if s.0 != last {
+            self.tri.relabel(last, s.0);
+            Some(SiteId(last))
+        } else {
+            None
+        };
+        self.points.swap_remove(s.idx());
+        self.adj.swap_remove(s.idx());
+        self.tri.truncate_vertices(self.points.len());
+
+        let mut to_fix: Vec<u32> = affected
+            .into_iter()
+            .map(|w| if w == last { s.0 } else { w })
+            .collect();
+        if moved.is_some() {
+            to_fix.push(s.0);
+            to_fix.extend(self.tri.neighbors_of(s.0));
+        }
+        to_fix.sort_unstable();
+        to_fix.dedup();
+        self.refresh_adjacency(&to_fix);
+        Ok(moved)
+    }
+
+    /// Recomputes the neighbor lists of the given sites from the
+    /// triangulation.
+    fn refresh_adjacency(&mut self, sites: &[u32]) {
+        for &w in sites {
+            self.adj[w as usize] = self.tri.neighbors_of(w).into_iter().map(SiteId).collect();
+        }
     }
 
     /// The site coordinates, indexable by [`SiteId`].
@@ -123,10 +182,10 @@ impl Voronoi {
         self.bounds
     }
 
-    /// The underlying Delaunay triangulation.
+    /// The underlying (incrementally maintained) Delaunay triangulation.
     #[inline]
-    pub fn triangulation(&self) -> &Triangulation {
-        &self.triangulation
+    pub fn delaunay(&self) -> &DynamicDelaunay {
+        &self.tri
     }
 
     /// The Voronoi neighbor set `N_O(p)` of site `s` (Definition 3 of the
@@ -138,9 +197,7 @@ impl Voronoi {
     /// which only requires a superset of the true neighbor set.
     #[inline]
     pub fn neighbors(&self, s: SiteId) -> &[SiteId] {
-        let lo = self.offsets[s.idx()] as usize;
-        let hi = self.offsets[s.idx() + 1] as usize;
-        &self.adjacency[lo..hi]
+        &self.adj[s.idx()]
     }
 
     /// Whether sites `a` and `b` are Voronoi neighbors.
@@ -270,15 +327,20 @@ mod tests {
         }
     }
 
-    #[test]
-    fn random_sites_cell_membership() {
-        let mut state = 0x5eed5eedu64;
-        let mut next = || {
+    /// Deterministic LCG in [0, 1) so tests are reproducible without rand.
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
             state = state
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
-        };
+        }
+    }
+
+    #[test]
+    fn random_sites_cell_membership() {
+        let mut next = lcg(0x5eed5eed);
         let points: Vec<Point> = (0..50)
             .map(|_| Point::new(next() * 10.0, next() * 10.0))
             .collect();
@@ -289,6 +351,125 @@ mod tests {
             let nearest = v.nearest_site_brute(q);
             assert!(v.cell(nearest).contains(q));
         }
+    }
+
+    /// Neighbor lists of an incrementally maintained diagram must equal a
+    /// from-scratch rebuild over the same (reordered) site array.
+    fn assert_matches_rebuild(v: &Voronoi) {
+        let rebuilt = Voronoi::build(v.points().to_vec(), v.bounds()).unwrap();
+        for s in 0..v.len() as u32 {
+            assert_eq!(
+                v.neighbors(SiteId(s)),
+                rebuilt.neighbors(SiteId(s)),
+                "neighbor list of site {s} diverged from rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_site_repairs_locally() {
+        let mut next = lcg(0xfeed_f00d);
+        let points: Vec<Point> = (0..30)
+            .map(|_| Point::new(next() * 10.0, next() * 10.0))
+            .collect();
+        let bounds = Aabb::new(Point::new(-1.0, -1.0), Point::new(11.0, 11.0));
+        let mut v = Voronoi::build(points, bounds).unwrap();
+        for i in 0..20 {
+            let p = Point::new(next() * 10.0, next() * 10.0);
+            let hint = if i % 2 == 0 { Some(SiteId(0)) } else { None };
+            let id = v.insert_site(p, hint).unwrap();
+            assert_eq!(id.idx(), v.len() - 1);
+            assert_eq!(v.point(id), p);
+        }
+        assert_matches_rebuild(&v);
+        // Duplicate insertion is rejected and leaves the diagram intact.
+        let dup = v.point(SiteId(7));
+        assert!(matches!(
+            v.insert_site(dup, None),
+            Err(VoronoiError::DuplicateSites { first: 7, .. })
+        ));
+        assert_eq!(v.len(), 50);
+        assert_matches_rebuild(&v);
+    }
+
+    #[test]
+    fn remove_site_swaps_in_the_last() {
+        // General-position sites (on a cocircular grid the incremental and
+        // rebuilt diagrams may legitimately pick different degenerate
+        // triangulations; query-level conformance covers that case).
+        let mut next = lcg(0xace_0fba5e);
+        let points: Vec<Point> = (0..9)
+            .map(|_| Point::new(next() * 10.0, next() * 10.0))
+            .collect();
+        let bounds = Aabb::new(Point::new(-1.0, -1.0), Point::new(11.0, 11.0));
+        let v0 = Voronoi::build(points, bounds).unwrap();
+        let mut v = v0.clone();
+        // Remove index 4: the last site (index 8) moves to 4.
+        let moved = v.remove_site(SiteId(4)).unwrap();
+        assert_eq!(moved, Some(SiteId(8)));
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.point(SiteId(4)), v0.point(SiteId(8)));
+        assert_matches_rebuild(&v);
+        // Removing the (new) last site moves nothing.
+        let moved = v.remove_site(SiteId(7)).unwrap();
+        assert_eq!(moved, None);
+        assert_matches_rebuild(&v);
+    }
+
+    #[test]
+    fn remove_site_floors() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let bounds = Aabb::new(Point::new(-1.0, -1.0), Point::new(2.0, 2.0));
+        let mut v = Voronoi::build(points, bounds).unwrap();
+        assert!(matches!(
+            v.remove_site(SiteId(0)),
+            Err(VoronoiError::TooFewSites { .. })
+        ));
+        // 4 sites, 3 of them collinear: removing the off-line one must be
+        // refused, and the diagram must stay intact.
+        let mut v = Voronoi::build(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(1.0, 1.0),
+            ],
+            bounds,
+        )
+        .unwrap();
+        assert!(matches!(
+            v.remove_site(SiteId(3)),
+            Err(VoronoiError::AllCollinear)
+        ));
+        assert_eq!(v.len(), 4);
+        assert_matches_rebuild(&v);
+    }
+
+    #[test]
+    fn interleaved_updates_track_rebuild() {
+        let mut next = lcg(0x0dd_ba11);
+        let points: Vec<Point> = (0..12)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect();
+        let bounds = Aabb::new(Point::new(-10.0, -10.0), Point::new(110.0, 110.0));
+        let mut v = Voronoi::build(points, bounds).unwrap();
+        for step in 0..80 {
+            if v.len() <= 4 || next() < 0.55 {
+                v.insert_site(Point::new(next() * 100.0, next() * 100.0), None)
+                    .unwrap();
+            } else {
+                let s = SiteId((next() * v.len() as f64) as u32);
+                v.remove_site(s).unwrap();
+            }
+            if step % 8 == 0 {
+                assert_matches_rebuild(&v);
+            }
+        }
+        assert_matches_rebuild(&v);
     }
 
     #[test]

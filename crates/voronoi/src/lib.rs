@@ -21,11 +21,13 @@
 
 pub mod delaunay;
 pub mod diagram;
+pub mod dynamic;
 pub mod enumerate;
 pub mod order_k;
 
 pub use delaunay::Triangulation;
 pub use diagram::{SiteId, Voronoi};
+pub use dynamic::DynamicDelaunay;
 pub use enumerate::{cell_count_growth, enumerate_order_k_cells, OrderKCell};
 pub use order_k::{order_k_cell, order_k_cell_tagged, EdgeSource, TaggedCell};
 
@@ -53,6 +55,14 @@ pub enum VoronoiError {
         /// Index of the offending site.
         index: usize,
     },
+    /// A site id does not refer to a live site (e.g. a stale id in a
+    /// removal delta).
+    SiteOutOfRange {
+        /// The offending site id.
+        site: usize,
+        /// Number of live sites.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for VoronoiError {
@@ -67,6 +77,9 @@ impl std::fmt::Display for VoronoiError {
             }
             VoronoiError::NonFinite { index } => {
                 write!(f, "non-finite coordinate at site index {index}")
+            }
+            VoronoiError::SiteOutOfRange { site, len } => {
+                write!(f, "site id {site} out of range ({len} live sites)")
             }
         }
     }

@@ -2,79 +2,84 @@
 //! data object updates, we also update the kNN set and the IS according
 //! to the data object updates").
 //!
-//! Models a POI database edit mid-drive: the server rebuilds its Voronoi
-//! diagram and VoR-tree, the client is rebound to the new index and its
-//! guards are invalidated, and the moving query continues seamlessly —
-//! paying exactly one extra recomputation.
-//!
-//! This example shows the *mechanism* on a single hand-driven query. In
-//! a multi-query deployment you do not call `rebind` yourself: hold the
-//! index in an `insq_server::World`, call `World::publish(new_index)`
-//! once, and every registered query self-rebinds at its next tick (see
-//! `examples/fleet.rs` and the "Epoch-versioned worlds" section of the
-//! README).
+//! Models a POI database edit mid-drive — on the **delta path**: instead
+//! of rebuilding the whole VoR-tree (O(n log n)) and publishing it, the
+//! server calls `World::apply(SiteDelta)`, which clones the snapshot
+//! copy-on-write and patches only the Delaunay cavity / R-tree entries
+//! the delta touches. The client sees an ordinary epoch bump, rebinds,
+//! and pays exactly one recomputation; the conformance suites
+//! (`crates/index/tests/incremental_conformance.rs`) prove the patched
+//! index answers bit-identically to a from-scratch rebuild.
 //!
 //! Run with: `cargo run --example data_updates`
+
+use std::sync::Arc;
 
 use insq::prelude::*;
 
 fn main() {
     let space = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
 
-    // World v1: the original POI set.
-    let pois_v1 = Distribution::Uniform.generate(3_000, &space, 1);
-    let index_v1 = VorTree::build(pois_v1, space.inflated(10.0)).expect("valid data");
+    // Epoch 0: the original POI set, owned by the server-side world.
+    let pois = Distribution::Uniform.generate(3_000, &space, 1);
+    let world = Arc::new(World::new(
+        VorTree::build(pois, space.inflated(10.0)).expect("valid data"),
+    ));
 
-    // World v2: 500 POIs added, a different seed region densified —
-    // the server-side result of a batch of insertions/deletions.
-    let mut pois_v2 = Distribution::Uniform.generate(2_800, &space, 1);
-    pois_v2.extend(
-        Distribution::Clustered {
-            clusters: 2,
-            spread: 0.03,
-        }
-        .generate(700, &space, 99),
-    );
-    // Deduplicate exact collisions across the two batches (the server
-    // would never store coincident objects).
-    pois_v2.sort_by(|a, b| a.lex_cmp(*b));
-    pois_v2.dedup();
-    let index_v2 = VorTree::build(pois_v2, space.inflated(10.0)).expect("valid data");
+    // A batch edit: 40 POIs close (spread-out ids), 25 new ones open in
+    // two tight clusters — the kind of update a live POI feed produces.
+    let mut delta = SiteDelta::remove((0..40).map(|i| SiteId(i * 71)).collect());
+    delta.added = Distribution::Clustered {
+        clusters: 2,
+        spread: 0.03,
+    }
+    .generate(25, &space, 99);
 
     let traj = TrajectoryKind::Circular { radius_frac: 0.7 }.generate(&space, 5);
+    let (mut epoch, mut index) = world.snapshot();
     let mut query =
-        InsProcessor::new(&index_v1, InsConfig::new(5, 1.6)).expect("valid configuration");
+        InsProcessor::new(Arc::clone(&index), InsConfig::new(5, 1.6)).expect("valid configuration");
 
     let ticks = 1_000usize;
     let update_at = 500usize;
-    println!("driving {ticks} ticks; the POI database is updated at tick {update_at}\n");
+    println!(
+        "driving {ticks} ticks; a {}-object delta is applied at tick {update_at}\n",
+        delta.len()
+    );
     for tick in 0..ticks {
         let pos = traj.position_looped(0.2 * tick as f64);
         if tick == update_at {
-            // Server: new index built out of band. Client: rebind + drop
-            // guards (they certify nothing against the new object set).
-            // With `insq-server` this is `world.publish(index_v2)` and no
-            // per-client code at all.
-            query.rebind(&index_v2);
+            // Server: one call, no rebuild. Cost scales with the delta —
+            // see `report --exp e_update` for the measured 5-25x margin.
+            let before = index.len();
+            let t0 = std::time::Instant::now();
+            world.apply(&delta).expect("valid delta");
+            let applied_in = t0.elapsed();
+            let (_, after) = world.snapshot();
             println!(
-                "tick {tick}: database updated ({} -> {} objects); client rebound",
-                index_v1.len(),
-                index_v2.len()
+                "tick {tick}: delta epoch applied in {applied_in:.1?} \
+                 ({} -> {} objects); clients rebind at their next tick",
+                before,
+                after.len()
             );
+        }
+        // Client: detect the epoch bump, rebind, continue (a FleetEngine
+        // does exactly this for every registered query — examples/fleet.rs).
+        let (e, snap) = world.snapshot();
+        if e != epoch {
+            epoch = e;
+            index = snap;
+            query.rebind(Arc::clone(&index));
+            println!("tick {tick}: client rebound to {epoch}");
         }
         let outcome = query.tick(pos);
         if outcome == TickOutcome::Recompute && (update_at..update_at + 2).contains(&tick) {
-            println!("tick {tick}: full recomputation against the new data set");
+            println!("tick {tick}: full recomputation against the patched data set");
         }
-        // The result is always the exact kNN of whichever world is live.
-        let live = if tick < update_at {
-            &index_v1
-        } else {
-            &index_v2
-        };
+        // The result is always the exact kNN of the live epoch.
         let mut got = query.current_knn();
         got.sort_unstable();
-        let mut want = live.voronoi().knn_brute(pos, 5);
+        let mut want = index.voronoi().knn_brute(pos, 5);
         want.sort_unstable();
         assert_eq!(got, want, "exactness across the update at tick {tick}");
     }
@@ -88,5 +93,5 @@ fn main() {
         s.recomputations,
         s.comm_objects
     );
-    println!("(the update itself cost exactly one of those recomputations)");
+    println!("(the delta epoch itself cost exactly one of those recomputations)");
 }

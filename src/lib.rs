@@ -91,9 +91,10 @@ pub mod prelude {
     pub use insq_geom::{
         Aabb, Circle, ConvexPolygon, HalfPlane, Point, Segment, Trajectory, Vector,
     };
-    pub use insq_index::{RTree, VorTree};
+    pub use insq_index::{RTree, SiteDelta, VorTree};
     pub use insq_roadnet::{
-        NetPosition, NetTrajectory, NetworkVoronoi, RoadNetwork, SiteIdx, SiteSet, VertexId,
+        NetPosition, NetSiteDelta, NetTrajectory, NetworkVoronoi, RoadNetwork, SiteIdx, SiteSet,
+        VertexId,
     };
     pub use insq_server::{
         Epoch, FleetConfig, FleetEngine, FleetQuery, FleetStats, InsFleetQuery, NetFleetQuery,
