@@ -5,23 +5,26 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use insq_baselines::NetNaiveProcessor;
 use insq_core::{MovingKnn, NetInsConfig, NetInsProcessor};
 use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
-use insq_roadnet::{NetPosition, NetTrajectory, NetworkVoronoi, SiteSet};
+use insq_roadnet::{NetPosition, NetTrajectory, NetworkVoronoi, NetworkWorld, SiteSet};
 use std::hint::black_box;
+use std::sync::Arc;
 
 const TICKS: usize = 100;
 
 fn bench_network_methods(c: &mut Criterion) {
-    let net = grid_network(
-        &GridConfig {
-            cols: 40,
-            rows: 40,
-            ..GridConfig::default()
-        },
-        2016,
-    )
-    .unwrap();
+    let net = Arc::new(
+        grid_network(
+            &GridConfig {
+                cols: 40,
+                rows: 40,
+                ..GridConfig::default()
+            },
+            2016,
+        )
+        .unwrap(),
+    );
     let sites = SiteSet::new(&net, random_site_vertices(&net, 120, 7).unwrap()).unwrap();
-    let nvd = NetworkVoronoi::build(&net, &sites);
+    let world = NetworkWorld::build(Arc::clone(&net), sites);
     let tour = NetTrajectory::random_tour(&net, 15, 3).unwrap();
     let positions: Vec<NetPosition> = (0..TICKS)
         .map(|i| tour.position_looped(&net, 0.03 * i as f64))
@@ -33,8 +36,7 @@ fn bench_network_methods(c: &mut Criterion) {
     for k in [1usize, 4, 16] {
         group.bench_with_input(BenchmarkId::new("INS-road", k), &k, |b, &k| {
             b.iter(|| {
-                let mut p =
-                    NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(k, 1.6)).unwrap();
+                let mut p = NetInsProcessor::new(&world, NetInsConfig::new(k, 1.6)).unwrap();
                 for &pos in &positions {
                     black_box(p.tick(pos));
                 }
@@ -42,7 +44,7 @@ fn bench_network_methods(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("Naive-road", k), &k, |b, &k| {
             b.iter(|| {
-                let mut p = NetNaiveProcessor::new(&net, &sites, k).unwrap();
+                let mut p = NetNaiveProcessor::new(&net, &world.sites, k).unwrap();
                 for &pos in &positions {
                     black_box(p.tick(pos));
                 }
@@ -53,7 +55,7 @@ fn bench_network_methods(c: &mut Criterion) {
     // The NVD build itself (amortised preprocessing).
     group.sample_size(20);
     group.bench_function("nvd_preprocess", |b| {
-        b.iter(|| black_box(NetworkVoronoi::build(&net, &sites)))
+        b.iter(|| black_box(NetworkVoronoi::build(&net, &world.sites)))
     });
     group.finish();
 }

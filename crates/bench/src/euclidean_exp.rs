@@ -53,10 +53,7 @@ pub fn run_all_methods(
     cmp
 }
 
-// The general-purpose ordered parallel map lives with the rest of the
-// concurrency machinery in `insq-server`; re-exported here because the
-// sweep experiments below are its original call sites.
-pub use insq_server::parallel_map;
+use insq_server::parallel_map;
 
 fn methods_header() -> String {
     format!(

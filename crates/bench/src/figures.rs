@@ -193,12 +193,13 @@ pub fn fig3(effort: Effort) -> String {
         2016,
     )
     .expect("valid grid");
+    let net = std::sync::Arc::new(net);
     let site_vertices = random_site_vertices(&net, 25, 5).expect("enough vertices");
     let sites = SiteSet::new(&net, site_vertices.clone()).expect("distinct");
-    let nvd = NetworkVoronoi::build(&net, &sites);
+    let world = insq_roadnet::NetworkWorld::build(std::sync::Arc::clone(&net), sites);
     let tour = NetTrajectory::random_tour(&net, 8, 2).expect("connected");
-    let mut query = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(5, 1.6))
-        .expect("valid configuration");
+    let mut query =
+        NetInsProcessor::new(&world, NetInsConfig::new(5, 1.6)).expect("valid configuration");
 
     let ticks = effort.ticks(1_500);
     let speed = tour.length() / ticks as f64;

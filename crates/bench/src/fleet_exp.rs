@@ -6,16 +6,18 @@
 //! cost per tick and the recompute rate — plus a determinism check that
 //! every thread count reproduced the sequential run's aggregate counters
 //! bit-for-bit.
+//!
+//! The run loop itself is the space-generic
+//! [`crate::space_exp::run_fleet`] instantiated for the Euclidean space;
+//! `e_spaces` drives the identical code through every other space.
 
 use std::sync::Arc;
-use std::time::Instant;
 
-use insq_core::InsConfig;
-use insq_geom::Trajectory;
-use insq_index::VorTree;
-use insq_server::{FleetConfig, FleetEngine, FleetStats, InsFleetQuery, World};
-use insq_workload::FleetScenario;
+use insq_core::Euclidean;
+use insq_server::FleetStats;
+use insq_workload::{FleetScenario, SpaceWorkload};
 
+use crate::space_exp::run_fleet;
 use crate::Effort;
 
 fn scenario(clients: usize, effort: Effort) -> FleetScenario {
@@ -29,34 +31,6 @@ fn scenario(clients: usize, effort: Effort) -> FleetScenario {
         seed: 2016,
         ..Default::default()
     }
-}
-
-fn run_fleet(
-    sc: &FleetScenario,
-    idx_v0: &Arc<VorTree>,
-    idx_v1: &Arc<VorTree>,
-    trajs: &[Trajectory],
-    threads: usize,
-) -> (FleetStats, f64) {
-    let world = Arc::new(World::from_arc(Arc::clone(idx_v0)));
-    let mut fleet: FleetEngine<VorTree, InsFleetQuery> =
-        FleetEngine::new(Arc::clone(&world), FleetConfig::with_threads(threads));
-    for _ in 0..sc.clients {
-        fleet.register(
-            InsFleetQuery::new(&world, InsConfig::new(sc.k, sc.rho)).expect("valid config"),
-        );
-    }
-    let t0 = Instant::now();
-    for tick in 0..sc.ticks {
-        if sc.updates.contains(&tick) {
-            world.publish_arc(Arc::clone(idx_v1));
-        }
-        // Positions are computed inside the closure, on the worker
-        // threads: the timed window contains no sequential per-tick work
-        // that would dilute the thread-scaling signal.
-        fleet.tick_all(|id| sc.position(&trajs[id.index()], id.index(), tick));
-    }
-    (fleet.stats(), t0.elapsed().as_secs_f64())
 }
 
 /// E-fleet: multi-query engine throughput and scaling.
@@ -79,13 +53,14 @@ pub fn e_fleet(effort: Effort) -> String {
 
     for &clients in &fleet_sizes {
         let sc = scenario(clients, effort);
-        let idx_v0 = Arc::new(VorTree::build(sc.points(0), sc.clip_window()).expect("valid data"));
-        let idx_v1 = Arc::new(VorTree::build(sc.points(1), sc.clip_window()).expect("valid data"));
-        let trajs: Vec<Trajectory> = (0..clients).map(|c| sc.client_trajectory(c)).collect();
+        let trajs = Euclidean::make_fleet(&sc);
+        let idx_v0 = Arc::new(Euclidean::build_index(&sc, &trajs, 0));
+        let idx_v1 = Arc::new(Euclidean::build_index(&sc, &trajs, 1));
 
         let mut baseline: Option<(FleetStats, f64)> = None;
         for &t in &threads {
-            let (stats, wall) = run_fleet(&sc, &idx_v0, &idx_v1, &trajs, t);
+            let (fleet, wall) = run_fleet::<Euclidean>(&sc, &trajs, &idx_v0, &idx_v1, t);
+            let stats = fleet.stats();
             let kticks = stats.total.ticks as f64 / wall / 1e3;
             let (speedup, identical) = match &baseline {
                 None => (1.0, true),

@@ -16,6 +16,7 @@ pub mod euclidean_exp;
 pub mod figures;
 pub mod fleet_exp;
 pub mod network_exp;
+pub mod space_exp;
 pub mod update_exp;
 
 /// How much work to spend per experiment.
@@ -137,6 +138,11 @@ pub fn experiments() -> Vec<Experiment> {
             id: "e_update",
             title: "E-update — incremental delta epochs vs full rebuild republishes",
             run: update_exp::e_update,
+        },
+        Experiment {
+            id: "e_spaces",
+            title: "E-spaces — one scenario through every Space (euclidean/weighted/network)",
+            run: space_exp::e_spaces,
         },
         Experiment {
             id: "ablation",

@@ -1,14 +1,16 @@
 //! Road-network experiments (E7).
 
+use std::sync::Arc;
+
 use insq_baselines::NetNaiveProcessor;
 use insq_core::{NetInsConfig, NetInsProcessor};
 use insq_roadnet::generators::{
     grid_network, random_site_vertices, ring_radial_network, GridConfig,
 };
-use insq_roadnet::{NetTrajectory, NetworkVoronoi, RoadNetwork, SiteSet};
+use insq_roadnet::{NetTrajectory, NetworkWorld, RoadNetwork, SiteSet};
+use insq_server::parallel_map;
 use insq_sim::run_network;
 
-use crate::euclidean_exp::parallel_map;
 use crate::Effort;
 
 /// E7: network-mode cost and communication vs k, INS vs naive INE.
@@ -16,24 +18,26 @@ pub fn e7_network_vs_k(effort: Effort) -> String {
     let ks = effort.thin(&[1usize, 2, 4, 8, 16]);
     let ticks = effort.ticks(3_000);
 
-    let net = grid_network(
-        &GridConfig {
-            cols: 40,
-            rows: 40,
-            spacing: 1.0,
-            jitter: 0.2,
-            diagonal_prob: 0.08,
-            deletion_prob: 0.08,
-        },
-        2016,
-    )
-    .expect("valid grid");
+    let net = Arc::new(
+        grid_network(
+            &GridConfig {
+                cols: 40,
+                rows: 40,
+                spacing: 1.0,
+                jitter: 0.2,
+                diagonal_prob: 0.08,
+                deletion_prob: 0.08,
+            },
+            2016,
+        )
+        .expect("valid grid"),
+    );
     let sites = SiteSet::new(
         &net,
         random_site_vertices(&net, 120, 7).expect("enough vertices"),
     )
     .expect("distinct sites");
-    let nvd = NetworkVoronoi::build(&net, &sites);
+    let world = NetworkWorld::build(Arc::clone(&net), sites);
     let tour = NetTrajectory::random_tour(&net, 15, 3).expect("connected network");
 
     let mut out = format!(
@@ -49,10 +53,10 @@ pub fn e7_network_vs_k(effort: Effort) -> String {
     ));
 
     let cells = parallel_map(ks, |&k| {
-        let mut ins = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(k, 1.6))
-            .expect("valid configuration");
+        let mut ins =
+            NetInsProcessor::new(&world, NetInsConfig::new(k, 1.6)).expect("valid configuration");
         let run_ins = run_network(&mut ins, &net, &tour, ticks, 0.03);
-        let mut naive = NetNaiveProcessor::new(&net, &sites, k).expect("valid configuration");
+        let mut naive = NetNaiveProcessor::new(&net, &world.sites, k).expect("valid configuration");
         let run_naive = run_network(&mut naive, &net, &tour, ticks, 0.03);
         (k, run_ins, run_naive)
     });
@@ -87,26 +91,26 @@ pub fn e7_network_vs_k(effort: Effort) -> String {
         ring.num_vertices(),
         ring.num_edges()
     ));
-    out.push_str(&run_pair(&ring, 60, 4, effort.ticks(2_000)));
+    out.push_str(&run_pair(ring, 60, 4, effort.ticks(2_000)));
     out.push_str("\nexpected shape: unchanged — the INS algorithm is topology-agnostic.\n");
     out
 }
 
 /// Runs INS-road vs Naive-road on one network; returns two table rows.
-fn run_pair(net: &RoadNetwork, site_count: usize, k: usize, ticks: usize) -> String {
+fn run_pair(net: RoadNetwork, site_count: usize, k: usize, ticks: usize) -> String {
+    let net = Arc::new(net);
     let sites = SiteSet::new(
-        net,
-        random_site_vertices(net, site_count, 5).expect("sites"),
+        &net,
+        random_site_vertices(&net, site_count, 5).expect("sites"),
     )
     .expect("distinct sites");
-    let nvd = NetworkVoronoi::build(net, &sites);
-    let tour = NetTrajectory::random_tour(net, 10, 9).expect("connected");
+    let world = NetworkWorld::build(Arc::clone(&net), sites);
+    let tour = NetTrajectory::random_tour(&net, 10, 9).expect("connected");
     let mut out = String::new();
-    let mut ins =
-        NetInsProcessor::new(net, &sites, &nvd, NetInsConfig::new(k, 1.6)).expect("valid");
-    let run_ins = run_network(&mut ins, net, &tour, ticks, 0.03);
-    let mut naive = NetNaiveProcessor::new(net, &sites, k).expect("valid");
-    let run_naive = run_network(&mut naive, net, &tour, ticks, 0.03);
+    let mut ins = NetInsProcessor::new(&world, NetInsConfig::new(k, 1.6)).expect("valid");
+    let run_ins = run_network(&mut ins, &net, &tour, ticks, 0.03);
+    let mut naive = NetNaiveProcessor::new(&net, &world.sites, k).expect("valid");
+    let run_naive = run_network(&mut naive, &net, &tour, ticks, 0.03);
     for run in [&run_ins, &run_naive] {
         let s = &run.stats;
         out.push_str(&format!(

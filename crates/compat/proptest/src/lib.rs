@@ -3,7 +3,7 @@
 //!
 //! The INSQ workspace builds fully offline, so its property tests run on
 //! this tiny API-compatible substitute instead of the crates.io
-//! `proptest`: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `proptest`: the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
 //! `boxed`, range and tuple strategies, [`collection::vec`],
 //! [`prop_oneof!`] (weighted and unweighted) and the `prop_assert*` /
 //! [`prop_assume!`] macros. Failing cases report the failure message and
@@ -261,7 +261,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,

@@ -1,26 +1,15 @@
-//! The INS moving-kNN processor for 2-D Euclidean space (paper §III).
+//! The 2-D Euclidean [`Space`] (paper §III).
 //!
-//! Lifecycle per query:
+//! The index is a [`VorTree`]; the validation probe is the §III-A
+//! distance scan, realised as a re-rank of the held objects: the current
+//! result is valid exactly while the top-k of `R ∪ I(R)` (by distance,
+//! ties by id) is still the current kNN set — equivalently, while the
+//! farthest current kNN (`r.delete`) is not farther than the nearest
+//! guard object (`r.candidate`).
 //!
-//! 1. **Initial computation** — retrieve `R`, the `⌊ρk⌋` nearest objects
-//!    (`ρ ≥ 1` is the *prefetch ratio*), together with `I(R)` from the
-//!    VoR-tree. The top-k of `R` is the kNN result; everything else held
-//!    client-side guards it.
-//! 2. **Validation per timestamp** — a linear scan (paper §III-A): the
-//!    farthest current kNN (`r.delete`) vs the nearest guard object
-//!    (`r.candidate`). While the former is not farther, the result is
-//!    provably still the global kNN (the guard set contains `I(kNN) ⊇
-//!    MIS(kNN)`).
-//! 3. **Update on invalidation** (paper §III-B) — case (i): the query
-//!    entered an adjacent order-k cell and one swap repairs the result;
-//!    case (ii): the new kNN can still be assembled from held objects;
-//!    case (iii): full recomputation of `R` and `I(R)` — the only case
-//!    that costs a client↔server round trip.
-//!
-//! The processor certifies *every* answer it returns: an answer is adopted
-//! only after the influential-set predicate holds for it, so the result
-//! equals the brute-force kNN at every tick (integration tests assert
-//! this).
+//! [`InsProcessor`] is the Euclidean instantiation of the generic
+//! [`Processor`]; the Euclidean-only observers of the demo (safe-region
+//! polygon, validation circles) live in an inherent impl here.
 
 use std::borrow::Borrow;
 
@@ -28,157 +17,149 @@ use insq_geom::{Circle, ConvexPolygon, Point};
 use insq_index::VorTree;
 use insq_voronoi::{order_k_cell, SiteId};
 
-use crate::influential::{influential_neighbor_set, validate_by_distance};
-use crate::metrics::{QueryStats, TickOutcome};
-use crate::processor::MovingKnn;
-use crate::CoreError;
+use crate::influential::influential_neighbor_set;
+use crate::processor::{MovingKnn, Processor};
+use crate::space::{Space, Validated};
 
-/// Configuration of the Euclidean INS processor.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct InsConfig {
-    /// Number of nearest neighbors to maintain (k ≥ 1).
-    pub k: usize,
-    /// Prefetch ratio ρ ≥ 1: `⌊ρk⌋` objects are retrieved per
-    /// recomputation to trade communication volume against recomputation
-    /// frequency (paper §III).
-    pub rho: f64,
-    /// Extension (off by default, not in the paper): when a local update
-    /// needs influential neighbors the client does not hold, fetch just
-    /// those objects instead of performing a full recomputation. This
-    /// turns the processor into an incremental neighbor-crawler that
-    /// almost never pays a full round trip, at the cost of an unbounded
-    /// client buffer. The ablation bench quantifies the trade-off.
-    pub incremental_fetch: bool,
+/// The 2-D Euclidean plane under L2, indexed by a [`VorTree`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Space for Euclidean {
+    type Pos = Point;
+    type SiteId = SiteId;
+    type Index = VorTree;
+    type Scratch = ();
+
+    const NAME: &'static str = "INS";
+
+    fn num_sites(index: &VorTree) -> usize {
+        index.len()
+    }
+
+    fn ordinal(id: SiteId) -> usize {
+        id.idx()
+    }
+
+    fn global_knn(index: &VorTree, pos: Point, m: usize) -> (Vec<(SiteId, f64)>, u64) {
+        let r = index.knn(pos, m);
+        let ops = r.len() as u64;
+        (r, ops)
+    }
+
+    fn influential(index: &VorTree, ids: &[SiteId]) -> Vec<SiteId> {
+        influential_neighbor_set(index.voronoi(), ids)
+    }
+
+    fn scoped_knn(
+        index: &VorTree,
+        _scratch: &mut (),
+        _scope: &[SiteId],
+        held: &[SiteId],
+        pos: Point,
+        k: usize,
+    ) -> (Vec<(SiteId, f64)>, u64) {
+        rank_held(|s| index.point(s).distance_sq(pos), held, k)
+    }
+
+    fn brute_knn(index: &VorTree, pos: Point, k: usize) -> Vec<SiteId> {
+        index.voronoi().knn_brute(pos, k)
+    }
+
+    fn validate(
+        index: &VorTree,
+        _scratch: &mut (),
+        _scope: &[SiteId],
+        held: &[SiteId],
+        current: &[(SiteId, f64)],
+        pos: Point,
+        k: usize,
+    ) -> (Validated<SiteId>, u64) {
+        scan_validate(|s| index.point(s).distance_sq(pos), held, current, k)
+    }
 }
 
-impl InsConfig {
-    /// A configuration with the given k and ρ (paper protocol).
-    pub fn new(k: usize, rho: f64) -> InsConfig {
-        InsConfig {
-            k,
-            rho,
-            incremental_fetch: false,
-        }
-    }
-
-    /// A configuration with the paper's demo default ρ = 1.6.
-    pub fn with_k(k: usize) -> InsConfig {
-        Self::new(k, 1.6)
-    }
-
-    /// Enables the incremental-fetch extension (see the field docs).
-    pub fn incremental(mut self) -> InsConfig {
-        self.incremental_fetch = true;
-        self
-    }
-
-    /// The prefetch count `max(k, ⌊ρk⌋)`.
-    pub fn prefetch_count(&self) -> usize {
-        ((self.rho * self.k as f64).floor() as usize).max(self.k)
-    }
-}
-
-/// The INS moving-kNN processor over a [`VorTree`].
+/// The §III-A validation scan shared by the (plain and weighted)
+/// Euclidean spaces: the result is valid while the farthest current
+/// member (`r.delete`) is not farther than the nearest guard
+/// (`r.candidate`, ties valid). On invalidation the held objects are
+/// ranked into the candidate replacement. One distance evaluation per
+/// held object either way.
 ///
-/// The processor is generic over *how* it holds the index: any
-/// `B: Borrow<VorTree>` works. Single-threaded callers pass `&VorTree`
-/// (the original API); the `insq-server` fleet engine passes
-/// `Arc<VorTree>` so queries own their world snapshot and can be rebound
-/// to a newly published epoch without lifetime entanglement.
-#[derive(Debug, Clone)]
-pub struct InsProcessor<B: Borrow<VorTree>> {
-    index: B,
-    cfg: InsConfig,
-    /// Last processed query position.
-    q: Point,
-    /// Current kNN, ascending by distance from the last position.
-    knn: Vec<SiteId>,
-    /// Client-side object cache: `R ∪ I(R)` plus everything fetched since
-    /// the last full recomputation. `cached[s]` mirrors membership of
-    /// `cached_list` for O(1) tests.
-    cached: Vec<bool>,
-    cached_list: Vec<SiteId>,
-    stats: QueryStats,
-    initialized: bool,
+/// This is the same predicate as
+/// [`crate::influential::validate_by_distance`] (which reports the
+/// delete/candidate pair for observers and benches); the comparison
+/// semantics — squared distances, boundary ties valid — must stay in
+/// sync between the two. This variant skips materialising the guard
+/// set, keeping the fleet engine's valid-tick path allocation-free.
+pub(crate) fn scan_validate<F: Fn(SiteId) -> f64 + Copy>(
+    dist_sq: F,
+    held: &[SiteId],
+    current: &[(SiteId, f64)],
+    k: usize,
+) -> (Validated<SiteId>, u64) {
+    let ops = held.len() as u64;
+    let mut max_knn = f64::NEG_INFINITY;
+    for &(s, _) in current {
+        max_knn = max_knn.max(dist_sq(s));
+    }
+    let mut min_guard = f64::INFINITY;
+    for &s in held {
+        if !current.iter().any(|&(c, _)| c == s) {
+            min_guard = min_guard.min(dist_sq(s));
+        }
+    }
+    if max_knn <= min_guard {
+        let mut refreshed: Vec<(SiteId, f64)> =
+            current.iter().map(|&(s, _)| (s, dist_sq(s))).collect();
+        refreshed.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        for r in &mut refreshed {
+            r.1 = r.1.sqrt();
+        }
+        (Validated::Valid(refreshed), ops)
+    } else {
+        let (cand, rank_ops) = rank_held(dist_sq, held, k);
+        (Validated::Invalid(cand), ops + rank_ops)
+    }
 }
 
-impl<B: Borrow<VorTree>> InsProcessor<B> {
-    /// Creates a processor; fails on `k = 0`, `k > n`, or `ρ < 1`.
-    pub fn new(index: B, cfg: InsConfig) -> Result<InsProcessor<B>, CoreError> {
-        if cfg.k == 0 {
-            return Err(CoreError::BadConfig {
-                reason: "k must be at least 1",
-            });
-        }
-        if cfg.k > index.borrow().len() {
-            return Err(CoreError::BadConfig {
-                reason: "k exceeds the number of data objects",
-            });
-        }
-        if !(cfg.rho >= 1.0 && cfg.rho.is_finite()) {
-            return Err(CoreError::BadConfig {
-                reason: "prefetch ratio rho must be finite and >= 1",
-            });
-        }
-        let cached = vec![false; index.borrow().len()];
-        Ok(InsProcessor {
-            index,
-            cfg,
-            q: Point::ORIGIN,
-            knn: Vec::new(),
-            cached,
-            cached_list: Vec::new(),
-            stats: QueryStats::default(),
-            initialized: false,
-        })
+/// The §III-A scan shared by the (plain and weighted) Euclidean spaces:
+/// the top-k of the held objects under `dist_sq`, ascending by
+/// (distance, id), distances square-rooted on the way out. Op count =
+/// one distance evaluation per held object.
+pub(crate) fn rank_held<F: Fn(SiteId) -> f64>(
+    dist_sq: F,
+    held: &[SiteId],
+    k: usize,
+) -> (Vec<(SiteId, f64)>, u64) {
+    let ops = held.len() as u64;
+    let mut ranked: Vec<(SiteId, f64)> = held.iter().map(|&s| (s, dist_sq(s))).collect();
+    let k = k.min(ranked.len());
+    if ranked.len() > k && k > 0 {
+        ranked.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
     }
-
-    /// The configuration.
-    pub fn config(&self) -> InsConfig {
-        self.cfg
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    for r in &mut ranked {
+        r.1 = r.1.sqrt();
     }
+    (ranked, ops)
+}
 
-    /// The index the processor is currently bound to.
-    pub fn index(&self) -> &VorTree {
-        self.index.borrow()
-    }
+/// The INS moving-kNN processor over a [`VorTree`] — the Euclidean
+/// instantiation of the generic [`Processor`].
+pub type InsProcessor<B> = Processor<Euclidean, B>;
 
-    /// The current kNN with distances from the last position, ascending.
-    pub fn current_knn_with_dists(&self) -> Vec<(SiteId, f64)> {
-        self.knn
-            .iter()
-            .map(|&s| (s, self.index().point(s).distance(self.q)))
-            .collect()
-    }
-
-    /// The influential neighbor set `I(kNN)` of the current result.
-    pub fn influential_set(&self) -> Vec<SiteId> {
-        influential_neighbor_set(self.index().voronoi(), &self.knn)
-    }
-
-    /// The guard set used for validation: every held object that is not a
-    /// current kNN (the paper's `IS = I(R) ∪ R \ NNk(q)`).
-    pub fn guard_set(&self) -> Vec<SiteId> {
-        self.cached_list
-            .iter()
-            .copied()
-            .filter(|s| !self.knn.contains(s))
-            .collect()
-    }
-
-    /// All objects currently held client-side.
-    pub fn held_objects(&self) -> &[SiteId] {
-        &self.cached_list
-    }
-
+impl<B: Borrow<VorTree>> Processor<Euclidean, B> {
     /// The implicit safe region of the current result — the order-k
     /// Voronoi cell `V^k(kNN)`, materialised by clipping against the INS
     /// (exact, because `MIS ⊆ INS`). This is the cyan polygon of the
     /// demo's 2D-plane mode; the INS algorithm itself never constructs it.
     pub fn safe_region(&self) -> ConvexPolygon {
         let voronoi = self.index().voronoi();
+        let knn: Vec<SiteId> = self.current_knn();
         let ins = self.influential_set();
-        order_k_cell(voronoi.points(), &self.knn, &ins, &voronoi.bounds())
+        order_k_cell(voronoi.points(), &knn, &ins, &voronoi.bounds())
     }
 
     /// The demo's two validation circles around the last position: green
@@ -186,238 +167,29 @@ impl<B: Borrow<VorTree>> InsProcessor<B> {
     /// nearest guard (must exclude all guards). The result is valid while
     /// the green circle is inside the red one.
     pub fn validation_circles(&self) -> Option<(Circle, Circle)> {
+        let q = self.last_pos()?;
         let knn_far = self
-            .knn
+            .current_knn_with_dists()
             .iter()
-            .map(|&s| self.index().point(s).distance(self.q))
+            .map(|&(s, _)| self.index().point(s).distance(q))
             .fold(f64::NEG_INFINITY, f64::max);
         let guard = self.guard_set();
         let guard_near = guard
             .iter()
-            .map(|&s| self.index().point(s).distance(self.q))
+            .map(|&s| self.index().point(s).distance(q))
             .fold(f64::INFINITY, f64::min);
         if !knn_far.is_finite() || !guard_near.is_finite() {
             return None;
         }
-        Some((
-            Circle::new(self.q, knn_far),
-            Circle::new(self.q, guard_near),
-        ))
-    }
-
-    /// Drops all client-side state (cache, guards, current result),
-    /// forcing a full recomputation at the next [`MovingKnn::tick`].
-    ///
-    /// Use after any out-of-band event that voids the guards' certificate
-    /// — most importantly a data-object update on the server (paper §III:
-    /// "If there are data object updates, we also update the kNN set and
-    /// the IS"): inserted objects may be nearer than any held guard, and
-    /// deleted guards certify nothing.
-    pub fn invalidate(&mut self) {
-        self.drop_cache();
-        self.knn.clear();
-        self.initialized = false;
-    }
-
-    /// Rebinds the processor to a rebuilt index after data-object updates
-    /// (the server reconstructs the Voronoi diagram and VoR-tree; the
-    /// client continues the same moving query against the new data set).
-    /// Implies [`InsProcessor::invalidate`]. Statistics are preserved so a
-    /// run's totals include the update's recomputation cost.
-    ///
-    /// `insq-server` epoch-versioned worlds call this with the freshly
-    /// published `Arc<VorTree>` snapshot; manual single-query code passes
-    /// the new `&VorTree` as before. If the new index holds fewer than
-    /// `k` objects, subsequent ticks return all of them (`current_knn`
-    /// shrinks below `k`) rather than failing.
-    pub fn rebind(&mut self, index: B) {
-        self.cached = vec![false; index.borrow().len()];
-        self.index = index;
-        self.cached_list.clear();
-        self.knn.clear();
-        self.initialized = false;
-    }
-
-    fn fetch(&mut self, sites: &[SiteId]) {
-        for &s in sites {
-            if !self.cached[s.idx()] {
-                self.cached[s.idx()] = true;
-                self.cached_list.push(s);
-                self.stats.comm_objects += 1;
-            }
-        }
-    }
-
-    fn drop_cache(&mut self) {
-        for &s in &self.cached_list {
-            self.cached[s.idx()] = false;
-        }
-        self.cached_list.clear();
-    }
-
-    /// Full recomputation (update case (iii) / initial computation).
-    fn recompute(&mut self, q: Point) {
-        let m = self.cfg.prefetch_count().min(self.index().len());
-        let r = self.index().knn(q, m);
-        self.stats.search_ops += m as u64;
-        let r_ids: Vec<SiteId> = r.iter().map(|&(s, _)| s).collect();
-        let ins_r = influential_neighbor_set(self.index().voronoi(), &r_ids);
-        self.stats.construction_ops += (r_ids.len() + ins_r.len()) as u64;
-
-        // Replace the client cache by R ∪ I(R); only genuinely new objects
-        // cost communication.
-        let mut newly = 0u64;
-        let mut next_list = Vec::with_capacity(r_ids.len() + ins_r.len());
-        for &s in r_ids.iter().chain(ins_r.iter()) {
-            if !self.cached[s.idx()] {
-                newly += 1;
-            }
-            next_list.push(s);
-        }
-        self.drop_cache();
-        for &s in &next_list {
-            if !self.cached[s.idx()] {
-                self.cached[s.idx()] = true;
-                self.cached_list.push(s);
-            }
-        }
-        self.stats.comm_objects += newly;
-
-        // A rebind may have installed an index with fewer than k objects;
-        // degrade to all of them (mirrors the network processor) instead
-        // of panicking mid-fleet.
-        self.knn = r_ids[..self.cfg.k.min(r_ids.len())].to_vec();
-        self.q = q;
-    }
-
-    /// Attempts a local repair from held objects (update cases (i)/(ii)).
-    /// Returns the outcome, or `None` when a full recomputation is needed.
-    ///
-    /// Soundness: the candidate is the top-k of the held objects, so every
-    /// held non-member is farther than the candidate's k-th member by
-    /// construction. If additionally `I(cand)` is entirely held, the guard
-    /// set contains `I(cand) ⊇ MIS(cand)`, and the MIS constraints alone
-    /// carve out exactly the order-k Voronoi cell `V^k(cand)` (redundant
-    /// bisector constraints do not change a convex intersection) — so the
-    /// predicate holding certifies `cand = NNk(q)` globally.
-    fn try_local_update(&mut self, q: Point) -> Option<TickOutcome> {
-        // Re-rank the held objects at the new position (case (i) is the
-        // special case where this changes exactly one member).
-        let mut ranked: Vec<(SiteId, f64)> = self
-            .cached_list
-            .iter()
-            .map(|&s| (s, self.index().point(s).distance_sq(q)))
-            .collect();
-        self.stats.search_ops += ranked.len() as u64;
-        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        let cand: Vec<SiteId> = ranked[..self.cfg.k.min(ranked.len())]
-            .iter()
-            .map(|&(s, _)| s)
-            .collect();
-        if cand.len() < self.cfg.k {
-            return None;
-        }
-
-        // The candidate can only be certified against its own INS.
-        let ins_cand = influential_neighbor_set(self.index().voronoi(), &cand);
-        self.stats.construction_ops += (cand.len() + ins_cand.len()) as u64;
-        let missing: Vec<SiteId> = ins_cand
-            .iter()
-            .copied()
-            .filter(|s| !self.cached[s.idx()])
-            .collect();
-        if !missing.is_empty() {
-            if !self.cfg.incremental_fetch {
-                // Paper protocol: local updates use held objects only;
-                // anything else is a full recomputation (case (iii)).
-                return None;
-            }
-            // Extension: fetch exactly the missing influential neighbors
-            // (their coordinates travel with the VoR-tree neighbor
-            // pointers) and re-certify below.
-            self.fetch(&missing);
-        }
-
-        // Certification scan (see the soundness note above). When nothing
-        // was fetched this is guaranteed to pass — the scan stays to keep
-        // the certified-result invariant explicit and to account the
-        // paper's O(k + |IS|) validation cost of the update cases.
-        let guard: Vec<SiteId> = self
-            .cached_list
-            .iter()
-            .copied()
-            .filter(|s| !cand.contains(s))
-            .collect();
-        let val = validate_by_distance(self.index().voronoi().points(), q, &cand, &guard);
-        self.stats.validation_ops += val.ops;
-        if !val.valid {
-            return None;
-        }
-
-        let shared = cand.iter().filter(|s| self.knn.contains(s)).count();
-        let outcome = if shared + 1 == self.cfg.k {
-            TickOutcome::Swap
-        } else {
-            TickOutcome::LocalRerank
-        };
-        self.knn = cand;
-        self.q = q;
-        Some(outcome)
-    }
-}
-
-impl<B: Borrow<VorTree>> MovingKnn<Point, SiteId> for InsProcessor<B> {
-    fn name(&self) -> &'static str {
-        "INS"
-    }
-
-    fn tick(&mut self, pos: Point) -> TickOutcome {
-        if !self.initialized {
-            self.recompute(pos);
-            self.initialized = true;
-            let outcome = TickOutcome::Recompute;
-            self.stats.record(outcome);
-            return outcome;
-        }
-
-        // §III-A validation scan.
-        self.q = pos;
-        let guard = self.guard_set();
-        let val = validate_by_distance(self.index().voronoi().points(), pos, &self.knn, &guard);
-        self.stats.validation_ops += val.ops;
-        let outcome = if val.valid {
-            TickOutcome::Valid
-        } else {
-            match self.try_local_update(pos) {
-                Some(outcome) => outcome,
-                None => {
-                    self.recompute(pos);
-                    TickOutcome::Recompute
-                }
-            }
-        };
-        self.stats.record(outcome);
-        outcome
-    }
-
-    fn current_knn(&self) -> Vec<SiteId> {
-        let mut ids: Vec<(SiteId, f64)> = self.current_knn_with_dists();
-        ids.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        ids.into_iter().map(|(s, _)| s).collect()
-    }
-
-    fn stats(&self) -> &QueryStats {
-        &self.stats
-    }
-
-    fn reset_stats(&mut self) {
-        self.stats = QueryStats::default();
+        Some((Circle::new(q, knn_far), Circle::new(q, guard_near)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::TickOutcome;
+    use crate::processor::{InsConfig, MovingKnn};
     use insq_geom::Aabb;
 
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
@@ -536,6 +308,9 @@ mod tests {
             assert!(!ins.contains(&s));
             assert!(!guard.contains(&s));
         }
+        // Scan-validating spaces maintain no probe scope (the §III-A
+        // scan reads the held set directly).
+        assert!(p.scope().is_empty());
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub fn influential_neighbor_set(voronoi: &Voronoi, knn: &[SiteId]) -> Vec<SiteId
 /// farthest current kNN (`r.delete`) and the nearest guard
 /// (`r.candidate`); the set is valid while the former is not farther than
 /// the latter.
+///
+/// The generic processor's hot path uses the allocation-free twin of
+/// this predicate (`euclidean::scan_validate`); the comparison
+/// semantics — squared distances, boundary ties valid — must stay in
+/// sync between the two.
 pub fn validate_by_distance(
     points: &[Point],
     q: Point,

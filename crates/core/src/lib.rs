@@ -2,8 +2,15 @@
 //!
 //! The Influential Neighbor Set (INS) moving-kNN algorithm — the primary
 //! contribution of *INSQ: An Influential Neighbor Set Based Moving kNN
-//! Query Processing System* (Li et al., ICDE 2016) — for both 2-D
-//! Euclidean space and road networks.
+//! Query Processing System* (Li et al., ICDE 2016) — implemented **once**,
+//! generically over a [`Space`], and instantiated for the paper's two
+//! settings plus a third:
+//!
+//! | Space | Setting | Processor alias |
+//! |---|---|---|
+//! | [`Euclidean`] | 2-D plane, L2 (paper §III) | [`InsProcessor`] |
+//! | [`Network`] | road networks, shortest path (paper §IV) | [`NetInsProcessor`] |
+//! | [`WeightedEuclidean`] | 2-D plane, per-axis scaled L2 | [`WInsProcessor`] |
 //!
 //! Map from the paper to this crate:
 //!
@@ -12,14 +19,14 @@
 //! | Influential set `S` of `O'` (Def. 1) | [`influential::validate_by_distance`] — the guarding predicate |
 //! | Minimal influential set (Def. 2) | [`mis`] — exact MIS via tagged order-k cells (oracle) |
 //! | Voronoi neighbor set (Def. 3) | `insq_voronoi::Voronoi::neighbors` |
-//! | Influential neighbor set (Def. 4) | [`influential::influential_neighbor_set`] |
-//! | Query processing (§III) | [`euclidean::InsProcessor`] |
-//! | INS in road networks (§IV, Thms. 1–2) | [`network::NetInsProcessor`] |
+//! | Influential neighbor set (Def. 4) | [`Space::influential`] per space |
+//! | Query processing (§III, §IV) | the generic [`Processor`] |
+//! | Theorem-2 validation | [`Space::scoped_knn`] per space |
 //!
 //! Every processor implements [`MovingKnn`], shared with the baselines in
 //! `insq-baselines`, and certifies each returned result via the
 //! influential-set predicate — so results provably equal the brute-force
-//! kNN at every timestamp.
+//! kNN at every timestamp, in every space.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,14 +38,24 @@ pub mod metrics;
 pub mod mis;
 pub mod network;
 pub mod processor;
+pub mod space;
+pub mod weighted;
 
 pub use continuous::{knn_change_events, KnnEvent, MotionTrace};
-pub use euclidean::{InsConfig, InsProcessor};
+pub use euclidean::{Euclidean, InsProcessor};
 pub use influential::{influential_neighbor_set, validate_by_distance, Validation};
 pub use metrics::{QueryStats, TickOutcome};
 pub use mis::{minimal_influential_set, mis_via_ins, mis_with_candidates};
-pub use network::{influential_neighbor_set_net, NetInsConfig, NetInsProcessor};
-pub use processor::MovingKnn;
+pub use network::{influential_neighbor_set_net, NetInsProcessor, Network};
+pub use processor::{InsConfig, MovingKnn, Processor};
+pub use space::{DeltaIndex, Space, Validated};
+pub use weighted::{WInsProcessor, WeightedEuclidean};
+
+/// The network processor configuration — identical to [`InsConfig`] now
+/// that one generic processor serves every space (the
+/// `incremental_fetch` flag is moot on road networks, where
+/// [`Space::IMPLICIT_FETCH`] applies).
+pub type NetInsConfig = InsConfig;
 
 /// Errors from processor construction.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,6 +1,6 @@
-//! The INS moving-kNN processor for road networks (paper §IV).
+//! The road-network [`Space`] (paper §IV).
 //!
-//! Differences from the Euclidean processor:
+//! Differences from the Euclidean space:
 //!
 //! * distances are network distances — no constant-time evaluation exists,
 //!   so the per-tick validation runs a *restricted* Incremental Network
@@ -10,280 +10,110 @@
 //! * the influential neighbor set comes from the precomputed *network*
 //!   Voronoi diagram's adjacency (Theorem 1: `MIS ⊆ INS` holds under
 //!   network distance as well);
-//! * on invalidation, the candidate produced by the restricted search is
-//!   re-certified on its own `cand ∪ I(cand)` subnetwork before being
-//!   adopted (update cases (i)/(ii)); only when that fails is a full INE
-//!   recomputation performed (case (iii)).
+//! * the restricted probe is served from the NVD, whose neighbor
+//!   pointers travel with the response — so missing influential
+//!   neighbors are fetched implicitly ([`Space::IMPLICIT_FETCH`])
+//!   instead of escalating to a full INE recomputation.
+//!
+//! The index snapshot is a [`NetworkWorld`] (network + sites + NVD);
+//! [`NetInsProcessor`] is the road-network instantiation of the generic
+//! [`Processor`].
 
 use std::borrow::Borrow;
 
-use insq_roadnet::ine::network_knn_with_stats;
-use insq_roadnet::order_k::knn_sets_equal;
+use insq_roadnet::ine::{network_knn, network_knn_with_stats};
 use insq_roadnet::subnetwork::restricted_knn;
-use insq_roadnet::{NetPosition, NetworkVoronoi, RoadNetwork, SiteIdx, SiteMask, SiteSet};
+use insq_roadnet::{
+    NetPosition, NetworkVoronoi, NetworkWorld, RoadNetwork, SiteIdx, SiteMask, SiteSet,
+};
 
-use crate::metrics::{QueryStats, TickOutcome};
-use crate::processor::MovingKnn;
-use crate::CoreError;
+use crate::processor::Processor;
+use crate::space::Space;
 
-/// Configuration of the network INS processor.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NetInsConfig {
-    /// Number of nearest neighbors to maintain (k ≥ 1).
-    pub k: usize,
-    /// Prefetch ratio ρ ≥ 1 (see the Euclidean processor).
-    pub rho: f64,
+/// A road network under shortest-path distance, indexed by a
+/// [`NetworkWorld`] (network + site set + network Voronoi diagram).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Network;
+
+impl Space for Network {
+    type Pos = NetPosition;
+    type SiteId = SiteIdx;
+    type Index = NetworkWorld;
+    type Scratch = SiteMask;
+
+    const NAME: &'static str = "INS-road";
+    const IMPLICIT_FETCH: bool = true;
+    // Theorem-2 restricted validation: the probe never leaves the
+    // `kNN ∪ I(kNN)` cells, the scope is maintained, and the cache
+    // holds `R ∪ I(kNN)`.
+    const SCOPED_VALIDATION: bool = true;
+
+    fn num_sites(index: &NetworkWorld) -> usize {
+        index.sites.len()
+    }
+
+    fn ordinal(id: SiteIdx) -> usize {
+        id.idx()
+    }
+
+    fn global_knn(index: &NetworkWorld, pos: NetPosition, m: usize) -> (Vec<(SiteIdx, f64)>, u64) {
+        let (r, st) = network_knn_with_stats(&index.net, &index.sites, pos, m);
+        (r, st.settled as u64)
+    }
+
+    fn influential(index: &NetworkWorld, ids: &[SiteIdx]) -> Vec<SiteIdx> {
+        influential_neighbor_set_net(&index.nvd, ids)
+    }
+
+    fn scoped_knn(
+        index: &NetworkWorld,
+        mask: &mut SiteMask,
+        scope: &[SiteIdx],
+        _held: &[SiteIdx],
+        pos: NetPosition,
+        k: usize,
+    ) -> (Vec<(SiteIdx, f64)>, u64) {
+        mask.resize(index.sites.len());
+        mask.set(scope.iter().copied());
+        let (res, st) = restricted_knn(&index.net, &index.sites, &index.nvd, mask, pos, k);
+        (res, st.settled as u64)
+    }
+
+    fn brute_knn(index: &NetworkWorld, pos: NetPosition, k: usize) -> Vec<SiteIdx> {
+        network_knn(&index.net, &index.sites, pos, k)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect()
+    }
 }
 
-impl NetInsConfig {
-    /// A configuration with the given k and ρ.
-    pub fn new(k: usize, rho: f64) -> NetInsConfig {
-        NetInsConfig { k, rho }
-    }
+/// The INS moving-kNN processor on a road network — the network
+/// instantiation of the generic [`Processor`], bound to a
+/// [`NetworkWorld`] snapshot (`&NetworkWorld` for single-threaded use,
+/// `Arc<NetworkWorld>` when an `insq-server` fleet owns epoch-versioned
+/// worlds).
+pub type NetInsProcessor<B> = Processor<Network, B>;
 
-    /// Demo default ρ = 1.6.
-    pub fn with_k(k: usize) -> NetInsConfig {
-        NetInsConfig { k, rho: 1.6 }
-    }
-
-    /// The prefetch count `max(k, ⌊ρk⌋)`.
-    pub fn prefetch_count(&self) -> usize {
-        ((self.rho * self.k as f64).floor() as usize).max(self.k)
-    }
-}
-
-/// The INS moving-kNN processor on a road network.
-///
-/// Like the Euclidean [`crate::InsProcessor`], the processor is generic
-/// over how it holds its substrate: `&RoadNetwork`/`&SiteSet`/
-/// `&NetworkVoronoi` for single-threaded use, or `Arc`s of the same when
-/// an `insq-server` fleet owns epoch-versioned world snapshots.
-#[derive(Debug)]
-pub struct NetInsProcessor<N, S, V>
-where
-    N: Borrow<RoadNetwork>,
-    S: Borrow<SiteSet>,
-    V: Borrow<NetworkVoronoi>,
-{
-    net: N,
-    sites: S,
-    nvd: V,
-    cfg: NetInsConfig,
-    /// Current kNN, ascending by network distance at the last maintenance
-    /// point.
-    knn: Vec<(SiteIdx, f64)>,
-    /// Theorem-2 mask: Voronoi cells of `kNN ∪ I(kNN)`.
-    mask: SiteMask,
-    /// Client-held objects (communication accounting).
-    cached: Vec<bool>,
-    cached_count: usize,
-    stats: QueryStats,
-    initialized: bool,
-}
-
-impl<N, S, V> NetInsProcessor<N, S, V>
-where
-    N: Borrow<RoadNetwork>,
-    S: Borrow<SiteSet>,
-    V: Borrow<NetworkVoronoi>,
-{
-    /// Creates a processor over a prebuilt network Voronoi diagram.
-    pub fn new(
-        net: N,
-        sites: S,
-        nvd: V,
-        cfg: NetInsConfig,
-    ) -> Result<NetInsProcessor<N, S, V>, CoreError> {
-        if cfg.k == 0 {
-            return Err(CoreError::BadConfig {
-                reason: "k must be at least 1",
-            });
-        }
-        let n_sites = sites.borrow().len();
-        if cfg.k > n_sites {
-            return Err(CoreError::BadConfig {
-                reason: "k exceeds the number of data objects",
-            });
-        }
-        if !(cfg.rho >= 1.0 && cfg.rho.is_finite()) {
-            return Err(CoreError::BadConfig {
-                reason: "prefetch ratio rho must be finite and >= 1",
-            });
-        }
-        Ok(NetInsProcessor {
-            net,
-            sites,
-            nvd,
-            cfg,
-            knn: Vec::new(),
-            mask: SiteMask::new(n_sites),
-            cached: vec![false; n_sites],
-            cached_count: 0,
-            stats: QueryStats::default(),
-            initialized: false,
-        })
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> NetInsConfig {
-        self.cfg
-    }
-
+impl<B: Borrow<NetworkWorld>> Processor<Network, B> {
     /// The road network the processor runs on.
     pub fn net(&self) -> &RoadNetwork {
-        self.net.borrow()
+        &self.index().net
     }
 
     /// The data-object site set the processor is bound to.
     pub fn sites(&self) -> &SiteSet {
-        self.sites.borrow()
+        &self.index().sites
     }
 
     /// The network Voronoi diagram the processor is bound to.
     pub fn nvd(&self) -> &NetworkVoronoi {
-        self.nvd.borrow()
+        &self.index().nvd
     }
 
-    /// Current kNN with network distances (as of the last tick).
-    pub fn current_knn_with_dists(&self) -> &[(SiteIdx, f64)] {
-        &self.knn
-    }
-
-    /// The influential neighbor set of the current kNN (network Voronoi
-    /// adjacency, Definition 4 + Theorem 1).
-    pub fn influential_set(&self) -> Vec<SiteIdx> {
-        let ids: Vec<SiteIdx> = self.knn.iter().map(|&(s, _)| s).collect();
-        influential_neighbor_set_net(self.nvd(), &ids)
-    }
-
-    /// The sites whose cells form the Theorem-2 validation subnetwork.
+    /// The sites whose cells form the Theorem-2 validation subnetwork
+    /// (`kNN ∪ I(kNN)`).
     pub fn subnetwork_sites(&self) -> &[SiteIdx] {
-        self.mask.members()
-    }
-
-    /// Drops all client-side state, forcing a full recomputation at the
-    /// next tick — the client half of a data-object update (paper §III).
-    pub fn invalidate(&mut self) {
-        self.cached.iter_mut().for_each(|c| *c = false);
-        self.cached_count = 0;
-        self.knn.clear();
-        self.mask.set(std::iter::empty());
-        self.initialized = false;
-    }
-
-    /// Rebinds the processor to a rebuilt site set / network Voronoi
-    /// diagram after data-object updates (the network itself must be
-    /// unchanged). Implies [`NetInsProcessor::invalidate`]; statistics are
-    /// preserved. Epoch-versioned worlds in `insq-server` call this with
-    /// the published `Arc` snapshots.
-    pub fn rebind(&mut self, sites: S, nvd: V) {
-        let n_sites = sites.borrow().len();
-        self.sites = sites;
-        self.nvd = nvd;
-        self.cached = vec![false; n_sites];
-        self.cached_count = 0;
-        self.mask = SiteMask::new(n_sites);
-        self.knn.clear();
-        self.initialized = false;
-    }
-
-    /// [`NetInsProcessor::rebind`] including the road network itself —
-    /// for worlds whose map can change between epochs (the site set and
-    /// NVD must have been built over the new network).
-    pub fn rebind_world(&mut self, net: N, sites: S, nvd: V) {
-        self.net = net;
-        self.rebind(sites, nvd);
-    }
-
-    fn fetch(&mut self, sites: &[SiteIdx]) {
-        for &s in sites {
-            if !self.cached[s.idx()] {
-                self.cached[s.idx()] = true;
-                self.cached_count += 1;
-                self.stats.comm_objects += 1;
-            }
-        }
-    }
-
-    fn reset_cache_to(&mut self, sites: &[SiteIdx]) {
-        // Count new objects before swapping the cache contents.
-        let newly: u64 = sites.iter().filter(|s| !self.cached[s.idx()]).count() as u64;
-        self.cached.iter_mut().for_each(|c| *c = false);
-        self.cached_count = 0;
-        for &s in sites {
-            if !self.cached[s.idx()] {
-                self.cached[s.idx()] = true;
-                self.cached_count += 1;
-            }
-        }
-        self.stats.comm_objects += newly;
-    }
-
-    /// Full recomputation via INE (initial computation / case (iii)).
-    fn recompute(&mut self, pos: NetPosition) {
-        let m = self.cfg.prefetch_count().min(self.sites().len());
-        let (r, st) = network_knn_with_stats(self.net(), self.sites(), pos, m);
-        self.stats.search_ops += st.settled as u64;
-
-        let knn: Vec<(SiteIdx, f64)> = r[..self.cfg.k.min(r.len())].to_vec();
-        let knn_ids: Vec<SiteIdx> = knn.iter().map(|&(s, _)| s).collect();
-        let ins = influential_neighbor_set_net(self.nvd(), &knn_ids);
-        self.stats.construction_ops += (knn_ids.len() + ins.len()) as u64;
-
-        // Client cache := R ∪ I(kNN).
-        let mut held: Vec<SiteIdx> = r.iter().map(|&(s, _)| s).collect();
-        held.extend_from_slice(&ins);
-        self.reset_cache_to(&held);
-
-        self.mask
-            .set(knn_ids.iter().copied().chain(ins.iter().copied()));
-        self.knn = knn;
-    }
-
-    /// Certifies a candidate k-set by Theorem 2 on its own subnetwork.
-    /// On success, installs it and returns the classified outcome.
-    fn try_adopt(&mut self, pos: NetPosition, cand: &[(SiteIdx, f64)]) -> Option<TickOutcome> {
-        if cand.len() < self.cfg.k {
-            return None;
-        }
-        let cand_ids: Vec<SiteIdx> = cand.iter().map(|&(s, _)| s).collect();
-        let ins = influential_neighbor_set_net(self.nvd(), &cand_ids);
-        self.stats.construction_ops += (cand_ids.len() + ins.len()) as u64;
-
-        let mut cand_mask = SiteMask::new(self.sites().len());
-        cand_mask.set(cand_ids.iter().copied().chain(ins.iter().copied()));
-        let (res, st) = restricted_knn(
-            self.net(),
-            self.sites(),
-            self.nvd(),
-            &cand_mask,
-            pos,
-            self.cfg.k,
-        );
-        self.stats.search_ops += st.settled as u64;
-        let res_ids: Vec<SiteIdx> = res.iter().map(|&(s, _)| s).collect();
-        if !knn_sets_equal(&res_ids, &cand_ids) {
-            return None;
-        }
-
-        // Certified. Account communication for objects not yet held, then
-        // classify the outcome.
-        let prev_ids: Vec<SiteIdx> = self.knn.iter().map(|&(s, _)| s).collect();
-        let was_local = cand_ids.iter().all(|s| self.cached[s.idx()]);
-        self.fetch(&cand_ids);
-        self.fetch(&ins);
-        let shared = cand_ids.iter().filter(|s| prev_ids.contains(s)).count();
-        let outcome = if shared + 1 == self.cfg.k && was_local {
-            TickOutcome::Swap
-        } else if was_local {
-            TickOutcome::LocalRerank
-        } else {
-            // Needed fresh objects: semantically a (partial) recomputation.
-            TickOutcome::Recompute
-        };
-        self.mask = cand_mask;
-        self.knn = res;
-        Some(outcome)
+        self.scope()
     }
 }
 
@@ -301,116 +131,54 @@ pub fn influential_neighbor_set_net(nvd: &NetworkVoronoi, knn: &[SiteIdx]) -> Ve
     ins
 }
 
-impl<N, S, V> MovingKnn<NetPosition, SiteIdx> for NetInsProcessor<N, S, V>
-where
-    N: Borrow<RoadNetwork>,
-    S: Borrow<SiteSet>,
-    V: Borrow<NetworkVoronoi>,
-{
-    fn name(&self) -> &'static str {
-        "INS-road"
-    }
-
-    fn tick(&mut self, pos: NetPosition) -> TickOutcome {
-        if !self.initialized {
-            self.recompute(pos);
-            self.initialized = true;
-            let outcome = TickOutcome::Recompute;
-            self.stats.record(outcome);
-            return outcome;
-        }
-
-        // Theorem-2 validation: restricted INE on the kNN ∪ INS
-        // subnetwork must return the current kNN set.
-        let (res, st) = restricted_knn(
-            self.net(),
-            self.sites(),
-            self.nvd(),
-            &self.mask,
-            pos,
-            self.cfg.k,
-        );
-        self.stats.validation_ops += st.settled as u64;
-        let res_ids: Vec<SiteIdx> = res.iter().map(|&(s, _)| s).collect();
-        let cur_ids: Vec<SiteIdx> = self.knn.iter().map(|&(s, _)| s).collect();
-
-        let outcome = if knn_sets_equal(&res_ids, &cur_ids) {
-            // Refresh stored distances for observers.
-            self.knn = res;
-            TickOutcome::Valid
-        } else {
-            // The restricted result is the natural candidate (the first
-            // object to displace a kNN member is an INS member).
-            match self.try_adopt(pos, &res) {
-                Some(outcome) => outcome,
-                None => {
-                    self.recompute(pos);
-                    TickOutcome::Recompute
-                }
-            }
-        };
-        self.stats.record(outcome);
-        outcome
-    }
-
-    fn current_knn(&self) -> Vec<SiteIdx> {
-        self.knn.iter().map(|&(s, _)| s).collect()
-    }
-
-    fn stats(&self) -> &QueryStats {
-        &self.stats
-    }
-
-    fn reset_stats(&mut self) {
-        self.stats = QueryStats::default();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::TickOutcome;
+    use crate::processor::{InsConfig, MovingKnn};
     use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
-    use insq_roadnet::ine::network_knn;
+    use insq_roadnet::order_k::knn_sets_equal;
     use insq_roadnet::NetTrajectory;
+    use std::sync::Arc;
 
-    fn setup(seed: u64) -> (RoadNetwork, SiteSet) {
-        let net = grid_network(
-            &GridConfig {
-                cols: 12,
-                rows: 12,
-                ..GridConfig::default()
-            },
-            seed,
-        )
-        .unwrap();
+    fn setup(seed: u64) -> NetworkWorld {
+        let net = Arc::new(
+            grid_network(
+                &GridConfig {
+                    cols: 12,
+                    rows: 12,
+                    ..GridConfig::default()
+                },
+                seed,
+            )
+            .unwrap(),
+        );
         let sv = random_site_vertices(&net, 30, seed).unwrap();
         let sites = SiteSet::new(&net, sv).unwrap();
-        (net, sites)
+        NetworkWorld::build(net, sites)
     }
 
     #[test]
     fn rejects_bad_configs() {
-        let (net, sites) = setup(1);
-        let nvd = NetworkVoronoi::build(&net, &sites);
-        assert!(NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(0, 1.5)).is_err());
-        assert!(NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(31, 1.5)).is_err());
-        assert!(NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 0.9)).is_err());
-        assert!(NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 1.0)).is_ok());
+        let world = setup(1);
+        assert!(NetInsProcessor::new(&world, InsConfig::new(0, 1.5)).is_err());
+        assert!(NetInsProcessor::new(&world, InsConfig::new(31, 1.5)).is_err());
+        assert!(NetInsProcessor::new(&world, InsConfig::new(3, 0.9)).is_err());
+        assert!(NetInsProcessor::new(&world, InsConfig::new(3, 1.0)).is_ok());
     }
 
     #[test]
     fn matches_global_ine_along_tour() {
-        let (net, sites) = setup(42);
-        let nvd = NetworkVoronoi::build(&net, &sites);
-        let mut p = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(4, 1.6)).unwrap();
-        let tour = NetTrajectory::random_tour(&net, 8, 42).unwrap();
+        let world = setup(42);
+        let mut p = NetInsProcessor::new(&world, InsConfig::new(4, 1.6)).unwrap();
+        let tour = NetTrajectory::random_tour(&world.net, 8, 42).unwrap();
         let steps = 400;
         for i in 0..=steps {
             let s = tour.length() * i as f64 / steps as f64;
-            let pos = tour.position(&net, s);
+            let pos = tour.position(&world.net, s);
             p.tick(pos);
             let got: Vec<SiteIdx> = p.current_knn();
-            let want: Vec<SiteIdx> = network_knn(&net, &sites, pos, 4)
+            let want: Vec<SiteIdx> = network_knn(&world.net, &world.sites, pos, 4)
                 .into_iter()
                 .map(|(s, _)| s)
                 .collect();
@@ -429,13 +197,12 @@ mod tests {
         // The LBS-critical metric (paper §I): the INS client contacts the
         // server only on recomputation, while a naive client receives k
         // objects every timestamp.
-        let (net, sites) = setup(7);
-        let nvd = NetworkVoronoi::build(&net, &sites);
-        let mut p = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(3, 1.6)).unwrap();
-        let tour = NetTrajectory::random_tour(&net, 6, 9).unwrap();
+        let world = setup(7);
+        let mut p = NetInsProcessor::new(&world, InsConfig::new(3, 1.6)).unwrap();
+        let tour = NetTrajectory::random_tour(&world.net, 6, 9).unwrap();
         let steps = 200u64;
         for i in 0..=steps {
-            let pos = tour.position(&net, tour.length() * i as f64 / steps as f64);
+            let pos = tour.position(&world.net, tour.length() * i as f64 / steps as f64);
             p.tick(pos);
         }
         let naive_comm = 3 * (steps + 1);
@@ -454,9 +221,8 @@ mod tests {
 
     #[test]
     fn stationary_stays_valid() {
-        let (net, sites) = setup(3);
-        let nvd = NetworkVoronoi::build(&net, &sites);
-        let mut p = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(5, 1.6)).unwrap();
+        let world = setup(3);
+        let mut p = NetInsProcessor::new(&world, InsConfig::new(5, 1.6)).unwrap();
         let pos = NetPosition::Vertex(insq_roadnet::VertexId(60));
         p.tick(pos);
         for _ in 0..10 {
@@ -467,15 +233,13 @@ mod tests {
 
     #[test]
     fn invalidate_and_rebind_handle_site_updates() {
-        let (net, sites_a) = setup(19);
-        let nvd_a = NetworkVoronoi::build(&net, &sites_a);
+        let world_a = setup(19);
         // A second site set on the same network: the "after update" world.
-        let sv_b = insq_roadnet::generators::random_site_vertices(&net, 24, 77).unwrap();
-        let sites_b = SiteSet::new(&net, sv_b).unwrap();
-        let nvd_b = NetworkVoronoi::build(&net, &sites_b);
+        let sv_b = random_site_vertices(&world_a.net, 24, 77).unwrap();
+        let sites_b = SiteSet::new(&world_a.net, sv_b).unwrap();
+        let world_b = world_a.with_sites(sites_b);
 
-        let mut p =
-            NetInsProcessor::new(&net, &sites_a, &nvd_a, NetInsConfig::new(3, 1.6)).unwrap();
+        let mut p = NetInsProcessor::new(&world_a, InsConfig::new(3, 1.6)).unwrap();
         let pos = NetPosition::Vertex(insq_roadnet::VertexId(70));
         p.tick(pos);
         assert_eq!(p.tick(pos), TickOutcome::Valid);
@@ -483,10 +247,10 @@ mod tests {
         p.invalidate();
         assert_eq!(p.tick(pos), TickOutcome::Recompute);
 
-        p.rebind(&sites_b, &nvd_b);
+        p.rebind(&world_b);
         assert_eq!(p.tick(pos), TickOutcome::Recompute);
         let got = p.current_knn();
-        let want: Vec<SiteIdx> = network_knn(&net, &sites_b, pos, 3)
+        let want: Vec<SiteIdx> = network_knn(&world_b.net, &world_b.sites, pos, 3)
             .into_iter()
             .map(|(s, _)| s)
             .collect();
@@ -499,9 +263,8 @@ mod tests {
 
     #[test]
     fn influential_set_excludes_knn() {
-        let (net, sites) = setup(11);
-        let nvd = NetworkVoronoi::build(&net, &sites);
-        let mut p = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(4, 1.6)).unwrap();
+        let world = setup(11);
+        let mut p = NetInsProcessor::new(&world, InsConfig::new(4, 1.6)).unwrap();
         p.tick(NetPosition::Vertex(insq_roadnet::VertexId(0)));
         let knn = p.current_knn();
         let ins = p.influential_set();

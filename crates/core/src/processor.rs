@@ -1,6 +1,38 @@
-//! The common interface of every moving-kNN processor.
+//! The generic INS moving-kNN processor and the common processor trait.
+//!
+//! [`Processor`] implements the full INS protocol of the paper once,
+//! generically over a [`Space`] — §III and §IV are the same algorithm
+//! with different primitives, and the primitives are exactly what the
+//! [`Space`] trait provides. Lifecycle per query:
+//!
+//! 1. **Initial computation** — retrieve `R`, the `⌊ρk⌋` nearest objects
+//!    (`ρ ≥ 1` is the *prefetch ratio*), together with `I(R)`. The top-k
+//!    of `R` is the kNN result; everything else held client-side guards
+//!    it.
+//! 2. **Validation per timestamp** (§III-A / Theorem 2) — a scoped probe
+//!    of the result's certified neighborhood (a distance re-rank of the
+//!    held objects in Euclidean spaces; the restricted expansion over
+//!    the `kNN ∪ INS` Voronoi cells on road networks). While the probe
+//!    returns the current result set, the result is provably still the
+//!    global kNN.
+//! 3. **Update on invalidation** (§III-B) — the probe's candidate set is
+//!    certified against *its own* influential neighborhood: case (i) one
+//!    swap, case (ii) a local re-rank from held objects, case (iii) full
+//!    recomputation — the only case that costs a client↔server round
+//!    trip.
+//!
+//! The processor certifies *every* answer it returns: an answer is
+//! adopted only after the influential-set predicate holds for it, so the
+//! result equals the brute-force kNN at every tick (the cross-space
+//! conformance suite in `insq-server` asserts this for every registered
+//! space).
+
+use std::borrow::Borrow;
+use std::marker::PhantomData;
 
 use crate::metrics::{QueryStats, TickOutcome};
+use crate::space::{Space, Validated};
+use crate::CoreError;
 
 /// A continuous kNN processor driven by position updates.
 ///
@@ -26,4 +58,447 @@ pub trait MovingKnn<P, Id> {
 
     /// Clears the statistics (keeps query state).
     fn reset_stats(&mut self);
+}
+
+/// Configuration of an INS processor (any space).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsConfig {
+    /// Number of nearest neighbors to maintain (k ≥ 1).
+    pub k: usize,
+    /// Prefetch ratio ρ ≥ 1: `⌊ρk⌋` objects are retrieved per
+    /// recomputation to trade communication volume against recomputation
+    /// frequency (paper §III).
+    pub rho: f64,
+    /// Extension (off by default, not in the paper): when a local update
+    /// needs influential neighbors the client does not hold, fetch just
+    /// those objects instead of performing a full recomputation. This
+    /// turns the processor into an incremental neighbor-crawler that
+    /// almost never pays a full round trip, at the cost of an unbounded
+    /// client buffer. The ablation bench quantifies the trade-off.
+    /// Spaces with [`Space::IMPLICIT_FETCH`] (road networks) behave this
+    /// way regardless.
+    pub incremental_fetch: bool,
+}
+
+impl InsConfig {
+    /// A configuration with the given k and ρ (paper protocol).
+    pub fn new(k: usize, rho: f64) -> InsConfig {
+        InsConfig {
+            k,
+            rho,
+            incremental_fetch: false,
+        }
+    }
+
+    /// A configuration with the paper's demo default ρ = 1.6.
+    pub fn with_k(k: usize) -> InsConfig {
+        Self::new(k, 1.6)
+    }
+
+    /// Enables the incremental-fetch extension (see the field docs).
+    pub fn incremental(mut self) -> InsConfig {
+        self.incremental_fetch = true;
+        self
+    }
+
+    /// The prefetch count `max(k, ⌊ρk⌋)`.
+    pub fn prefetch_count(&self) -> usize {
+        ((self.rho * self.k as f64).floor() as usize).max(self.k)
+    }
+}
+
+/// The INS moving-kNN processor, generic over its [`Space`].
+///
+/// The processor is also generic over *how* it holds the index: any
+/// `B: Borrow<S::Index>` works. Single-threaded callers pass
+/// `&S::Index` (the original API); the `insq-server` fleet engine
+/// passes `Arc<S::Index>` so queries own their world snapshot and can be
+/// rebound to a newly published epoch without lifetime entanglement.
+///
+/// Use the per-space aliases [`crate::InsProcessor`],
+/// [`crate::NetInsProcessor`] and [`crate::WInsProcessor`], or name a
+/// space directly: `Processor::<Euclidean, _>::new(&index, cfg)`.
+#[derive(Debug, Clone)]
+pub struct Processor<S: Space, B: Borrow<S::Index>> {
+    index: B,
+    cfg: InsConfig,
+    /// Current kNN with distances as of the last tick, ascending by
+    /// (distance, id).
+    knn: Vec<(S::SiteId, f64)>,
+    /// The certified neighborhood `kNN ∪ I(kNN)` a scope-probing
+    /// validation reads (Theorem 2's subnetwork on road networks);
+    /// empty in scan-validating spaces (see
+    /// [`Space::SCOPED_VALIDATION`]).
+    scope: Vec<S::SiteId>,
+    /// Client-side object cache: the prefetch set `R` plus its cached
+    /// influential set (`I(R)` or `I(kNN)`, see
+    /// [`Space::SCOPED_VALIDATION`]) plus everything fetched since the
+    /// last full recomputation.
+    /// `cached[ordinal]` mirrors membership of `cached_list` for O(1)
+    /// tests.
+    cached: Vec<bool>,
+    cached_list: Vec<S::SiteId>,
+    /// Reusable probe scratch (see [`Space::Scratch`]) so hot-path
+    /// validation allocates nothing per tick.
+    scratch: S::Scratch,
+    last_pos: Option<S::Pos>,
+    stats: QueryStats,
+    initialized: bool,
+    _space: PhantomData<S>,
+}
+
+impl<S: Space, B: Borrow<S::Index>> Processor<S, B> {
+    /// Creates a processor; fails on `k = 0`, `k > n`, or `ρ < 1`.
+    pub fn new(index: B, cfg: InsConfig) -> Result<Processor<S, B>, CoreError> {
+        if cfg.k == 0 {
+            return Err(CoreError::BadConfig {
+                reason: "k must be at least 1",
+            });
+        }
+        if cfg.k > S::num_sites(index.borrow()) {
+            return Err(CoreError::BadConfig {
+                reason: "k exceeds the number of data objects",
+            });
+        }
+        if !(cfg.rho >= 1.0 && cfg.rho.is_finite()) {
+            return Err(CoreError::BadConfig {
+                reason: "prefetch ratio rho must be finite and >= 1",
+            });
+        }
+        let cached = vec![false; S::num_sites(index.borrow())];
+        Ok(Processor {
+            index,
+            cfg,
+            knn: Vec::new(),
+            scope: Vec::new(),
+            cached,
+            cached_list: Vec::new(),
+            scratch: S::Scratch::default(),
+            last_pos: None,
+            stats: QueryStats::default(),
+            initialized: false,
+            _space: PhantomData,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> InsConfig {
+        self.cfg
+    }
+
+    /// The index snapshot the processor is currently bound to.
+    pub fn index(&self) -> &S::Index {
+        self.index.borrow()
+    }
+
+    /// The position of the last processed tick, if any.
+    pub fn last_pos(&self) -> Option<S::Pos> {
+        self.last_pos
+    }
+
+    /// The current kNN with distances from the last position, ascending
+    /// by (distance, id).
+    pub fn current_knn_with_dists(&self) -> &[(S::SiteId, f64)] {
+        &self.knn
+    }
+
+    /// The influential neighbor set `I(kNN)` of the current result.
+    pub fn influential_set(&self) -> Vec<S::SiteId> {
+        let ids: Vec<S::SiteId> = self.knn.iter().map(|&(s, _)| s).collect();
+        S::influential(self.index(), &ids)
+    }
+
+    /// The certified neighborhood a scope-probing validation reads:
+    /// `kNN ∪ I(kNN)` (on road networks, the sites whose Voronoi cells
+    /// form the Theorem-2 subnetwork). Empty in spaces that validate by
+    /// scan instead (`Space::SCOPED_VALIDATION = false`), whose probes
+    /// never read it — use [`Processor::influential_set`] for `I(kNN)`
+    /// on demand.
+    pub fn scope(&self) -> &[S::SiteId] {
+        &self.scope
+    }
+
+    /// The guard set used for validation: every held object that is not
+    /// a current kNN (the paper's `IS = I(R) ∪ R \ NNk(q)`).
+    pub fn guard_set(&self) -> Vec<S::SiteId> {
+        self.cached_list
+            .iter()
+            .copied()
+            .filter(|&s| !self.knn.iter().any(|&(m, _)| m == s))
+            .collect()
+    }
+
+    /// All objects currently held client-side.
+    pub fn held_objects(&self) -> &[S::SiteId] {
+        &self.cached_list
+    }
+
+    /// Drops all client-side state (cache, guards, current result),
+    /// forcing a full recomputation at the next [`MovingKnn::tick`].
+    ///
+    /// Use after any out-of-band event that voids the guards' certificate
+    /// — most importantly a data-object update on the server (paper §III:
+    /// "If there are data object updates, we also update the kNN set and
+    /// the IS"): inserted objects may be nearer than any held guard, and
+    /// deleted guards certify nothing.
+    pub fn invalidate(&mut self) {
+        self.drop_cache();
+        self.knn.clear();
+        self.scope.clear();
+        self.initialized = false;
+    }
+
+    /// Rebinds the processor to a rebuilt index snapshot after
+    /// data-object updates (the server reconstructs the index; the
+    /// client continues the same moving query against the new data set).
+    /// Implies [`Processor::invalidate`]. Statistics are preserved so a
+    /// run's totals include the update's recomputation cost.
+    ///
+    /// `insq-server` epoch-versioned worlds call this with the freshly
+    /// published `Arc<S::Index>` snapshot; manual single-query code
+    /// passes the new `&S::Index` as before. If the new index holds
+    /// fewer than `k` objects, subsequent ticks return all of them
+    /// (`current_knn` shrinks below `k`) rather than failing.
+    pub fn rebind(&mut self, index: B) {
+        self.cached = vec![false; S::num_sites(index.borrow())];
+        self.index = index;
+        self.cached_list.clear();
+        self.knn.clear();
+        self.scope.clear();
+        self.initialized = false;
+    }
+
+    fn is_cached(&self, s: S::SiteId) -> bool {
+        self.cached[S::ordinal(s)]
+    }
+
+    fn fetch(&mut self, sites: &[S::SiteId]) {
+        for &s in sites {
+            if !self.cached[S::ordinal(s)] {
+                self.cached[S::ordinal(s)] = true;
+                self.cached_list.push(s);
+                self.stats.comm_objects += 1;
+            }
+        }
+    }
+
+    fn drop_cache(&mut self) {
+        for &s in &self.cached_list {
+            self.cached[S::ordinal(s)] = false;
+        }
+        self.cached_list.clear();
+    }
+
+    /// Replaces the cache contents, counting only genuinely new objects
+    /// as communication.
+    fn reset_cache_to(&mut self, sites: impl Iterator<Item = S::SiteId> + Clone) {
+        let newly = sites.clone().filter(|&s| !self.is_cached(s)).count() as u64;
+        self.drop_cache();
+        for s in sites {
+            if !self.cached[S::ordinal(s)] {
+                self.cached[S::ordinal(s)] = true;
+                self.cached_list.push(s);
+            }
+        }
+        self.stats.comm_objects += newly;
+    }
+
+    /// `kNN ∪ I(kNN)` in stable order (kNN first), deduplicated.
+    fn make_scope(ids: &[S::SiteId], ins: &[S::SiteId]) -> Vec<S::SiteId> {
+        let mut scope = Vec::with_capacity(ids.len() + ins.len());
+        scope.extend_from_slice(ids);
+        for &s in ins {
+            if !ids.contains(&s) {
+                scope.push(s);
+            }
+        }
+        scope
+    }
+
+    /// Full recomputation (update case (iii) / initial computation):
+    /// retrieve `R` and its cached influential set, hold both, adopt the
+    /// top-k of `R`.
+    fn recompute(&mut self, pos: S::Pos) {
+        let m = self.cfg.prefetch_count().min(S::num_sites(self.index()));
+        let (r, ops) = S::global_knn(self.index.borrow(), pos, m);
+        self.stats.search_ops += ops;
+        let r_ids: Vec<S::SiteId> = r.iter().map(|&(s, _)| s).collect();
+
+        // A rebind may have installed an index with fewer than k objects;
+        // degrade to all of them instead of panicking mid-fleet.
+        self.knn = r[..self.cfg.k.min(r.len())].to_vec();
+
+        // Cache and scope policy (see `Space::SCOPED_VALIDATION`):
+        // scope-probing spaces hold `R ∪ I(kNN)` and maintain the
+        // probe's scope; scan-validating spaces follow the paper's §III
+        // protocol (`R ∪ I(R)`) and skip the scope, which their probes
+        // never read. Only genuinely new objects cost communication.
+        if S::SCOPED_VALIDATION {
+            let knn_ids: Vec<S::SiteId> = self.knn.iter().map(|&(s, _)| s).collect();
+            let ins_knn = S::influential(self.index.borrow(), &knn_ids);
+            self.stats.construction_ops += (knn_ids.len() + ins_knn.len()) as u64;
+            self.reset_cache_to(r_ids.iter().copied().chain(ins_knn.iter().copied()));
+            self.scope = Self::make_scope(&knn_ids, &ins_knn);
+        } else {
+            let ins_r = S::influential(self.index.borrow(), &r_ids);
+            self.stats.construction_ops += (r_ids.len() + ins_r.len()) as u64;
+            self.reset_cache_to(r_ids.iter().copied().chain(ins_r.iter().copied()));
+            self.scope.clear();
+        }
+        self.last_pos = Some(pos);
+    }
+
+    /// Certifies the probe's candidate k-set against its own influential
+    /// neighborhood. On success, installs it and returns the classified
+    /// outcome; `None` means a full recomputation is needed.
+    ///
+    /// Soundness: the candidate is certified only after (a) `I(cand)` is
+    /// entirely held (guarding `MIS(cand) ⊆ I(cand)`, Theorem 1) and (b)
+    /// a probe of `cand ∪ I(cand)` returns exactly `cand` (the §III-A
+    /// scan / Theorem 2) — so the predicate holding certifies
+    /// `cand = NNk(q)` globally.
+    fn try_adopt(&mut self, pos: S::Pos, cand: Vec<(S::SiteId, f64)>) -> Option<TickOutcome> {
+        if cand.len() < self.cfg.k {
+            return None;
+        }
+        let cand_ids: Vec<S::SiteId> = cand.iter().map(|&(s, _)| s).collect();
+        let ins = S::influential(self.index.borrow(), &cand_ids);
+        self.stats.construction_ops += (cand_ids.len() + ins.len()) as u64;
+
+        let missing: Vec<S::SiteId> = cand_ids
+            .iter()
+            .chain(ins.iter())
+            .copied()
+            .filter(|&s| !self.is_cached(s))
+            .collect();
+        let fetch_allowed = S::IMPLICIT_FETCH || self.cfg.incremental_fetch;
+        if !missing.is_empty() && !fetch_allowed {
+            // Paper protocol: local updates use held objects only;
+            // anything else is a full recomputation (case (iii)).
+            return None;
+        }
+        // A candidate member the client did not hold means the update
+        // semantically was a (partial) recomputation, not a local repair.
+        let was_local = cand_ids.iter().all(|&s| self.is_cached(s));
+
+        // Certification probe on the candidate's own neighborhood,
+        // BEFORE any fetch — a candidate that fails certification must
+        // not cost communication (the server ships objects only for
+        // adopted results). Missing objects are made visible to the
+        // probe through a temporary extension of the held list. When
+        // nothing is missing in a Euclidean space the probe is
+        // guaranteed to pass — it stays to keep the certified-result
+        // invariant explicit and to account the O(k + |IS|) cost of the
+        // update cases; on road networks it is the Theorem-2 restricted
+        // search over the candidate's cells and genuinely decides.
+        let scope2 = Self::make_scope(&cand_ids, &ins);
+        let (res, ops) = if missing.is_empty() {
+            S::scoped_knn(
+                self.index.borrow(),
+                &mut self.scratch,
+                &scope2,
+                &self.cached_list,
+                pos,
+                self.cfg.k,
+            )
+        } else {
+            let mut extended = self.cached_list.clone();
+            extended.extend_from_slice(&missing);
+            S::scoped_knn(
+                self.index.borrow(),
+                &mut self.scratch,
+                &scope2,
+                &extended,
+                pos,
+                self.cfg.k,
+            )
+        };
+        self.stats.search_ops += ops;
+        if !same_id_set::<S>(&res, &cand_ids) {
+            return None;
+        }
+        self.fetch(&missing);
+
+        let shared = cand_ids
+            .iter()
+            .filter(|&&s| self.knn.iter().any(|&(m, _)| m == s))
+            .count();
+        let outcome = if !was_local {
+            TickOutcome::Recompute
+        } else if shared + 1 == self.cfg.k {
+            TickOutcome::Swap
+        } else {
+            TickOutcome::LocalRerank
+        };
+        if S::SCOPED_VALIDATION {
+            self.scope = scope2;
+        }
+        self.knn = res;
+        Some(outcome)
+    }
+}
+
+/// Whether the candidate list's id set equals `ids` (order-insensitive).
+fn same_id_set<S: Space>(cand: &[(S::SiteId, f64)], ids: &[S::SiteId]) -> bool {
+    cand.len() == ids.len() && cand.iter().all(|&(s, _)| ids.contains(&s))
+}
+
+impl<S: Space, B: Borrow<S::Index>> MovingKnn<S::Pos, S::SiteId> for Processor<S, B> {
+    fn name(&self) -> &'static str {
+        S::NAME
+    }
+
+    fn tick(&mut self, pos: S::Pos) -> TickOutcome {
+        if !self.initialized {
+            self.recompute(pos);
+            self.initialized = true;
+            let outcome = TickOutcome::Recompute;
+            self.stats.record(outcome);
+            return outcome;
+        }
+        self.last_pos = Some(pos);
+
+        // Validation of the certified neighborhood (§III-A scan /
+        // Theorem 2 restricted search).
+        let (verdict, ops) = S::validate(
+            self.index.borrow(),
+            &mut self.scratch,
+            &self.scope,
+            &self.cached_list,
+            &self.knn,
+            pos,
+            self.cfg.k,
+        );
+        self.stats.validation_ops += ops;
+        let outcome = match verdict {
+            Validated::Valid(refreshed) => {
+                // Refresh stored distances for observers.
+                self.knn = refreshed;
+                TickOutcome::Valid
+            }
+            // The probe's result is the natural candidate (the first
+            // object to displace a kNN member is an INS member).
+            Validated::Invalid(cand) => match self.try_adopt(pos, cand) {
+                Some(outcome) => outcome,
+                None => {
+                    self.recompute(pos);
+                    TickOutcome::Recompute
+                }
+            },
+        };
+        self.stats.record(outcome);
+        outcome
+    }
+
+    fn current_knn(&self) -> Vec<S::SiteId> {
+        self.knn.iter().map(|&(s, _)| s).collect()
+    }
+
+    fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = QueryStats::default();
+    }
 }

@@ -1,0 +1,215 @@
+//! The [`Space`] abstraction: what every INSQ setting has in common.
+//!
+//! The paper instantiates the INS algorithm twice — 2-D Euclidean space
+//! (§III) and road networks (§IV) — and proves the same two facts in
+//! both: the minimal influential set is contained in the Voronoi-neighbor
+//! influential set (Theorem 1), and a result that survives a probe of
+//! its own `kNN ∪ INS` neighborhood is globally valid (Theorem 2 / the
+//! §III-A distance scan). Everything else — prefetching, guard caching,
+//! the three update cases — is identical.
+//!
+//! [`Space`] captures exactly that shared surface: a position type, a
+//! site-identifier type, an index snapshot, and four operations (global
+//! kNN probe, influential-neighbor construction, scoped validation
+//! probe, brute-force reference). The single generic
+//! [`crate::Processor`] implements the full INS protocol over any
+//! `Space`; `insq-server` builds its epoch-versioned worlds and fleet
+//! clients over the same trait. Adding a setting means implementing this
+//! trait once — the processor, fleet engine, workload generators and
+//! conformance suites come for free (see the README's "how to add a
+//! space" checklist).
+//!
+//! Three spaces ship in-tree:
+//!
+//! | Space | Index | Position | Distance |
+//! |---|---|---|---|
+//! | [`crate::Euclidean`] | `insq_index::VorTree` | `insq_geom::Point` | L2 |
+//! | [`crate::Network`] | `insq_roadnet::NetworkWorld` | `insq_roadnet::NetPosition` | shortest path |
+//! | [`crate::WeightedEuclidean`] | `insq_index::WeightedVorTree` | `insq_geom::Point` | per-axis scaled L2 |
+
+use std::fmt::Debug;
+
+use insq_index::{SiteDelta, VorTree, WeightedVorTree};
+use insq_roadnet::{NetSiteDelta, NetworkWorld, RoadNetError};
+use insq_voronoi::VoronoiError;
+
+/// A query setting the INS algorithm can run in.
+///
+/// Implementations are zero-sized marker types; every operation receives
+/// the index snapshot explicitly, so one snapshot can serve many
+/// concurrent queries (the `insq-server` fleet engine shares them via
+/// `Arc`).
+pub trait Space: Sized + Copy + Send + Sync + 'static {
+    /// The query position type ticks are driven with.
+    type Pos: Copy + Debug + Send + Sync;
+    /// The data-object identifier type of results.
+    type SiteId: Copy + Eq + Ord + Debug + Send + Sync + 'static;
+    /// The server-side index snapshot queries run against.
+    type Index: Send + Sync;
+    /// Reusable per-query scratch state for the validation probe, owned
+    /// by the processor and threaded through [`Space::validate`] /
+    /// [`Space::scoped_knn`] so hot-path probes allocate nothing
+    /// per tick (`()` for Euclidean spaces; a reusable
+    /// `insq_roadnet::SiteMask` on road networks).
+    type Scratch: Default + Clone + Debug + Send + Sync;
+
+    /// Short human-readable method name ("INS", "INS-road", …).
+    const NAME: &'static str;
+
+    /// Whether influential neighbors missing from the client cache are
+    /// fetched implicitly during a local update. On road networks the INS
+    /// pointers travel with the NVD adjacency, so the restricted
+    /// (server-side) probe ships them as a matter of course; in the
+    /// Euclidean paper protocol a local update uses held objects only
+    /// and anything else escalates to a full recomputation (unless the
+    /// `incremental_fetch` extension is enabled per query).
+    const IMPLICIT_FETCH: bool = false;
+
+    /// Whether validation probes the stored `kNN ∪ I(kNN)` scope (the
+    /// Theorem-2 restricted search on road networks) rather than
+    /// re-scanning the held objects (the §III-A scan of Euclidean
+    /// spaces). Two per-space behaviors follow from this:
+    ///
+    /// * **scope maintenance** — scope-probing spaces keep the scope up
+    ///   to date across recomputations and adoptions; scan-validating
+    ///   spaces skip it (their probes never read it, and
+    ///   [`crate::Processor::scope`] stays empty);
+    /// * **cache policy** — the §III protocol holds `R ∪ I(R)` so
+    ///   case-(ii) local re-ranks can draw on the full prefetch set;
+    ///   a scope-probing space confines the cache to `R ∪ I(kNN)`,
+    ///   because objects outside the probed cells would be dead
+    ///   communication weight.
+    ///
+    /// A space that keeps the default probe-based [`Space::validate`]
+    /// must set this to `true`; spaces that override `validate` with a
+    /// scan leave it `false`.
+    const SCOPED_VALIDATION: bool = false;
+
+    /// Number of data objects in the snapshot.
+    fn num_sites(index: &Self::Index) -> usize;
+
+    /// The dense ordinal of a site id in `0..num_sites` (bitmap caches).
+    fn ordinal(id: Self::SiteId) -> usize;
+
+    /// Global kNN probe — the initial computation / update case (iii)
+    /// search. Returns the `m` nearest sites ascending by distance (ties
+    /// by id) together with the elementary-operation count (index node
+    /// inspections, settled vertices, …).
+    fn global_knn(index: &Self::Index, pos: Self::Pos, m: usize)
+        -> (Vec<(Self::SiteId, f64)>, u64);
+
+    /// The influential neighbor set `I(ids)` (Definition 4): the union of
+    /// the Voronoi neighbor sets of `ids`, minus `ids`, sorted and
+    /// deduplicated.
+    fn influential(index: &Self::Index, ids: &[Self::SiteId]) -> Vec<Self::SiteId>;
+
+    /// The validation/certification probe: the best `k` candidates
+    /// visible from the certified neighborhood of the current result.
+    ///
+    /// `scope` is the result set united with its influential neighbor
+    /// set; `held` is every object the client holds. Euclidean spaces
+    /// re-rank `held` by distance (the §III-A scan); road networks run
+    /// the Theorem-2 restricted expansion over the Voronoi cells of
+    /// `scope`. Returns candidates ascending by distance (ties by id)
+    /// and the operation count.
+    fn scoped_knn(
+        index: &Self::Index,
+        scratch: &mut Self::Scratch,
+        scope: &[Self::SiteId],
+        held: &[Self::SiteId],
+        pos: Self::Pos,
+        k: usize,
+    ) -> (Vec<(Self::SiteId, f64)>, u64);
+
+    /// Brute-force kNN — the conformance reference every processor
+    /// answer is checked against in the cross-space test suites.
+    fn brute_knn(index: &Self::Index, pos: Self::Pos, k: usize) -> Vec<Self::SiteId>;
+
+    /// The per-tick validation step (§III-A / Theorem 2): decides
+    /// whether `current` is still certified at `pos` and, if not,
+    /// produces the probe's candidate replacement. Returns the verdict
+    /// and the elementary-operation count.
+    ///
+    /// The default runs [`Space::scoped_knn`] and set-compares — exactly
+    /// right for road networks, where the restricted expansion both
+    /// validates and yields the candidate. Euclidean spaces override it
+    /// with the cheaper O(k + |IS|) distance scan (farthest current
+    /// member vs nearest guard, ties valid) and fall back to the ranked
+    /// probe only on invalidation.
+    fn validate(
+        index: &Self::Index,
+        scratch: &mut Self::Scratch,
+        scope: &[Self::SiteId],
+        held: &[Self::SiteId],
+        current: &[(Self::SiteId, f64)],
+        pos: Self::Pos,
+        k: usize,
+    ) -> (Validated<Self::SiteId>, u64) {
+        let (res, ops) = Self::scoped_knn(index, scratch, scope, held, pos, k);
+        let same = res.len() == current.len()
+            && res
+                .iter()
+                .all(|&(s, _)| current.iter().any(|&(c, _)| c == s));
+        if same {
+            (Validated::Valid(res), ops)
+        } else {
+            (Validated::Invalid(res), ops)
+        }
+    }
+}
+
+/// Outcome of [`Space::validate`].
+#[derive(Debug, Clone)]
+pub enum Validated<Id> {
+    /// Still certified: the current result with distances refreshed at
+    /// the new position.
+    Valid(Vec<(Id, f64)>),
+    /// No longer certified: the probe's candidate replacement set (to be
+    /// certified by the update cases of §III-B).
+    Invalid(Vec<(Id, f64)>),
+}
+
+/// An index snapshot that supports **delta epochs**: producing the next
+/// epoch's snapshot by patching a copy instead of rebuilding from
+/// scratch. `insq_server::World::apply` is generic over this trait.
+pub trait DeltaIndex: Sized {
+    /// The batched-update type.
+    type Delta;
+    /// The error type of a rejected delta.
+    type Error;
+
+    /// Returns a patched copy of `self`; `self` is never modified, so on
+    /// error the current snapshot simply stays live.
+    fn apply_delta(&self, delta: &Self::Delta) -> Result<Self, Self::Error>;
+}
+
+impl DeltaIndex for VorTree {
+    type Delta = SiteDelta;
+    type Error = VoronoiError;
+
+    fn apply_delta(&self, delta: &SiteDelta) -> Result<VorTree, VoronoiError> {
+        let mut next = self.clone();
+        next.apply(delta)?;
+        Ok(next)
+    }
+}
+
+impl DeltaIndex for WeightedVorTree {
+    type Delta = SiteDelta;
+    type Error = VoronoiError;
+
+    fn apply_delta(&self, delta: &SiteDelta) -> Result<WeightedVorTree, VoronoiError> {
+        let mut next = self.clone();
+        next.apply(delta)?;
+        Ok(next)
+    }
+}
+
+impl DeltaIndex for NetworkWorld {
+    type Delta = NetSiteDelta;
+    type Error = RoadNetError;
+
+    fn apply_delta(&self, delta: &NetSiteDelta) -> Result<NetworkWorld, RoadNetError> {
+        NetworkWorld::apply_delta(self, delta)
+    }
+}

@@ -22,7 +22,9 @@
 pub mod delta;
 pub mod rtree;
 pub mod vortree;
+pub mod weighted;
 
 pub use delta::SiteDelta;
 pub use rtree::{Entry, RTree};
 pub use vortree::VorTree;
+pub use weighted::{AxisWeights, WeightedVorTree};

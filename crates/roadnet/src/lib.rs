@@ -31,6 +31,7 @@ pub mod position;
 pub mod sites;
 pub mod subnetwork;
 pub mod trajectory;
+pub mod world;
 
 pub use graph::{EdgeId, EdgeRec, RoadNetwork, VertexId};
 pub use nvd::{BorderPoint, EdgeFragment, EdgeOwnership, NetworkVoronoi};
@@ -38,6 +39,7 @@ pub use position::NetPosition;
 pub use sites::{NetSiteDelta, SiteIdx, SiteSet};
 pub use subnetwork::SiteMask;
 pub use trajectory::NetTrajectory;
+pub use world::NetworkWorld;
 
 /// Errors from road-network construction and queries.
 #[derive(Debug, Clone, PartialEq)]

@@ -22,7 +22,7 @@ use crate::position::NetPosition;
 use crate::sites::{SiteIdx, SiteSet};
 
 /// A reusable mask of allowed sites, sized to the site set.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SiteMask {
     allowed: Vec<bool>,
     members: Vec<SiteIdx>,
@@ -34,6 +34,26 @@ impl SiteMask {
         SiteMask {
             allowed: vec![false; num_sites],
             members: Vec::new(),
+        }
+    }
+
+    /// The number of sites the mask is dimensioned for.
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        self.allowed.len()
+    }
+
+    /// Re-dimensions the mask to `num_sites` — the reuse path for
+    /// callers that keep one scratch mask across queries. When the site
+    /// count actually changed the mask is reallocated and cleared; when
+    /// it is unchanged this is a no-op and the previous contents stay —
+    /// follow with [`SiteMask::set`] (which clears and refills) before
+    /// reading.
+    pub fn resize(&mut self, num_sites: usize) {
+        if self.allowed.len() != num_sites {
+            self.allowed.clear();
+            self.allowed.resize(num_sites, false);
+            self.members.clear();
         }
     }
 

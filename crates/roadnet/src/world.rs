@@ -1,0 +1,149 @@
+//! The road-network world snapshot: network + sites + NVD as one value.
+//!
+//! [`NetworkWorld`] is the road-network equivalent of a
+//! `insq_index::VorTree`: everything a query processor needs to answer
+//! moving kNN queries, bundled so the layers above (the generic INS
+//! processor in `insq-core`, the epoch-versioned `World` in
+//! `insq-server`) can treat every space through one index handle.
+//!
+//! Data-object updates replace `sites`/`nvd`; the network itself is
+//! assumed fixed across epochs (the paper's setting: POIs change, streets
+//! do not), so it is shared via `Arc` and delta epochs never copy it.
+
+use std::sync::Arc;
+
+use crate::graph::RoadNetwork;
+use crate::nvd::NetworkVoronoi;
+use crate::sites::{NetSiteDelta, SiteSet};
+use crate::RoadNetError;
+
+/// A road-network snapshot: the (stable) network plus the per-epoch site
+/// set and its precomputed network Voronoi diagram.
+#[derive(Debug, Clone)]
+pub struct NetworkWorld {
+    /// The road network (shared unchanged across epochs).
+    pub net: Arc<RoadNetwork>,
+    /// The data objects of this epoch.
+    pub sites: Arc<SiteSet>,
+    /// The network Voronoi diagram of `sites` over `net`.
+    pub nvd: Arc<NetworkVoronoi>,
+}
+
+impl NetworkWorld {
+    /// Builds a snapshot from a network and site set, computing the NVD.
+    pub fn build(net: Arc<RoadNetwork>, sites: SiteSet) -> NetworkWorld {
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        NetworkWorld {
+            net,
+            sites: Arc::new(sites),
+            nvd: Arc::new(nvd),
+        }
+    }
+
+    /// Bundles already-shared parts (the NVD must have been built over
+    /// exactly this network and site set).
+    pub fn from_parts(
+        net: Arc<RoadNetwork>,
+        sites: Arc<SiteSet>,
+        nvd: Arc<NetworkVoronoi>,
+    ) -> NetworkWorld {
+        NetworkWorld { net, sites, nvd }
+    }
+
+    /// The next epoch's snapshot: same network, new site set (the server
+    /// half of a data-object update).
+    pub fn with_sites(&self, sites: SiteSet) -> NetworkWorld {
+        NetworkWorld::build(Arc::clone(&self.net), sites)
+    }
+
+    /// Number of data-object sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the snapshot holds no sites (never true once built — a
+    /// [`SiteSet`] is non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The next epoch's snapshot produced *incrementally*: the network is
+    /// shared untouched via `Arc`, the site set and NVD are cloned and
+    /// patched per delta entry (removals first, descending pre-delta
+    /// indices with swap-remove renames, then insertions in order). The
+    /// original snapshot is never modified; on error it stays the live
+    /// one.
+    pub fn apply_delta(&self, delta: &NetSiteDelta) -> Result<NetworkWorld, RoadNetError> {
+        let mut sites = (*self.sites).clone();
+        let mut nvd = (*self.nvd).clone();
+        let mut removed = delta.removed.clone();
+        removed.sort_unstable();
+        removed.dedup();
+        for &s in removed.iter().rev() {
+            let moved = sites.remove(s)?;
+            nvd.remove_site(&self.net, s, moved);
+        }
+        for &v in &delta.added {
+            let idx = sites.insert(&self.net, v)?;
+            let got = nvd.insert_site(&self.net, v);
+            debug_assert_eq!(idx, got, "site set and NVD agree on indices");
+        }
+        Ok(NetworkWorld {
+            net: Arc::clone(&self.net),
+            sites: Arc::new(sites),
+            nvd: Arc::new(nvd),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_network, random_site_vertices, GridConfig};
+    use crate::{SiteIdx, VertexId};
+
+    #[test]
+    fn apply_delta_shares_the_road_network() {
+        let net = Arc::new(grid_network(&GridConfig::default(), 9).unwrap());
+        let sites = SiteSet::new(&net, random_site_vertices(&net, 6, 4).unwrap()).unwrap();
+        let snap0 = NetworkWorld::build(Arc::clone(&net), sites);
+
+        // Pick a vertex without a site.
+        let free = (0..net.num_vertices() as u32)
+            .map(VertexId)
+            .find(|&v| snap0.sites.site_at(v).is_none())
+            .unwrap();
+        let delta = NetSiteDelta {
+            added: vec![free],
+            removed: vec![SiteIdx(1)],
+        };
+        let snap1 = snap0.apply_delta(&delta).unwrap();
+        assert!(
+            Arc::ptr_eq(&snap0.net, &snap1.net),
+            "the network is shared across delta epochs"
+        );
+        assert!(!Arc::ptr_eq(&snap0.nvd, &snap1.nvd));
+        assert_eq!(snap1.sites.len(), snap0.sites.len());
+        assert_eq!(snap1.len(), snap1.sites.len());
+        assert!(!snap1.is_empty());
+        // The patched NVD equals a from-scratch build over the new sites.
+        let rebuilt = NetworkVoronoi::build(&net, &snap1.sites);
+        for s in 0..snap1.sites.len() as u32 {
+            assert_eq!(
+                snap1.nvd.neighbors(SiteIdx(s)),
+                rebuilt.neighbors(SiteIdx(s))
+            );
+        }
+    }
+
+    #[test]
+    fn failed_apply_delta_leaves_the_snapshot_usable() {
+        let net = Arc::new(grid_network(&GridConfig::default(), 3).unwrap());
+        let sites = SiteSet::new(&net, random_site_vertices(&net, 5, 8).unwrap()).unwrap();
+        let snap = NetworkWorld::build(Arc::clone(&net), sites);
+        let err = snap.apply_delta(&NetSiteDelta::remove(vec![SiteIdx(999)]));
+        assert!(matches!(err, Err(RoadNetError::SiteOutOfRange { .. })));
+        // The original is untouched and still answers.
+        assert_eq!(snap.len(), 5);
+    }
+}

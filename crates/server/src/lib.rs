@@ -3,23 +3,28 @@
 //! The INSQ query-processing *system* layer (paper §III pitches INSQ as a
 //! server maintaining moving kNN results for many clients at once): a
 //! concurrent multi-query **fleet engine** over a shared,
-//! **epoch-versioned world**.
+//! **epoch-versioned world** — all of it generic over the
+//! `insq_core::Space` a deployment runs in.
 //!
-//! * [`World`] / [`Epoch`] — the server-owned index (`VorTree` for the
-//!   Euclidean plane, [`NetworkWorld`] = road network + sites + NVD for
-//!   networks), published atomically. Data-object updates become a
-//!   [`World::publish`] (full rebuild) or — the cheap path — a **delta
-//!   epoch** via `World::apply` (`insq_index::SiteDelta` /
-//!   `insq_roadnet::NetSiteDelta`): the snapshot is cloned copy-on-write
-//!   and patched incrementally, at cost proportional to the delta
-//!   instead of O(n log n). Live queries detect the epoch bump at their
-//!   next tick and self-rebind either way, replacing the manual `rebind`
-//!   dance of single-query code.
-//! * [`FleetEngine`] — a sharded registry of live queries (each a
-//!   [`insq_core::MovingKnn`] implementor wrapped as a [`FleetQuery`]),
-//!   ticked in parallel batches on a scoped-thread worker pool with
-//!   deterministic per-shard scheduling: results and statistics are
-//!   bit-identical to sequential execution at any thread count.
+//! * [`World`] / [`Epoch`] — the server-owned index snapshot (any
+//!   space's `Index` type: `VorTree`, `WeightedVorTree`,
+//!   [`NetworkWorld`]), published atomically. Data-object updates become
+//!   a [`World::publish`] (full rebuild) or — the cheap path — a **delta
+//!   epoch** via [`World::apply`], one generic implementation over
+//!   `insq_core::DeltaIndex`: the snapshot is cloned copy-on-write and
+//!   patched incrementally, at cost proportional to the delta instead of
+//!   O(n log n). Live queries detect the epoch bump at their next tick
+//!   and self-rebind either way.
+//! * [`SpaceQuery`] — the one fleet-client implementation, wrapping the
+//!   generic `insq_core::Processor` over an `Arc` world snapshot.
+//!   [`InsFleetQuery`] / [`NetFleetQuery`] / [`WFleetQuery`] are its
+//!   per-space aliases.
+//! * [`FleetEngine`] — a sharded registry of live queries, ticked in
+//!   parallel batches on a scoped-thread worker pool with deterministic
+//!   per-shard scheduling: results and statistics are bit-identical to
+//!   sequential execution at any thread count, in every space
+//!   (`tests/space_conformance.rs` runs the same harness over all of
+//!   them).
 //! * [`FleetStats`] — per-shard [`insq_core::QueryStats`] aggregation
 //!   surfacing fleet throughput (ticks/s, validations/tick, recompute
 //!   rate).
@@ -66,7 +71,7 @@ pub mod util;
 pub mod world;
 
 pub use fleet::{FleetConfig, FleetEngine, FleetStats, QueryId, TickSummary};
-pub use queries::{FleetQuery, InsFleetQuery, NetFleetQuery};
+pub use queries::{FleetQuery, InsFleetQuery, NetFleetQuery, SpaceQuery, WFleetQuery};
 pub use util::parallel_map;
 pub use world::{Epoch, NetworkWorld, World};
 
@@ -77,38 +82,28 @@ pub use world::{Epoch, NetworkWorld, World};
 #[allow(dead_code)]
 fn assert_thread_safety() {
     fn assert_send_sync<T: Send + Sync>() {}
+    use insq_core::{Euclidean, Network, Processor, Space, WeightedEuclidean};
     use std::sync::Arc;
 
     // Substrates.
     assert_send_sync::<insq_index::RTree>();
     assert_send_sync::<insq_index::VorTree>();
+    assert_send_sync::<insq_index::WeightedVorTree>();
     assert_send_sync::<insq_roadnet::RoadNetwork>();
     assert_send_sync::<insq_roadnet::SiteSet>();
     assert_send_sync::<insq_roadnet::NetworkVoronoi>();
+    assert_send_sync::<NetworkWorld>();
 
-    // Processors, in both borrow flavors.
-    assert_send_sync::<insq_core::InsProcessor<&'static insq_index::VorTree>>();
-    assert_send_sync::<insq_core::InsProcessor<Arc<insq_index::VorTree>>>();
-    assert_send_sync::<
-        insq_core::NetInsProcessor<
-            &'static insq_roadnet::RoadNetwork,
-            &'static insq_roadnet::SiteSet,
-            &'static insq_roadnet::NetworkVoronoi,
-        >,
-    >();
-    assert_send_sync::<
-        insq_core::NetInsProcessor<
-            Arc<insq_roadnet::RoadNetwork>,
-            Arc<insq_roadnet::SiteSet>,
-            Arc<insq_roadnet::NetworkVoronoi>,
-        >,
-    >();
-
-    // Server layer.
-    assert_send_sync::<World<insq_index::VorTree>>();
-    assert_send_sync::<World<NetworkWorld>>();
-    assert_send_sync::<InsFleetQuery>();
-    assert_send_sync::<NetFleetQuery>();
-    assert_send_sync::<FleetEngine<insq_index::VorTree, InsFleetQuery>>();
-    assert_send_sync::<FleetEngine<NetworkWorld, NetFleetQuery>>();
+    // The generic processor, in both borrow flavors, for every space —
+    // including any future one: this function is itself generic.
+    fn assert_space<S: Space>() {
+        assert_send_sync::<Processor<S, &'static S::Index>>();
+        assert_send_sync::<Processor<S, Arc<S::Index>>>();
+        assert_send_sync::<World<S::Index>>();
+        assert_send_sync::<SpaceQuery<S>>();
+        assert_send_sync::<FleetEngine<S::Index, SpaceQuery<S>>>();
+    }
+    assert_space::<Euclidean>();
+    assert_space::<Network>();
+    assert_space::<WeightedEuclidean>();
 }

@@ -7,18 +7,18 @@
 //! calls [`FleetQuery::bind`] on the stale ones — the fleet equivalent of
 //! the paper's "if there are data object updates, we also update the kNN
 //! set and the IS".
+//!
+//! There is exactly one implementation: the space-generic
+//! [`SpaceQuery`], wrapping the generic `insq_core::Processor` over an
+//! `Arc` snapshot of the world. [`InsFleetQuery`], [`NetFleetQuery`] and
+//! [`WFleetQuery`] are its per-space aliases; a new space gets its fleet
+//! client for free.
 
 use std::sync::Arc;
 
-use insq_core::{
-    CoreError, InsConfig, InsProcessor, MovingKnn, NetInsConfig, NetInsProcessor, QueryStats,
-};
-use insq_geom::Point;
-use insq_index::VorTree;
-use insq_roadnet::{NetPosition, NetworkVoronoi, RoadNetwork, SiteIdx, SiteSet};
-use insq_voronoi::SiteId;
+use insq_core::{CoreError, InsConfig, MovingKnn, Processor, QueryStats, Space, TickOutcome};
 
-use crate::world::{Epoch, NetworkWorld, World};
+use crate::world::{Epoch, World};
 
 /// A live query in a fleet: a moving-kNN processor bound to one epoch of
 /// a shared world `W`.
@@ -36,105 +36,58 @@ pub trait FleetQuery<W>: MovingKnn<Self::Pos, Self::Id> + Send {
     fn bind(&mut self, epoch: Epoch, snapshot: &Arc<W>);
 }
 
-/// A Euclidean INS fleet client over a `World<VorTree>`.
-#[derive(Debug, Clone)]
-pub struct InsFleetQuery {
+/// An INS fleet client over a `World<S::Index>`, for any [`Space`] `S`.
+#[derive(Clone)]
+pub struct SpaceQuery<S: Space> {
     epoch: Epoch,
-    proc: InsProcessor<Arc<VorTree>>,
+    proc: Processor<S, Arc<S::Index>>,
 }
 
-impl InsFleetQuery {
-    /// Creates a client bound to the world's current snapshot.
-    pub fn new(world: &World<VorTree>, cfg: InsConfig) -> Result<InsFleetQuery, CoreError> {
-        let (epoch, index) = world.snapshot();
-        Ok(InsFleetQuery {
-            epoch,
-            proc: InsProcessor::new(index, cfg)?,
-        })
-    }
-
-    /// The wrapped INS processor (current kNN, guard set, safe region…).
-    pub fn processor(&self) -> &InsProcessor<Arc<VorTree>> {
-        &self.proc
-    }
-}
-
-impl MovingKnn<Point, SiteId> for InsFleetQuery {
-    fn name(&self) -> &'static str {
-        self.proc.name()
-    }
-
-    fn tick(&mut self, pos: Point) -> insq_core::TickOutcome {
-        self.proc.tick(pos)
-    }
-
-    fn current_knn(&self) -> Vec<SiteId> {
-        self.proc.current_knn()
-    }
-
-    fn stats(&self) -> &QueryStats {
-        self.proc.stats()
-    }
-
-    fn reset_stats(&mut self) {
-        self.proc.reset_stats();
-    }
-}
-
-impl FleetQuery<VorTree> for InsFleetQuery {
-    type Pos = Point;
-    type Id = SiteId;
-
-    fn bound_epoch(&self) -> Epoch {
-        self.epoch
-    }
-
-    fn bind(&mut self, epoch: Epoch, snapshot: &Arc<VorTree>) {
-        self.proc.rebind(Arc::clone(snapshot));
-        self.epoch = epoch;
-    }
-}
+/// A Euclidean INS fleet client over a `World<VorTree>`.
+pub type InsFleetQuery = SpaceQuery<insq_core::Euclidean>;
 
 /// A road-network INS fleet client over a `World<NetworkWorld>`.
-#[derive(Debug)]
-pub struct NetFleetQuery {
-    epoch: Epoch,
-    proc: NetInsProcessor<Arc<RoadNetwork>, Arc<SiteSet>, Arc<NetworkVoronoi>>,
-}
+pub type NetFleetQuery = SpaceQuery<insq_core::Network>;
 
-impl NetFleetQuery {
+/// A weighted-Euclidean INS fleet client over a `World<WeightedVorTree>`.
+pub type WFleetQuery = SpaceQuery<insq_core::WeightedEuclidean>;
+
+impl<S: Space> SpaceQuery<S> {
     /// Creates a client bound to the world's current snapshot.
-    pub fn new(world: &World<NetworkWorld>, cfg: NetInsConfig) -> Result<NetFleetQuery, CoreError> {
-        let (epoch, snap) = world.snapshot();
-        Ok(NetFleetQuery {
+    pub fn new(world: &World<S::Index>, cfg: InsConfig) -> Result<SpaceQuery<S>, CoreError> {
+        let (epoch, index) = world.snapshot();
+        Ok(SpaceQuery {
             epoch,
-            proc: NetInsProcessor::new(
-                Arc::clone(&snap.net),
-                Arc::clone(&snap.sites),
-                Arc::clone(&snap.nvd),
-                cfg,
-            )?,
+            proc: Processor::new(index, cfg)?,
         })
     }
 
-    /// The wrapped network INS processor.
-    pub fn processor(
-        &self,
-    ) -> &NetInsProcessor<Arc<RoadNetwork>, Arc<SiteSet>, Arc<NetworkVoronoi>> {
+    /// The wrapped INS processor (current kNN, guard set, …).
+    pub fn processor(&self) -> &Processor<S, Arc<S::Index>> {
         &self.proc
     }
 }
 
-impl MovingKnn<NetPosition, SiteIdx> for NetFleetQuery {
+impl<S: Space> std::fmt::Debug for SpaceQuery<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpaceQuery")
+            .field("space", &S::NAME)
+            .field("epoch", &self.epoch)
+            .field("knn", &self.proc.current_knn())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Space> MovingKnn<S::Pos, S::SiteId> for SpaceQuery<S> {
     fn name(&self) -> &'static str {
         self.proc.name()
     }
 
-    fn tick(&mut self, pos: NetPosition) -> insq_core::TickOutcome {
+    fn tick(&mut self, pos: S::Pos) -> TickOutcome {
         self.proc.tick(pos)
     }
 
-    fn current_knn(&self) -> Vec<SiteIdx> {
+    fn current_knn(&self) -> Vec<S::SiteId> {
         self.proc.current_knn()
     }
 
@@ -147,24 +100,21 @@ impl MovingKnn<NetPosition, SiteIdx> for NetFleetQuery {
     }
 }
 
-impl FleetQuery<NetworkWorld> for NetFleetQuery {
-    type Pos = NetPosition;
-    type Id = SiteIdx;
+impl<S: Space> FleetQuery<S::Index> for SpaceQuery<S> {
+    type Pos = S::Pos;
+    type Id = S::SiteId;
 
     fn bound_epoch(&self) -> Epoch {
         self.epoch
     }
 
-    fn bind(&mut self, epoch: Epoch, snapshot: &Arc<NetworkWorld>) {
-        // Rebind the network too: `NetworkWorld`'s fields are public, so
-        // a published snapshot may carry a different network (map update)
-        // whose site set / NVD index into *its* adjacency. In the common
-        // POIs-changed case this is a no-op `Arc` clone.
-        self.proc.rebind_world(
-            Arc::clone(&snapshot.net),
-            Arc::clone(&snapshot.sites),
-            Arc::clone(&snapshot.nvd),
-        );
+    fn bind(&mut self, epoch: Epoch, snapshot: &Arc<S::Index>) {
+        // The whole snapshot is rebound — on road networks a published
+        // snapshot may carry a different network (map update) whose site
+        // set / NVD index into *its* adjacency; in the common
+        // POIs-changed case the unchanged parts are shared via `Arc` and
+        // rebinding them is free.
+        self.proc.rebind(Arc::clone(snapshot));
         self.epoch = epoch;
     }
 }

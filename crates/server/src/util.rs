@@ -1,6 +1,7 @@
 //! Small shared concurrency utilities.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::PoisonError;
 
 /// Maps `f` over `items` on up to `available_parallelism` threads,
 /// preserving order.
@@ -29,7 +30,9 @@ where
                     break;
                 }
                 let r = f(&items[i]);
-                *results[i].lock().expect("slot poisoned") = Some(r);
+                // Poison-immune: each slot is written exactly once, so a
+                // panic elsewhere never invalidates this slot's value.
+                *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
             });
         }
     });
@@ -37,7 +40,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("all slots filled")
         })
         .collect()

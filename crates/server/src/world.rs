@@ -6,12 +6,16 @@
 //!
 //! * [`World::publish`] — swap in a *wholly rebuilt* snapshot (O(n log n)
 //!   construction);
-//! * [`World::apply`] — **delta epochs**: clone the current snapshot
-//!   copy-on-write, patch it incrementally (cost proportional to the
-//!   delta's neighborhood, see `insq_index::VorTree::apply` /
-//!   `insq_roadnet::NetworkVoronoi::insert_site`), and publish the patched
-//!   clone. Structures untouched by the delta are shared via `Arc` where
-//!   the snapshot allows it (a [`NetworkWorld`] keeps its road network).
+//! * [`World::apply`] — **delta epochs**: available for every snapshot
+//!   type implementing [`insq_core::DeltaIndex`] (`VorTree`,
+//!   `WeightedVorTree`, [`NetworkWorld`] — one space-generic impl serves
+//!   all of them). The current snapshot is patched copy-on-write (cost
+//!   proportional to the delta's neighborhood, see
+//!   `insq_index::VorTree::apply` /
+//!   `insq_roadnet::NetworkVoronoi::insert_site`) and the patched clone
+//!   published. Structures untouched by the delta are shared via `Arc`
+//!   where the snapshot allows it (a [`NetworkWorld`] keeps its road
+//!   network).
 //!
 //! Either way the [`World`] swaps its snapshot atomically and bumps the
 //! [`Epoch`]. Live queries keep reading their old `Arc`-held snapshot —
@@ -20,11 +24,11 @@
 //! recomputation. This replaces the manual `rebind` dance of single-query
 //! code (`examples/data_updates.rs`).
 
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use insq_index::{SiteDelta, VorTree};
-use insq_roadnet::{NetSiteDelta, NetworkVoronoi, RoadNetError, RoadNetwork, SiteSet};
-use insq_voronoi::VoronoiError;
+use insq_core::DeltaIndex;
+
+pub use insq_roadnet::NetworkWorld;
 
 /// A monotonically increasing world version. Epoch 0 is the world a
 /// [`World`] was created with; every [`World::publish`] bumps it by one.
@@ -46,13 +50,15 @@ impl Epoch {
 }
 
 /// An epoch-versioned, shareable world: the server side of the INSQ
-/// system. `S` is the snapshot payload — [`insq_index::VorTree`] for the
-/// Euclidean mode, [`NetworkWorld`] for road networks.
+/// system. `S` is the snapshot payload — any [`insq_core::Space`]'s
+/// `Index` type ([`insq_index::VorTree`],
+/// [`insq_index::WeightedVorTree`], [`NetworkWorld`]).
 ///
 /// Readers take cheap `Arc` snapshots and are never blocked by a publish
 /// for longer than the pointer swap; old snapshots stay alive until the
 /// last query drops them (no tearing, no torn reads, no manual lifetime
-/// management).
+/// management). Every operation is poison-immune: a panicking reader or
+/// writer elsewhere never turns later calls into panics.
 #[derive(Debug)]
 pub struct World<S> {
     state: RwLock<(Epoch, Arc<S>)>,
@@ -76,14 +82,26 @@ impl<S> World<S> {
         }
     }
 
+    fn read_state(&self) -> RwLockReadGuard<'_, (Epoch, Arc<S>)> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_state(&self) -> RwLockWriteGuard<'_, (Epoch, Arc<S>)> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, ()> {
+        self.writer.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The current epoch.
     pub fn epoch(&self) -> Epoch {
-        self.state.read().expect("world lock poisoned").0
+        self.read_state().0
     }
 
     /// The current epoch and its snapshot, taken atomically.
     pub fn snapshot(&self) -> (Epoch, Arc<S>) {
-        let guard = self.state.read().expect("world lock poisoned");
+        let guard = self.read_state();
         (guard.0, Arc::clone(&guard.1))
     }
 
@@ -97,120 +115,44 @@ impl<S> World<S> {
     /// [`World::publish`] for an already-shared snapshot (lets sweeps
     /// republish the same prebuilt index without a rebuild).
     pub fn publish_arc(&self, data: Arc<S>) -> Epoch {
-        let _serial = self.writer.lock().expect("world writer poisoned");
+        let _serial = self.lock_writer();
         self.swap_in(data)
     }
 
     /// The snapshot swap itself (callers hold the writer lock).
     fn swap_in(&self, data: Arc<S>) -> Epoch {
-        let mut guard = self.state.write().expect("world lock poisoned");
+        let mut guard = self.write_state();
         guard.0 = guard.0.next();
         guard.1 = data;
         guard.0
     }
 }
 
-impl World<VorTree> {
-    /// Applies a batched [`SiteDelta`] as a **delta epoch**: the current
-    /// snapshot is cloned copy-on-write, patched incrementally
-    /// ([`VorTree::apply`] — local Delaunay cavity repair plus R-tree
-    /// point updates, no rebuild), and published. Cost scales with the
-    /// delta's neighborhood instead of O(n log n); queries rebind exactly
-    /// as they do for a full [`World::publish`].
+impl<S: DeltaIndex> World<S> {
+    /// Applies a batched delta as a **delta epoch**: the current snapshot
+    /// is patched copy-on-write ([`DeltaIndex::apply_delta`] — local
+    /// repair, no rebuild) and the patched clone published. Cost scales
+    /// with the delta's neighborhood instead of O(n log n); queries
+    /// rebind exactly as they do for a full [`World::publish`].
     ///
-    /// On error nothing is published and the world is unchanged.
-    /// Concurrent `apply`/`publish` calls serialise; readers are never
-    /// blocked for longer than the final pointer swap.
-    pub fn apply(&self, delta: &SiteDelta) -> Result<Epoch, VoronoiError> {
-        let _serial = self.writer.lock().expect("world writer poisoned");
-        let current = Arc::clone(&self.state.read().expect("world lock poisoned").1);
-        let mut next = (*current).clone();
-        next.apply(delta)?;
-        Ok(self.swap_in(Arc::new(next)))
-    }
-}
-
-impl World<NetworkWorld> {
-    /// Applies a batched [`NetSiteDelta`] as a **delta epoch**: same
-    /// contract as [`World::apply`] for `VorTree` worlds. The road
-    /// network is shared untouched via `Arc` across epochs; the site set
-    /// and NVD are cloned and patched with localized re-expansion
-    /// ([`NetworkVoronoi::insert_site`] /
-    /// [`NetworkVoronoi::remove_site`]) instead of a full multi-source
-    /// Dijkstra.
-    pub fn apply(&self, delta: &NetSiteDelta) -> Result<Epoch, RoadNetError> {
-        let _serial = self.writer.lock().expect("world writer poisoned");
-        let current = Arc::clone(&self.state.read().expect("world lock poisoned").1);
+    /// On error nothing is published and the world is unchanged — a
+    /// rejected delta (stale removal id, duplicate insertion, …) comes
+    /// back as the snapshot's error value, never a panic. Concurrent
+    /// `apply`/`publish` calls serialise; readers are never blocked for
+    /// longer than the final pointer swap.
+    pub fn apply(&self, delta: &S::Delta) -> Result<Epoch, S::Error> {
+        let _serial = self.lock_writer();
+        let current = Arc::clone(&self.read_state().1);
         let next = current.apply_delta(delta)?;
         Ok(self.swap_in(Arc::new(next)))
-    }
-}
-
-/// The road-network world snapshot: the (stable) network plus the
-/// per-epoch site set and its precomputed network Voronoi diagram.
-///
-/// Data-object updates replace `sites`/`nvd`; the network itself is
-/// assumed fixed across epochs (the paper's setting: POIs change, streets
-/// do not).
-#[derive(Debug)]
-pub struct NetworkWorld {
-    /// The road network (shared unchanged across epochs).
-    pub net: Arc<RoadNetwork>,
-    /// The data objects of this epoch.
-    pub sites: Arc<SiteSet>,
-    /// The network Voronoi diagram of `sites` over `net`.
-    pub nvd: Arc<NetworkVoronoi>,
-}
-
-impl NetworkWorld {
-    /// Builds a snapshot from a network and site set, computing the NVD.
-    pub fn build(net: Arc<RoadNetwork>, sites: SiteSet) -> NetworkWorld {
-        let nvd = NetworkVoronoi::build(&net, &sites);
-        NetworkWorld {
-            net,
-            sites: Arc::new(sites),
-            nvd: Arc::new(nvd),
-        }
-    }
-
-    /// The next epoch's snapshot: same network, new site set (the server
-    /// half of a data-object update).
-    pub fn with_sites(&self, sites: SiteSet) -> NetworkWorld {
-        NetworkWorld::build(Arc::clone(&self.net), sites)
-    }
-
-    /// The next epoch's snapshot produced *incrementally*: the network is
-    /// shared untouched via `Arc`, the site set and NVD are cloned and
-    /// patched per delta entry (removals first, descending pre-delta
-    /// indices with swap-remove renames, then insertions in order). The
-    /// original snapshot is never modified; on error it stays the live
-    /// one.
-    pub fn apply_delta(&self, delta: &NetSiteDelta) -> Result<NetworkWorld, RoadNetError> {
-        let mut sites = (*self.sites).clone();
-        let mut nvd = (*self.nvd).clone();
-        let mut removed = delta.removed.clone();
-        removed.sort_unstable();
-        removed.dedup();
-        for &s in removed.iter().rev() {
-            let moved = sites.remove(s)?;
-            nvd.remove_site(&self.net, s, moved);
-        }
-        for &v in &delta.added {
-            let idx = sites.insert(&self.net, v)?;
-            let got = nvd.insert_site(&self.net, v);
-            debug_assert_eq!(idx, got, "site set and NVD agree on indices");
-        }
-        Ok(NetworkWorld {
-            net: Arc::clone(&self.net),
-            sites: Arc::new(sites),
-            nvd: Arc::new(nvd),
-        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use insq_index::{SiteDelta, VorTree};
+    use insq_roadnet::{NetSiteDelta, NetworkVoronoi, SiteSet};
 
     #[test]
     fn epochs_bump_and_snapshots_stay_alive() {
@@ -312,6 +254,25 @@ mod tests {
         // The world stays fully usable.
         let ok = world.apply(&SiteDelta::insert(vec![insq_geom::Point::new(3.25, 4.75)]));
         assert_eq!(ok.unwrap(), e0.next());
+    }
+
+    #[test]
+    fn weighted_worlds_apply_deltas_through_the_same_impl() {
+        use insq_index::{AxisWeights, WeightedVorTree};
+        let bounds = insq_geom::Aabb::new(
+            insq_geom::Point::new(-10.0, -10.0),
+            insq_geom::Point::new(110.0, 110.0),
+        );
+        let pts: Vec<insq_geom::Point> = (0..20)
+            .map(|i| insq_geom::Point::new((i % 5) as f64 * 20.0, (i / 5) as f64 * 25.0 + 1.0))
+            .collect();
+        let w = AxisWeights::new(1.0, 2.0).unwrap();
+        let world = World::new(WeightedVorTree::build(pts, bounds, w).unwrap());
+        let e1 = world
+            .apply(&SiteDelta::insert(vec![insq_geom::Point::new(33.3, 44.4)]))
+            .unwrap();
+        assert_eq!(e1, Epoch(1));
+        assert_eq!(world.snapshot().1.len(), 21);
     }
 
     #[test]

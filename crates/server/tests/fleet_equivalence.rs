@@ -9,7 +9,7 @@ use insq_core::{InsConfig, InsProcessor, MovingKnn, NetInsConfig, NetInsProcesso
 use insq_geom::{Point, Trajectory};
 use insq_index::{SiteDelta, VorTree};
 use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
-use insq_roadnet::{NetPosition, NetSiteDelta, NetTrajectory, NetworkVoronoi, SiteIdx, SiteSet};
+use insq_roadnet::{NetPosition, NetSiteDelta, NetTrajectory, SiteIdx, SiteSet};
 use insq_server::{
     FleetConfig, FleetEngine, InsFleetQuery, NetFleetQuery, NetworkWorld, QueryId, World,
 };
@@ -500,8 +500,8 @@ fn network_fleet_matches_sequential_across_epoch_swap() {
     );
     let sites_a = SiteSet::new(&net, random_site_vertices(&net, 22, 5).unwrap()).unwrap();
     let sites_b = SiteSet::new(&net, random_site_vertices(&net, 18, 91).unwrap()).unwrap();
-    let nvd_a = NetworkVoronoi::build(&net, &sites_a);
-    let nvd_b = NetworkVoronoi::build(&net, &sites_b);
+    let world_a = NetworkWorld::build(Arc::clone(&net), sites_a.clone());
+    let world_b = world_a.with_sites(sites_b.clone());
 
     let tours: Vec<NetTrajectory> = (0..clients)
         .map(|c| NetTrajectory::random_tour(&net, 6, 100 + c as u64).unwrap())
@@ -513,11 +513,10 @@ fn network_fleet_matches_sequential_across_epoch_swap() {
     // Sequential reference with a manual rebind.
     let reference: Vec<(Vec<insq_roadnet::SiteIdx>, QueryStats)> = (0..clients)
         .map(|c| {
-            let mut p =
-                NetInsProcessor::new(&*net, &sites_a, &nvd_a, NetInsConfig::new(k, 1.6)).unwrap();
+            let mut p = NetInsProcessor::new(&world_a, NetInsConfig::new(k, 1.6)).unwrap();
             for tick in 0..ticks {
                 if tick == swap_at {
-                    p.rebind(&sites_b, &nvd_b);
+                    p.rebind(&world_b);
                 }
                 p.tick(pos_of(c, tick));
             }

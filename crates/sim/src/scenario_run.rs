@@ -7,7 +7,7 @@ use insq_baselines::{
 };
 use insq_core::{InsConfig, InsProcessor, NetInsConfig, NetInsProcessor};
 use insq_index::VorTree;
-use insq_roadnet::{NetworkVoronoi, RoadNetError};
+use insq_roadnet::{NetworkWorld, RoadNetError};
 use insq_voronoi::VoronoiError;
 use insq_workload::{EuclideanScenario, NetworkScenario};
 
@@ -76,21 +76,16 @@ pub fn run_euclidean_scenario(sc: &EuclideanScenario) -> Result<Comparison, Scen
 /// scenario (rows: INS-road, Naive-road).
 pub fn run_network_scenario(sc: &NetworkScenario) -> Result<Comparison, ScenarioError> {
     let inst = sc.build()?;
-    let nvd = NetworkVoronoi::build(&inst.net, &inst.sites);
+    let world = NetworkWorld::build(std::sync::Arc::new(inst.net), inst.sites);
     let mut cmp = Comparison::new();
 
-    let mut ins = NetInsProcessor::new(
-        &inst.net,
-        &inst.sites,
-        &nvd,
-        NetInsConfig::new(sc.k, sc.rho),
-    )?;
+    let mut ins = NetInsProcessor::new(&world, NetInsConfig::new(sc.k, sc.rho))?;
     cmp.add(&run_network(
-        &mut ins, &inst.net, &inst.tour, sc.ticks, sc.speed,
+        &mut ins, &world.net, &inst.tour, sc.ticks, sc.speed,
     ));
-    let mut naive = NetNaiveProcessor::new(&inst.net, &inst.sites, sc.k)?;
+    let mut naive = NetNaiveProcessor::new(&world.net, &world.sites, sc.k)?;
     cmp.add(&run_network(
-        &mut naive, &inst.net, &inst.tour, sc.ticks, sc.speed,
+        &mut naive, &world.net, &inst.tour, sc.ticks, sc.speed,
     ));
     Ok(cmp)
 }

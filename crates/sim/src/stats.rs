@@ -49,7 +49,7 @@ impl Comparison {
 
     /// Adds a row from bare aggregate statistics — how multi-query fleet
     /// runs (whose per-query [`RunRecord`]s are never materialised) feed
-    /// their merged [`QueryStats`] into the same comparison tables.
+    /// their merged [`insq_core::QueryStats`] into the same comparison tables.
     pub fn add_stats(
         &mut self,
         method: &str,

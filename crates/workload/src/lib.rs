@@ -2,9 +2,12 @@
 //!
 //! Deterministic workload generation for the INSQ system: data-object
 //! distributions ([`Distribution`]), query trajectory models
-//! ([`TrajectoryKind`]) and complete experiment scenarios
+//! ([`TrajectoryKind`]), complete experiment scenarios
 //! ([`EuclideanScenario`], [`NetworkScenario`]) with serde-serializable
-//! configuration (the demo UI's "Save"/"Read" settings).
+//! configuration (the demo UI's "Save"/"Read" settings), and
+//! space-parameterized fleet generation ([`SpaceWorkload`]): one
+//! [`FleetScenario`] materialises index snapshots and client positions
+//! for every registered `insq_core::Space`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -12,9 +15,11 @@
 pub mod datasets;
 pub mod fleet;
 pub mod scenario;
+pub mod spaces;
 pub mod trajectories;
 
 pub use datasets::Distribution;
 pub use fleet::FleetScenario;
 pub use scenario::{EuclideanScenario, NetworkInstance, NetworkKind, NetworkScenario};
+pub use spaces::{NetFleet, SpaceWorkload};
 pub use trajectories::TrajectoryKind;

@@ -8,23 +8,27 @@
 //!
 //! Run with: `cargo run --release --example highway`
 
+use std::sync::Arc;
+
 use insq::prelude::*;
 use insq::roadnet::generators::{grid_network, random_site_vertices, GridConfig};
 
 fn main() {
     // 1. The road network: a 30x30 jittered grid with diagonals.
-    let net = grid_network(
-        &GridConfig {
-            cols: 30,
-            rows: 30,
-            spacing: 1.0,
-            jitter: 0.2,
-            diagonal_prob: 0.08,
-            deletion_prob: 0.08,
-        },
-        2016,
-    )
-    .expect("valid grid config");
+    let net = Arc::new(
+        grid_network(
+            &GridConfig {
+                cols: 30,
+                rows: 30,
+                spacing: 1.0,
+                jitter: 0.2,
+                diagonal_prob: 0.08,
+                deletion_prob: 0.08,
+            },
+            2016,
+        )
+        .expect("valid grid config"),
+    );
     println!(
         "network: {} vertices, {} edges, total length {:.0}",
         net.num_vertices(),
@@ -36,7 +40,7 @@ fn main() {
     //    precomputed once (server side).
     let stations = SiteSet::new(&net, random_site_vertices(&net, 60, 7).unwrap())
         .expect("distinct station vertices");
-    let nvd = NetworkVoronoi::build(&net, &stations);
+    let world = NetworkWorld::build(Arc::clone(&net), stations);
 
     // 3. The drive: a shortest-path tour through 12 random waypoints.
     let tour = NetTrajectory::random_tour(&net, 12, 99).expect("tour on connected network");
@@ -45,11 +49,11 @@ fn main() {
     let (k, ticks, speed) = (3usize, 4_000usize, 0.02f64);
 
     let mut comparison = Comparison::new();
-    let mut ins = NetInsProcessor::new(&net, &stations, &nvd, NetInsConfig { k, rho: 1.6 })
-        .expect("valid configuration");
+    let mut ins =
+        NetInsProcessor::new(&world, NetInsConfig::new(k, 1.6)).expect("valid configuration");
     let run_ins = run_network(&mut ins, &net, &tour, ticks, speed);
 
-    let mut naive = NetNaiveProcessor::new(&net, &stations, k).expect("valid configuration");
+    let mut naive = NetNaiveProcessor::new(&net, &world.sites, k).expect("valid configuration");
     let run_naive = run_network(&mut naive, &net, &tour, ticks, speed);
 
     comparison.add(&run_ins);
@@ -73,12 +77,12 @@ fn main() {
     println!(
         "\nvalidation subnetwork: {} of {} station cells (k + |INS|)",
         sub,
-        stations.len()
+        world.sites.len()
     );
     let frag: usize = ins
         .subnetwork_sites()
         .iter()
-        .map(|&s| nvd.cell_fragments(&net, s).len())
+        .map(|&s| world.nvd.cell_fragments(&net, s).len())
         .sum();
     println!(
         "covering {frag} edge fragments of {} edges total",

@@ -5,7 +5,9 @@
 //! Deng — ICDE 2016), including every substrate the system depends on:
 //! robust computational geometry, Delaunay/Voronoi construction, R-/VoR-
 //! trees, road networks with network Voronoi diagrams, the INS algorithm
-//! for Euclidean space and road networks, the competing baselines, a
+//! — implemented once, generically over a [`core::Space`], and
+//! instantiated for the Euclidean plane, road networks, and weighted
+//! (anisotropic) Euclidean distance — the competing baselines, a
 //! simulation/benchmark harness reproducing the paper's demonstration and
 //! the companion evaluation, and the system layer itself: a concurrent
 //! multi-query fleet engine over epoch-versioned worlds ([`server`]).
@@ -35,15 +37,16 @@
 //! ## Road-network mode (paper §IV)
 //!
 //! ```
+//! use std::sync::Arc;
 //! use insq::prelude::*;
 //! use insq::roadnet::generators::{grid_network, random_site_vertices, GridConfig};
 //!
-//! let net = grid_network(&GridConfig::default(), 7).unwrap();
+//! let net = Arc::new(grid_network(&GridConfig::default(), 7).unwrap());
 //! let stations = SiteSet::new(&net, random_site_vertices(&net, 20, 7).unwrap()).unwrap();
-//! let nvd = NetworkVoronoi::build(&net, &stations);   // precomputed once
+//! // One snapshot value: network + sites + precomputed NVD.
+//! let world = NetworkWorld::build(Arc::clone(&net), stations);
 //!
-//! let mut query = NetInsProcessor::new(&net, &stations, &nvd,
-//!                                      NetInsConfig::with_k(3)).unwrap();
+//! let mut query = NetInsProcessor::new(&world, NetInsConfig::with_k(3)).unwrap();
 //! let tour = NetTrajectory::random_tour(&net, 6, 1).unwrap();
 //! for tick in 0..200 {
 //!     // Per tick: one restricted search on the kNN ∪ INS subnetwork
@@ -54,6 +57,22 @@
 //! assert!(query.stats().comm_objects < 100); // vs 600 for naive (3/tick)
 //! ```
 //!
+//! ## A third space: weighted (anisotropic) Euclidean
+//!
+//! ```
+//! use insq::prelude::*;
+//!
+//! // Travel-time metric: the y axis is 2.5x slower than x.
+//! let bounds = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+//! let points = Distribution::Uniform.generate(400, &bounds, 9);
+//! let w = AxisWeights::new(1.0, 2.5).unwrap();
+//! let index = WeightedVorTree::build(points, bounds.inflated(10.0), w).unwrap();
+//!
+//! let mut query = WInsProcessor::new(&index, InsConfig::with_k(4)).unwrap();
+//! query.tick(Point::new(50.0, 50.0));
+//! assert_eq!(query.current_knn().len(), 4);
+//! ```
+//!
 //! ## Many queries at once (the INSQ *system*)
 //!
 //! A server maintaining results for a whole fleet of clients holds the
@@ -61,7 +80,9 @@
 //! registered query per timestamp through a [`server::FleetEngine`] —
 //! parallel, deterministic, and with data-object updates reduced to one
 //! [`server::World::publish`] call (see the README's fleet quick start
-//! and `examples/fleet.rs`).
+//! and `examples/fleet.rs`). All of it is generic over the
+//! [`core::Space`]; the `SpaceQuery` fleet client works unchanged for
+//! every space above.
 //!
 //! See the `examples/` directory for the demonstration scenarios and
 //! `insq-bench` for the full experiment harness.
@@ -85,25 +106,26 @@ pub mod prelude {
         NaiveProcessor, NetNaiveProcessor, OkvProcessor, VStarConfig, VStarProcessor,
     };
     pub use insq_core::{
-        influential_neighbor_set, minimal_influential_set, InsConfig, InsProcessor, MovingKnn,
-        NetInsConfig, NetInsProcessor, QueryStats, TickOutcome,
+        influential_neighbor_set, minimal_influential_set, Euclidean, InsConfig, InsProcessor,
+        MovingKnn, NetInsConfig, NetInsProcessor, Network, Processor, QueryStats, Space,
+        TickOutcome, WInsProcessor, WeightedEuclidean,
     };
     pub use insq_geom::{
         Aabb, Circle, ConvexPolygon, HalfPlane, Point, Segment, Trajectory, Vector,
     };
-    pub use insq_index::{RTree, SiteDelta, VorTree};
+    pub use insq_index::{AxisWeights, RTree, SiteDelta, VorTree, WeightedVorTree};
     pub use insq_roadnet::{
-        NetPosition, NetSiteDelta, NetTrajectory, NetworkVoronoi, RoadNetwork, SiteIdx, SiteSet,
-        VertexId,
+        NetPosition, NetSiteDelta, NetTrajectory, NetworkVoronoi, NetworkWorld, RoadNetwork,
+        SiteIdx, SiteSet, VertexId,
     };
     pub use insq_server::{
         Epoch, FleetConfig, FleetEngine, FleetQuery, FleetStats, InsFleetQuery, NetFleetQuery,
-        NetworkWorld, QueryId, TickSummary, World,
+        QueryId, SpaceQuery, TickSummary, WFleetQuery, World,
     };
     pub use insq_sim::{run_euclidean, run_network, Comparison, RunRecord};
     pub use insq_voronoi::{SiteId, Voronoi};
     pub use insq_workload::{
         Distribution, EuclideanScenario, FleetScenario, NetworkInstance, NetworkKind,
-        NetworkScenario, TrajectoryKind,
+        NetworkScenario, SpaceWorkload, TrajectoryKind,
     };
 }

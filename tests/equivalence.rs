@@ -133,22 +133,24 @@ fn network_ins_agrees_with_naive_ine() {
     use insq::roadnet::order_k::knn_sets_equal;
 
     for seed in [5u64, 17, 99] {
-        let net = grid_network(
-            &GridConfig {
-                cols: 15,
-                rows: 15,
-                ..GridConfig::default()
-            },
-            seed,
-        )
-        .unwrap();
+        let net = std::sync::Arc::new(
+            grid_network(
+                &GridConfig {
+                    cols: 15,
+                    rows: 15,
+                    ..GridConfig::default()
+                },
+                seed,
+            )
+            .unwrap(),
+        );
         let sites = SiteSet::new(&net, random_site_vertices(&net, 35, seed).unwrap()).unwrap();
-        let nvd = NetworkVoronoi::build(&net, &sites);
+        let world = NetworkWorld::build(std::sync::Arc::clone(&net), sites);
         let tour = NetTrajectory::random_tour(&net, 8, seed).unwrap();
 
         let k = 4;
-        let mut ins = NetInsProcessor::new(&net, &sites, &nvd, NetInsConfig::new(k, 1.6)).unwrap();
-        let mut naive = NetNaiveProcessor::new(&net, &sites, k).unwrap();
+        let mut ins = NetInsProcessor::new(&world, NetInsConfig::new(k, 1.6)).unwrap();
+        let mut naive = NetNaiveProcessor::new(&net, &world.sites, k).unwrap();
         let ticks = 400;
         for tick in 0..ticks {
             let pos = tour.position_looped(&net, 0.15 * tick as f64);

@@ -51,11 +51,11 @@ fn euclidean_quickstart_path() {
 /// restricted-subnetwork moving 3-NN (paper §IV, Theorem 2).
 #[test]
 fn network_quickstart_path() {
-    let net = grid_network(&GridConfig::default(), 7).unwrap();
+    let net = std::sync::Arc::new(grid_network(&GridConfig::default(), 7).unwrap());
     let stations = SiteSet::new(&net, random_site_vertices(&net, 20, 7).unwrap()).unwrap();
-    let nvd = NetworkVoronoi::build(&net, &stations);
+    let world = NetworkWorld::build(std::sync::Arc::clone(&net), stations);
 
-    let mut query = NetInsProcessor::new(&net, &stations, &nvd, NetInsConfig::with_k(3)).unwrap();
+    let mut query = NetInsProcessor::new(&world, NetInsConfig::with_k(3)).unwrap();
     let tour = NetTrajectory::random_tour(&net, 6, 1).unwrap();
     for tick in 0..200 {
         query.tick(tour.position_looped(&net, 0.05 * tick as f64));
