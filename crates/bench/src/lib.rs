@@ -15,6 +15,7 @@
 pub mod euclidean_exp;
 pub mod figures;
 pub mod fleet_exp;
+pub mod net_exp;
 pub mod network_exp;
 pub mod space_exp;
 pub mod update_exp;
@@ -138,6 +139,11 @@ pub fn experiments() -> Vec<Experiment> {
             id: "e_update",
             title: "E-update — incremental delta epochs vs full rebuild republishes",
             run: update_exp::e_update,
+        },
+        Experiment {
+            id: "e_net",
+            title: "E-net — TCP serving layer: measured wire bytes/tick vs model-level comm",
+            run: net_exp::e_net,
         },
         Experiment {
             id: "e_spaces",

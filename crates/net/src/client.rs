@@ -1,0 +1,195 @@
+//! The blocking INSQ TCP client.
+//!
+//! [`NetClient`] is a thin, synchronous library over one socket: frame
+//! in, frame out, with wire-byte accounting so callers (the `e_net`
+//! experiment) can report *measured* bytes per tick next to the paper's
+//! model-level communication counter. The space-typed helpers
+//! ([`NetClient::register`], [`NetClient::update`]) convert native
+//! positions through [`WireSpace`]; everything else speaks raw
+//! [`Message`]s.
+
+use std::io::{self, BufReader};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use insq_server::Epoch;
+
+use crate::space::WireSpace;
+use crate::wire::{read_message, write_message, ErrorCode, Message, SpaceKind, WireOutcome};
+
+/// Client-side protocol errors.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport or framing failure (malformed frames surface as
+    /// `InvalidData`).
+    Io(io::Error),
+    /// The server sent an [`Message::Error`] frame.
+    Server {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The server closed the stream where a message was expected.
+    Closed,
+    /// The server sent a client→server message (protocol violation).
+    Unexpected(Message),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o: {e}"),
+            NetError::Server { code, detail } => write!(f, "server error {code:?}: {detail}"),
+            NetError::Closed => write!(f, "connection closed by server"),
+            NetError::Unexpected(m) => write!(f, "unexpected server frame {m:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+/// One tick's answer as seen by the client, with any epoch
+/// notifications that preceded it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnnUpdate {
+    /// The world epoch the result was computed against.
+    pub epoch: u64,
+    /// The kNN ids (wire ordinals), ascending by distance, ties by id.
+    pub ids: Vec<u32>,
+    /// What the INS protocol had to do this tick.
+    pub outcome: WireOutcome,
+    /// Epochs announced by `EpochNotify` frames since the last result.
+    pub notified: Vec<u64>,
+}
+
+/// A blocking client session against a [`crate::NetServer`].
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    bytes_out: u64,
+    bytes_in: u64,
+}
+
+impl NetClient {
+    /// Connects (no registration yet).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(NetClient {
+            stream,
+            reader,
+            bytes_out: 0,
+            bytes_in: 0,
+        })
+    }
+
+    /// Sends a raw protocol message.
+    pub fn send(&mut self, msg: &Message) -> io::Result<()> {
+        self.bytes_out += write_message(&mut self.stream, msg)? as u64;
+        Ok(())
+    }
+
+    /// Registers a moving kNN query in space `S`; `pos` doubles as the
+    /// position for the session's first tick.
+    pub fn register<S: WireSpace>(&mut self, k: usize, rho: f64, pos: S::Pos) -> io::Result<()> {
+        self.send(&Message::Register {
+            space: S::KIND,
+            k: k as u32,
+            rho,
+            pos: S::pos_to_wire(pos),
+        })
+    }
+
+    /// Registers with an explicit [`SpaceKind`] discriminant (lets tests
+    /// probe a server with the wrong space).
+    pub fn register_raw(
+        &mut self,
+        space: SpaceKind,
+        k: usize,
+        rho: f64,
+        pos: crate::wire::WirePos,
+    ) -> io::Result<()> {
+        self.send(&Message::Register {
+            space,
+            k: k as u32,
+            rho,
+            pos,
+        })
+    }
+
+    /// Sends the position for the next tick.
+    pub fn update<S: WireSpace>(&mut self, pos: S::Pos) -> io::Result<()> {
+        self.send(&Message::PositionUpdate {
+            pos: S::pos_to_wire(pos),
+        })
+    }
+
+    /// Closes the session cleanly.
+    pub fn deregister(&mut self) -> io::Result<()> {
+        self.send(&Message::Deregister)?;
+        self.stream.shutdown(Shutdown::Write)
+    }
+
+    /// Receives the next server frame (`None` on clean EOF).
+    pub fn recv(&mut self) -> io::Result<Option<Message>> {
+        match read_message(&mut self.reader)? {
+            Some((msg, n)) => {
+                self.bytes_in += n as u64;
+                Ok(Some(msg))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Blocks until the next [`Message::KnnResult`], collecting epoch
+    /// notifications along the way; server errors and protocol
+    /// violations surface as [`NetError`].
+    pub fn next_result(&mut self) -> Result<KnnUpdate, NetError> {
+        let mut notified = Vec::new();
+        loop {
+            match self.recv()? {
+                Some(Message::KnnResult {
+                    epoch,
+                    ids,
+                    outcome,
+                }) => {
+                    return Ok(KnnUpdate {
+                        epoch,
+                        ids,
+                        outcome,
+                        notified,
+                    })
+                }
+                Some(Message::EpochNotify { epoch }) => notified.push(epoch),
+                Some(Message::Error { code, detail }) => {
+                    return Err(NetError::Server { code, detail })
+                }
+                Some(other) => return Err(NetError::Unexpected(other)),
+                None => return Err(NetError::Closed),
+            }
+        }
+    }
+
+    /// [`NetClient::next_result`] with ids converted to `S`'s site-id
+    /// type and the epoch as a typed [`Epoch`].
+    pub fn next_knn<S: WireSpace>(
+        &mut self,
+    ) -> Result<(Epoch, Vec<S::SiteId>, WireOutcome), NetError> {
+        let upd = self.next_result()?;
+        let ids = upd.ids.into_iter().map(S::id_from_wire).collect();
+        Ok((Epoch(upd.epoch), ids, upd.outcome))
+    }
+
+    /// Wire bytes `(sent, received)` by this client so far.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        (self.bytes_out, self.bytes_in)
+    }
+}

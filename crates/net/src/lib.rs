@@ -1,0 +1,81 @@
+//! # insq-net
+//!
+//! The TCP serving surface of the INSQ system. The paper's INS protocol
+//! is explicitly a client/server *communication-minimisation* scheme —
+//! the server ships `R ∪ I(R)` so the moving client can self-validate —
+//! and this crate turns the in-process fleet engine into an actual
+//! service, so the model-level communication counters correspond to
+//! real bytes on a real socket:
+//!
+//! * [`wire`] — a dependency-free, versioned, length-prefixed binary
+//!   codec ([`Encode`]/[`Decode`], no serde) for the six-message
+//!   protocol: `Register`, `PositionUpdate`, `Deregister` (client →
+//!   server), `KnnResult`, `EpochNotify`, `Error` (server → client).
+//!   Decoding never panics or over-allocates on untrusted bytes.
+//! * [`WireSpace`] — wire conversions per [`insq_core::Space`]
+//!   (positions are validated against the served index; all three
+//!   in-tree spaces implement it).
+//! * [`NetServer`] — a multithreaded `TcpListener` frontend over an
+//!   epoch-versioned `World` + `FleetEngine`: sessions map 1:1 to
+//!   never-reused `QueryId`s, position updates batch per tick, results
+//!   and epoch-swap notifications are pushed back through bounded
+//!   per-session write queues, and shutdown is graceful.
+//! * [`NetClient`] — a blocking client library with wire-byte
+//!   accounting (the `e_net` experiment reports measured bytes/tick
+//!   next to the paper's `comm` counter).
+//!
+//! ## Determinism
+//!
+//! The server ticks the whole fleet only when every live session has a
+//! fresh position, through the same deterministic sharded engine as the
+//! in-process path — so per-session result streams over real TCP are
+//! **bit-identical** to `FleetEngine::tick_all` fed the same positions,
+//! across delta-epoch swaps and at any worker-thread count
+//! (`tests/loopback_soak.rs` asserts exactly this, for the Euclidean
+//! and road-network spaces).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use insq_core::Euclidean;
+//! use insq_geom::{Aabb, Point};
+//! use insq_index::VorTree;
+//! use insq_net::{NetClient, NetServer, NetServerConfig};
+//! use insq_server::World;
+//!
+//! let bounds = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+//! let pts = (0..100).map(|i| Point::new((i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0 + 0.25)).collect();
+//! let world = Arc::new(World::new(VorTree::build(pts, bounds.inflated(10.0)).unwrap()));
+//! let server: NetServer<Euclidean> =
+//!     NetServer::bind("127.0.0.1:0", Arc::clone(&world), NetServerConfig::default()).unwrap();
+//!
+//! let mut client = NetClient::connect(server.local_addr()).unwrap();
+//! client.register::<Euclidean>(3, 1.6, Point::new(50.0, 50.0)).unwrap();
+//! let (epoch, knn, _outcome) = client.next_knn::<Euclidean>().unwrap();
+//! assert_eq!((epoch.0, knn.len()), (0, 3));
+//!
+//! for tick in 1..5 {
+//!     client.update::<Euclidean>(Point::new(50.0 + tick as f64, 50.0)).unwrap();
+//!     let (_, knn, _) = client.next_knn::<Euclidean>().unwrap();
+//!     assert_eq!(knn.len(), 3);
+//! }
+//! client.deregister().unwrap();
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod server;
+pub mod space;
+pub mod wire;
+
+pub use client::{KnnUpdate, NetClient, NetError};
+pub use server::{NetServer, NetServerConfig};
+pub use space::{PosError, WireSpace};
+pub use wire::{
+    Decode, DecodeError, Encode, ErrorCode, Message, Reader, SpaceKind, WireOutcome, WirePos,
+    MAX_IDS, MAX_PAYLOAD_LEN, WIRE_VERSION,
+};

@@ -1,0 +1,599 @@
+//! The INSQ TCP server: sessions in front of a [`World`] +
+//! [`FleetEngine`].
+//!
+//! [`NetServer`] owns the epoch-versioned world and the fleet engine and
+//! serves them over a multithreaded `std::net::TcpListener`:
+//!
+//! * each accepted connection becomes a **session** after a valid
+//!   `Register` frame — one [`SpaceQuery`] in the engine, mapped 1:1 to
+//!   a [`QueryId`] (ids are never reused, so a dropped session can never
+//!   alias a live one);
+//! * position updates are **batched per tick**: the tick loop waits
+//!   until every live session has a fresh position (updates between
+//!   ticks coalesce, last one wins), then runs one deterministic
+//!   [`FleetEngine::tick_all_outcomes`] over the whole fleet — so the
+//!   per-session result streams are bit-identical to an in-process run
+//!   fed the same positions (`tests/loopback_soak.rs` proves this across
+//!   a delta-epoch swap at multiple thread counts);
+//! * results are pushed back through **bounded per-session write
+//!   queues** drained by one writer thread per session. A session whose
+//!   queue overflows (slow consumer) is disconnected rather than letting
+//!   it stall the fleet; a disconnect — graceful `Deregister`, dropped
+//!   socket, or overflow — deregisters the query and the remaining
+//!   sessions keep ticking undisturbed;
+//! * epoch swaps ([`World::publish`] / [`World::apply`] on
+//!   [`NetServer::world`]) are **pushed**: the first tick after a swap
+//!   sends each session an `EpochNotify` before its first result of the
+//!   new epoch.
+//!
+//! Everything (engine + session table) lives behind one mutex with one
+//! condvar — readers register/update under it, the tick loop batches
+//! and ticks under it — so there is no lock-order graph to get wrong,
+//! and the engine's own scoped-thread pool still parallelises the tick
+//! itself.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use insq_core::InsConfig;
+use insq_server::{FleetConfig, FleetEngine, FleetStats, QueryId, SpaceQuery, World};
+
+use crate::space::WireSpace;
+use crate::wire::{read_message, write_message, ErrorCode, Message};
+
+/// Configuration of a [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetServerConfig {
+    /// Shard/worker configuration of the underlying [`FleetEngine`].
+    pub fleet: FleetConfig,
+    /// The first tick fires only once this many sessions have ever
+    /// registered (a start barrier, so a fleet connecting one by one is
+    /// ticked as one batch from tick 0). `0`/`1` means tick as soon as
+    /// any session is ready.
+    pub min_clients: usize,
+    /// Depth of each session's bounded write queue (messages). A
+    /// session that falls this far behind is disconnected instead of
+    /// stalling the fleet.
+    pub write_queue: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> NetServerConfig {
+        NetServerConfig {
+            fleet: FleetConfig::default(),
+            min_clients: 1,
+            write_queue: 64,
+        }
+    }
+}
+
+impl NetServerConfig {
+    /// A configuration whose first tick waits for `n` registrations.
+    pub fn with_min_clients(n: usize) -> NetServerConfig {
+        NetServerConfig {
+            min_clients: n,
+            ..NetServerConfig::default()
+        }
+    }
+}
+
+/// One live session: the engine-side state of a connected client.
+struct Session<S: WireSpace> {
+    /// The position for the next tick, if the client has sent one since
+    /// the last tick (several coalesce; the last one wins).
+    pending: Option<S::Pos>,
+    /// The bounded write queue drained by this session's writer thread.
+    tx: SyncSender<Message>,
+    /// The epoch this session last saw (bind epoch at registration,
+    /// then the epoch of every pushed notify/result).
+    last_epoch: insq_server::Epoch,
+}
+
+/// Everything the mutex protects: the engine and the session table are
+/// updated together, so their invariant — engine queries ⟺ sessions,
+/// 1:1 by [`QueryId`] — holds at every lock release.
+struct State<S: WireSpace> {
+    engine: FleetEngine<S::Index, SpaceQuery<S>>,
+    sessions: HashMap<u64, Session<S>>,
+    /// Total registrations over the server's lifetime (the
+    /// `min_clients` start barrier counts these, not live sessions).
+    registered_ever: u64,
+    /// Raw connection handles (keyed by an accept counter), used to
+    /// unblock reader threads at shutdown.
+    conns: HashMap<u64, TcpStream>,
+    next_conn: u64,
+    /// Connection-thread handles, joined at shutdown.
+    threads: Vec<JoinHandle<()>>,
+}
+
+struct Shared<S: WireSpace> {
+    world: Arc<World<S::Index>>,
+    state: Mutex<State<S>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    cfg: NetServerConfig,
+    ticks: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl<S: WireSpace> Shared<S> {
+    fn lock(&self) -> MutexGuard<'_, State<S>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A TCP serving frontend for one space's fleet engine. See the module
+/// docs for the protocol; `examples/net_fleet.rs` for a complete run.
+pub struct NetServer<S: WireSpace> {
+    shared: Arc<Shared<S>>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl<S: WireSpace> std::fmt::Debug for NetServer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("sessions", &self.live_sessions())
+            .field("ticks", &self.ticks())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: WireSpace> NetServer<S> {
+    /// Binds a listener and starts serving `world` (accept thread + tick
+    /// thread start immediately). Bind to port 0 to let the OS pick.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        world: Arc<World<S::Index>>,
+        cfg: NetServerConfig,
+    ) -> io::Result<NetServer<S>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let engine = FleetEngine::new(Arc::clone(&world), cfg.fleet);
+        let shared = Arc::new(Shared {
+            world,
+            state: Mutex::new(State {
+                engine,
+                sessions: HashMap::new(),
+                registered_ever: 0,
+                conns: HashMap::new(),
+                next_conn: 0,
+                threads: Vec::new(),
+            }),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cfg,
+            ticks: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(shared, listener))
+        };
+        let ticker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || tick_loop(shared))
+        };
+        Ok(NetServer {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            ticker: Some(ticker),
+        })
+    }
+
+    /// The bound address (use after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served world — publish or apply epochs through this handle;
+    /// sessions are notified at their next tick.
+    pub fn world(&self) -> &Arc<World<S::Index>> {
+        &self.shared.world
+    }
+
+    /// Live (registered, connected) sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.shared.lock().sessions.len()
+    }
+
+    /// The ids of all live queries, ascending — 1:1 with sessions.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.shared.lock().engine.ids()
+    }
+
+    /// Aggregated statistics of the underlying fleet engine.
+    pub fn stats(&self) -> FleetStats {
+        self.shared.lock().engine.stats()
+    }
+
+    /// Fleet ticks completed since the server started.
+    pub fn ticks(&self) -> u64 {
+        self.shared.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Wire bytes `(received, sent)` over all sessions so far.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        (
+            self.shared.bytes_in.load(Ordering::Relaxed),
+            self.shared.bytes_out.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stops accepting, disconnects every session, and joins all server
+    /// threads. Called automatically on drop; calling it explicitly
+    /// surfaces the join points in the caller's control flow.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        // The flag is flipped and the condvar notified while holding the
+        // state mutex: the tick loop checks the flag under the same
+        // mutex before waiting, so it is either before its check (and
+        // will see the flag) or already waiting (and gets the notify) —
+        // never in between losing the wakeup.
+        {
+            let st = self.shared.lock();
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            self.shared.wake.notify_all();
+            // Unblock every reader thread (registered or not).
+            for conn in st.conns.values() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+        // Connection threads observe the closed sockets and finish their
+        // cleanup; the accept loop has stopped, so no new ones appear.
+        let threads = std::mem::take(&mut self.shared.lock().threads);
+        for h in threads {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S: WireSpace> Drop for NetServer<S> {
+    fn drop(&mut self) {
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop<S: WireSpace>(shared: Arc<Shared<S>>, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // On some platforms (BSD-derived, Windows) accepted
+                // sockets inherit the listener's non-blocking mode; the
+                // per-connection reader/writer threads want blocking
+                // I/O.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let Ok(raw) = stream.try_clone() else {
+                    continue;
+                };
+                let mut st = shared.lock();
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let conn_id = st.next_conn;
+                st.next_conn += 1;
+                st.conns.insert(conn_id, raw);
+                let handle = {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || serve_conn(shared, stream, conn_id))
+                };
+                st.threads.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Sends a final error frame directly on `stream` (best effort — the
+/// peer may already be gone).
+fn send_error(stream: &mut TcpStream, code: ErrorCode, detail: &str) {
+    let msg = Message::Error {
+        code,
+        detail: detail.to_string(),
+    };
+    let _ = write_message(stream, &msg);
+    let _ = stream.flush();
+}
+
+/// The per-connection reader: handshake, then the position-update loop.
+fn serve_conn<S: WireSpace>(shared: Arc<Shared<S>>, mut stream: TcpStream, conn_id: u64) {
+    let registered = handshake_and_serve(&shared, &mut stream);
+    // Cleanup: drop the session (if one was registered) and the raw
+    // connection handle; wake the tick loop so the barrier stops
+    // counting this session.
+    {
+        let mut st = shared.lock();
+        st.conns.remove(&conn_id);
+        if let Some((qid, writer)) = registered {
+            st.sessions.remove(&qid.0);
+            st.engine.deregister(qid);
+            drop(st);
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = writer.join();
+        }
+    }
+    shared.wake.notify_all();
+}
+
+/// Runs a connection to completion. Returns the session's query id and
+/// writer-thread handle if registration succeeded (the caller cleans
+/// them up).
+fn handshake_and_serve<S: WireSpace>(
+    shared: &Arc<Shared<S>>,
+    stream: &mut TcpStream,
+) -> Option<(QueryId, JoinHandle<()>)> {
+    let Ok(read_half) = stream.try_clone() else {
+        return None;
+    };
+    let mut reader = BufReader::new(read_half);
+
+    // Handshake: the first frame must be a valid Register.
+    let (k, rho, wire_pos) = match read_message(&mut reader) {
+        Ok(Some((Message::Register { space, k, rho, pos }, n))) => {
+            shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+            if space != S::KIND {
+                send_error(
+                    stream,
+                    ErrorCode::SpaceMismatch,
+                    &format!("this server serves {:?}", S::KIND),
+                );
+                return None;
+            }
+            (k, rho, pos)
+        }
+        Ok(Some((_, _))) => {
+            send_error(
+                stream,
+                ErrorCode::NotRegistered,
+                "first frame must register",
+            );
+            return None;
+        }
+        Ok(None) => return None,
+        Err(e) => {
+            send_error(stream, ErrorCode::Malformed, &e.to_string());
+            return None;
+        }
+    };
+    let (_, snapshot) = shared.world.snapshot();
+    let pos = match S::pos_from_wire(&snapshot, wire_pos) {
+        Ok(p) => p,
+        Err(e) => {
+            send_error(stream, ErrorCode::BadPosition, &e.to_string());
+            return None;
+        }
+    };
+    let query = match SpaceQuery::<S>::new(&shared.world, InsConfig::new(k as usize, rho)) {
+        Ok(q) => q,
+        Err(e) => {
+            send_error(stream, ErrorCode::BadConfig, &e.to_string());
+            return None;
+        }
+    };
+
+    // Register engine query + session atomically.
+    let (qid, rx) = {
+        let mut st = shared.lock();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            send_error(stream, ErrorCode::Overloaded, "server shutting down");
+            return None;
+        }
+        let qid = st.engine.register(query);
+        let bound = st
+            .engine
+            .query(qid)
+            .map(insq_server::FleetQuery::bound_epoch)
+            .unwrap_or_default();
+        let (tx, rx) = sync_channel::<Message>(shared.cfg.write_queue.max(1));
+        st.sessions.insert(
+            qid.0,
+            Session {
+                pending: Some(pos),
+                tx,
+                last_epoch: bound,
+            },
+        );
+        st.registered_ever += 1;
+        (qid, rx)
+    };
+    shared.wake.notify_all();
+
+    // Writer: drains the bounded queue onto the socket until the session
+    // drops its sender or the peer goes away.
+    let writer = {
+        let shared = Arc::clone(shared);
+        let Ok(mut write_half) = stream.try_clone() else {
+            // Can't write results — undo the registration.
+            let mut st = shared.lock();
+            st.sessions.remove(&qid.0);
+            st.engine.deregister(qid);
+            return None;
+        };
+        std::thread::spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                match write_message(&mut write_half, &msg) {
+                    Ok(n) => {
+                        shared.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = write_half.shutdown(Shutdown::Both);
+        })
+    };
+
+    // Update loop.
+    loop {
+        match read_message(&mut reader) {
+            Ok(Some((Message::PositionUpdate { pos }, n))) => {
+                shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                let (_, snapshot) = shared.world.snapshot();
+                match S::pos_from_wire(&snapshot, pos) {
+                    Ok(p) => {
+                        let mut st = shared.lock();
+                        if let Some(sess) = st.sessions.get_mut(&qid.0) {
+                            sess.pending = Some(p);
+                        }
+                        drop(st);
+                        shared.wake.notify_all();
+                    }
+                    Err(e) => {
+                        // An unusable position would stall the whole
+                        // fleet at the tick barrier — close the session.
+                        send_error(stream, ErrorCode::BadPosition, &e.to_string());
+                        break;
+                    }
+                }
+            }
+            Ok(Some((Message::Deregister, n))) => {
+                shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                break;
+            }
+            Ok(Some((Message::Register { .. }, n))) => {
+                shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                send_error(
+                    stream,
+                    ErrorCode::AlreadyRegistered,
+                    "session already registered",
+                );
+                break;
+            }
+            Ok(Some((_, n))) => {
+                shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                send_error(stream, ErrorCode::Malformed, "server-bound frame expected");
+                break;
+            }
+            Ok(None) => break, // clean EOF
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                send_error(stream, ErrorCode::Malformed, &e.to_string());
+                break;
+            }
+            Err(_) => break, // connection reset / shutdown
+        }
+    }
+    Some((qid, writer))
+}
+
+/// The tick loop: waits until every live session has a fresh position
+/// (and the start barrier is met), then runs one deterministic engine
+/// tick and pushes each session its result.
+fn tick_loop<S: WireSpace>(shared: Arc<Shared<S>>) {
+    let mut outcomes: Vec<(QueryId, insq_core::TickOutcome)> = Vec::new();
+    loop {
+        let mut st = shared.lock();
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let ready = !st.sessions.is_empty()
+                && st.registered_ever >= shared.cfg.min_clients as u64
+                && st.sessions.values().all(|s| s.pending.is_some());
+            if ready {
+                break;
+            }
+            st = shared.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+
+        // Batch: take every pending position. Registration and
+        // deregistration lock the same mutex, so the batch covers the
+        // engine's query set exactly.
+        let state = &mut *st;
+        let batch: HashMap<u64, S::Pos> = state
+            .sessions
+            .iter_mut()
+            .map(|(&id, sess)| (id, sess.pending.take().expect("barrier checked")))
+            .collect();
+        let summary = state
+            .engine
+            .tick_all_outcomes(|id| batch[&id.0], &mut outcomes);
+        let epoch = summary.epoch;
+
+        // Pair each outcome with its query's kNN in one O(n) pass:
+        // `for_each_query` visits in exactly the (deterministic) shard
+        // order `tick_all_outcomes` reported in, and nothing mutated the
+        // engine in between (we hold the state mutex throughout).
+        let mut results: Vec<(QueryId, Message)> = Vec::with_capacity(outcomes.len());
+        let mut at = 0usize;
+        state.engine.for_each_query(|qid, q| {
+            use insq_core::MovingKnn;
+            let (oid, outcome) = outcomes[at];
+            at += 1;
+            assert_eq!(oid, qid, "outcome order matches query order");
+            let ids: Vec<u32> = q.current_knn().into_iter().map(S::id_to_wire).collect();
+            results.push((
+                qid,
+                Message::KnnResult {
+                    epoch: epoch.0,
+                    ids,
+                    outcome: outcome.into(),
+                },
+            ));
+        });
+
+        // Push per-session results (epoch notify first where due); a
+        // full or closed queue drops the session silently — its writer
+        // may be wedged mid-frame, so no error frame can be interleaved.
+        let mut dead: Vec<QueryId> = Vec::new();
+        for (qid, result) in results {
+            let Some(sess) = state.sessions.get_mut(&qid.0) else {
+                continue;
+            };
+            if sess.last_epoch != epoch {
+                sess.last_epoch = epoch;
+                if !push(&sess.tx, Message::EpochNotify { epoch: epoch.0 }) {
+                    dead.push(qid);
+                    continue;
+                }
+            }
+            if !push(&sess.tx, result) {
+                dead.push(qid);
+            }
+        }
+        for qid in dead {
+            // Dropping the sender ends the writer thread; the reader
+            // notices the socket close and finishes its own cleanup.
+            state.sessions.remove(&qid.0);
+            state.engine.deregister(qid);
+        }
+        shared.ticks.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+    }
+}
+
+/// Non-blocking bounded-queue send; `false` means the session is dead
+/// (queue overflow or writer gone).
+fn push(tx: &SyncSender<Message>, msg: Message) -> bool {
+    match tx.try_send(msg) {
+        Ok(()) => true,
+        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+    }
+}

@@ -1,0 +1,230 @@
+//! Codec round-trip properties: for every message type of the wire
+//! protocol, arbitrary values satisfy `decode(encode(m)) == m` — through
+//! both the payload codec and the framed I/O layer — including the
+//! empty-`ids` and maximum-size edge cases.
+
+use std::io::Cursor;
+
+use insq_net::wire::{
+    read_message, Decode, DecodeError, Encode, Message, Reader, MAX_IDS, MAX_PAYLOAD_LEN,
+};
+use insq_net::{ErrorCode, SpaceKind, WireOutcome, WirePos};
+use proptest::prelude::*;
+
+fn arb_pos() -> BoxedStrategy<WirePos> {
+    prop_oneof![
+        (-1e12f64..1e12, -1e12f64..1e12).prop_map(|(x, y)| WirePos::Point { x, y }),
+        (0u32..u32::MAX).prop_map(WirePos::Vertex),
+        ((0u32..u32::MAX), (0f64..1e9)).prop_map(|(edge, offset)| WirePos::OnEdge { edge, offset }),
+    ]
+    .boxed()
+}
+
+fn arb_space() -> BoxedStrategy<SpaceKind> {
+    prop_oneof![
+        Just(SpaceKind::Euclidean),
+        Just(SpaceKind::Network),
+        Just(SpaceKind::WeightedEuclidean),
+    ]
+    .boxed()
+}
+
+fn arb_outcome() -> BoxedStrategy<WireOutcome> {
+    prop_oneof![
+        Just(WireOutcome::Valid),
+        Just(WireOutcome::Swap),
+        Just(WireOutcome::LocalRerank),
+        Just(WireOutcome::Recompute),
+    ]
+    .boxed()
+}
+
+fn arb_code() -> BoxedStrategy<ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::SpaceMismatch),
+        Just(ErrorCode::NotRegistered),
+        Just(ErrorCode::AlreadyRegistered),
+        Just(ErrorCode::BadConfig),
+        Just(ErrorCode::Malformed),
+        Just(ErrorCode::BadPosition),
+        Just(ErrorCode::Overloaded),
+    ]
+    .boxed()
+}
+
+fn arb_ids() -> BoxedStrategy<Vec<u32>> {
+    prop::collection::vec(0u32..u32::MAX, 0..80).boxed()
+}
+
+fn arb_detail() -> BoxedStrategy<String> {
+    prop::collection::vec(0u32..0xFFFF, 0..60)
+        .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect())
+        .boxed()
+}
+
+fn arb_message() -> BoxedStrategy<Message> {
+    prop_oneof![
+        (arb_space(), 1u32..1_000, 1f64..8.0, arb_pos())
+            .prop_map(|(space, k, rho, pos)| Message::Register { space, k, rho, pos }),
+        arb_pos().prop_map(|pos| Message::PositionUpdate { pos }),
+        Just(Message::Deregister),
+        ((0u64..u64::MAX), arb_ids(), arb_outcome()).prop_map(|(epoch, ids, outcome)| {
+            Message::KnnResult {
+                epoch,
+                ids,
+                outcome,
+            }
+        }),
+        (0u64..u64::MAX).prop_map(|epoch| Message::EpochNotify { epoch }),
+        (arb_code(), arb_detail()).prop_map(|(code, detail)| Message::Error { code, detail }),
+    ]
+    .boxed()
+}
+
+/// Round-trips one message through both layers of the codec.
+fn roundtrip(msg: &Message) -> Result<(), TestCaseError> {
+    // Payload layer.
+    let frame = msg.encode_frame();
+    prop_assert!(frame.len() <= 4 + MAX_PAYLOAD_LEN);
+    let back = Message::decode_payload(&frame[4..]);
+    prop_assert_eq!(back, Ok(msg.clone()));
+    // Framed I/O layer: message, byte count, then clean EOF.
+    let mut cursor = Cursor::new(frame.as_slice());
+    let (m, n) = read_message(&mut cursor)
+        .expect("valid frame")
+        .expect("one frame");
+    prop_assert_eq!(&m, msg);
+    prop_assert_eq!(n, frame.len());
+    prop_assert!(read_message(&mut cursor).expect("eof ok").is_none());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn register_roundtrips(space in arb_space(), k in 1u32..100_000, rho in 1f64..16.0, pos in arb_pos()) {
+        roundtrip(&Message::Register { space, k, rho, pos })?;
+    }
+
+    #[test]
+    fn position_update_roundtrips(pos in arb_pos()) {
+        roundtrip(&Message::PositionUpdate { pos })?;
+    }
+
+    #[test]
+    fn knn_result_roundtrips(epoch in 0u64..u64::MAX, ids in arb_ids(), outcome in arb_outcome()) {
+        roundtrip(&Message::KnnResult { epoch, ids, outcome })?;
+    }
+
+    #[test]
+    fn epoch_notify_roundtrips(epoch in 0u64..u64::MAX) {
+        roundtrip(&Message::EpochNotify { epoch })?;
+    }
+
+    #[test]
+    fn error_roundtrips(code in arb_code(), detail in arb_detail()) {
+        roundtrip(&Message::Error { code, detail })?;
+    }
+
+    #[test]
+    fn any_message_roundtrips(msg in arb_message()) {
+        roundtrip(&msg)?;
+    }
+
+    // Concatenated frames stream back out one by one, in order.
+    #[test]
+    fn frame_streams_roundtrip(msgs in prop::collection::vec(arb_message(), 0..8)) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&m.encode_frame());
+        }
+        let mut cursor = Cursor::new(wire.as_slice());
+        for m in &msgs {
+            let (back, _) = read_message(&mut cursor).expect("valid").expect("frame");
+            prop_assert_eq!(&back, m);
+        }
+        prop_assert!(read_message(&mut cursor).expect("eof ok").is_none());
+    }
+}
+
+#[test]
+fn deregister_roundtrips() {
+    let frame = Message::Deregister.encode_frame();
+    assert_eq!(
+        Message::decode_payload(&frame[4..]),
+        Ok(Message::Deregister)
+    );
+}
+
+#[test]
+fn empty_ids_roundtrip() {
+    let msg = Message::KnnResult {
+        epoch: 0,
+        ids: vec![],
+        outcome: WireOutcome::Valid,
+    };
+    let frame = msg.encode_frame();
+    assert_eq!(Message::decode_payload(&frame[4..]), Ok(msg));
+}
+
+#[test]
+fn max_size_ids_roundtrip() {
+    // The largest legal result: MAX_IDS ids still fits a frame.
+    let msg = Message::KnnResult {
+        epoch: u64::MAX,
+        ids: (0..MAX_IDS as u32).collect(),
+        outcome: WireOutcome::Recompute,
+    };
+    let frame = msg.encode_frame();
+    assert!(frame.len() - 4 <= MAX_PAYLOAD_LEN);
+    assert_eq!(Message::decode_payload(&frame[4..]), Ok(msg));
+}
+
+#[test]
+fn one_past_max_ids_is_rejected() {
+    // Hand-encode a KnnResult claiming MAX_IDS + 1 ids: the decoder must
+    // reject the count against its cap, not trust it.
+    let mut payload = Vec::new();
+    1u8.encode(&mut payload); // version
+    3u8.encode(&mut payload); // KnnResult tag
+    7u64.encode(&mut payload); // epoch
+    ((MAX_IDS + 1) as u32).encode(&mut payload); // ids count: over cap
+    for i in 0..(MAX_IDS + 1) as u32 {
+        i.encode(&mut payload);
+    }
+    WireOutcome::Valid.encode(&mut payload);
+    assert_eq!(
+        Message::decode_payload(&payload),
+        Err(DecodeError::LengthOutOfBounds {
+            claimed: (MAX_IDS + 1) as u64,
+            limit: MAX_IDS,
+        })
+    );
+}
+
+#[test]
+fn primitive_codecs_roundtrip_at_extremes() {
+    fn rt<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(T::decode(&mut r).unwrap(), v);
+        assert_eq!(r.remaining(), 0);
+    }
+    rt(0u8);
+    rt(u8::MAX);
+    rt(0u32);
+    rt(u32::MAX);
+    rt(0u64);
+    rt(u64::MAX);
+    rt(0.0f64);
+    rt(-0.0f64);
+    rt(f64::MAX);
+    rt(f64::MIN_POSITIVE);
+    rt(f64::INFINITY);
+    rt(f64::NEG_INFINITY);
+    rt(String::new());
+    rt("κNN ✓".to_string());
+    rt(Vec::<u32>::new());
+}

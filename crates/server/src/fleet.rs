@@ -114,6 +114,27 @@ impl TickSummary {
     }
 }
 
+/// Per-shard receiver of per-query tick outcomes. `()` records nothing
+/// (and compiles away entirely — [`FleetEngine::tick_all`] keeps its
+/// exact pre-existing hot path); a `Vec` collects them for callers that
+/// must relay results per query ([`FleetEngine::tick_all_outcomes`],
+/// used by the `insq-net` serving layer).
+trait OutcomeSink: Default + Send {
+    fn push(&mut self, id: QueryId, outcome: TickOutcome);
+}
+
+impl OutcomeSink for () {
+    #[inline]
+    fn push(&mut self, _id: QueryId, _outcome: TickOutcome) {}
+}
+
+impl OutcomeSink for Vec<(QueryId, TickOutcome)> {
+    #[inline]
+    fn push(&mut self, id: QueryId, outcome: TickOutcome) {
+        self.push((id, outcome));
+    }
+}
+
 /// Aggregated fleet statistics (see [`FleetEngine::stats`]).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FleetStats {
@@ -240,6 +261,19 @@ where
             .map(|e| &e.query)
     }
 
+    /// Visits every live query in shard order (registration order within
+    /// a shard) — the same deterministic order
+    /// [`FleetEngine::tick_all_outcomes`] reports in, so results of a
+    /// tick can be paired with their queries in one O(n) pass instead of
+    /// n per-id [`FleetEngine::query`] scans.
+    pub fn for_each_query(&self, mut f: impl FnMut(QueryId, &Q)) {
+        for shard in &self.shards {
+            for e in shard {
+                f(e.id, &e.query);
+            }
+        }
+    }
+
     /// All live query ids, ascending.
     pub fn ids(&self) -> Vec<QueryId> {
         let mut ids: Vec<QueryId> = self
@@ -263,13 +297,45 @@ where
     where
         F: Fn(QueryId) -> Q::Pos + Sync,
     {
+        self.tick_sharded::<F, ()>(positions).0
+    }
+
+    /// [`FleetEngine::tick_all`] that additionally reports every query's
+    /// individual [`TickOutcome`], appended to `out` in shard order
+    /// (registration order within a shard) — deterministic at any thread
+    /// count, like everything else here. `out` is cleared first. The
+    /// serving layer uses this to relay per-session results.
+    pub fn tick_all_outcomes<F>(
+        &mut self,
+        positions: F,
+        out: &mut Vec<(QueryId, TickOutcome)>,
+    ) -> TickSummary
+    where
+        F: Fn(QueryId) -> Q::Pos + Sync,
+    {
+        out.clear();
+        let (summary, per_shard) = self.tick_sharded::<F, Vec<(QueryId, TickOutcome)>>(positions);
+        for shard in per_shard {
+            out.extend(shard);
+        }
+        summary
+    }
+
+    /// The one tick loop behind both `tick_all` flavors: `R` is the
+    /// per-shard outcome sink (`()` = record nothing).
+    fn tick_sharded<F, R>(&mut self, positions: F) -> (TickSummary, Vec<R>)
+    where
+        F: Fn(QueryId) -> Q::Pos + Sync,
+        R: OutcomeSink,
+    {
         let t0 = Instant::now();
         let (epoch, snapshot) = self.world.snapshot();
         let n_shards = self.shards.len();
         let threads = self.threads.min(n_shards).max(1);
         let mut per_shard = vec![TickSummary::default(); n_shards];
+        let mut recorded: Vec<R> = (0..n_shards).map(|_| R::default()).collect();
 
-        let tick_shard = |shard: &mut Vec<Entry<Q>>, out: &mut TickSummary| {
+        let tick_shard = |shard: &mut Vec<Entry<Q>>, out: &mut TickSummary, rec: &mut R| {
             out.epoch = epoch;
             for entry in shard.iter_mut() {
                 if entry.query.bound_epoch() != epoch {
@@ -278,25 +344,34 @@ where
                 }
                 let outcome = entry.query.tick(positions(entry.id));
                 out.record(outcome);
+                rec.push(entry.id, outcome);
             }
         };
 
         if threads == 1 {
-            for (shard, out) in self.shards.iter_mut().zip(per_shard.iter_mut()) {
-                tick_shard(shard, out);
+            for ((shard, out), rec) in self
+                .shards
+                .iter_mut()
+                .zip(per_shard.iter_mut())
+                .zip(recorded.iter_mut())
+            {
+                tick_shard(shard, out, rec);
             }
         } else {
             let chunk = n_shards.div_ceil(threads);
             let tick_shard = &tick_shard;
             std::thread::scope(|scope| {
-                for (shards, outs) in self
+                for ((shards, outs), recs) in self
                     .shards
                     .chunks_mut(chunk)
                     .zip(per_shard.chunks_mut(chunk))
+                    .zip(recorded.chunks_mut(chunk))
                 {
                     scope.spawn(move || {
-                        for (shard, out) in shards.iter_mut().zip(outs.iter_mut()) {
-                            tick_shard(shard, out);
+                        for ((shard, out), rec) in
+                            shards.iter_mut().zip(outs.iter_mut()).zip(recs.iter_mut())
+                        {
+                            tick_shard(shard, out, rec);
                         }
                     });
                 }
@@ -312,7 +387,7 @@ where
             summary.absorb(s);
         }
         self.elapsed += t0.elapsed();
-        summary
+        (summary, recorded)
     }
 
     /// Aggregated fleet statistics: per-shard [`QueryStats`] merges (in

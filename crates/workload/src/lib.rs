@@ -7,7 +7,10 @@
 //! configuration (the demo UI's "Save"/"Read" settings), and
 //! space-parameterized fleet generation ([`SpaceWorkload`]): one
 //! [`FleetScenario`] materialises index snapshots and client positions
-//! for every registered `insq_core::Space`.
+//! for every registered `insq_core::Space` — plus the transposed,
+//! client-side view ([`client_updates`]): the per-client
+//! position-update streams a serving layer (`insq-net`) feeds over the
+//! wire.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -16,10 +19,12 @@ pub mod datasets;
 pub mod fleet;
 pub mod scenario;
 pub mod spaces;
+pub mod stream;
 pub mod trajectories;
 
 pub use datasets::Distribution;
 pub use fleet::FleetScenario;
 pub use scenario::{EuclideanScenario, NetworkInstance, NetworkKind, NetworkScenario};
 pub use spaces::{NetFleet, SpaceWorkload};
+pub use stream::{client_updates, UpdateStream};
 pub use trajectories::TrajectoryKind;

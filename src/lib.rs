@@ -10,7 +10,9 @@
 //! (anisotropic) Euclidean distance — the competing baselines, a
 //! simulation/benchmark harness reproducing the paper's demonstration and
 //! the companion evaluation, and the system layer itself: a concurrent
-//! multi-query fleet engine over epoch-versioned worlds ([`server`]).
+//! multi-query fleet engine over epoch-versioned worlds ([`server`]),
+//! served over TCP by a framed, versioned wire protocol with session
+//! management and epoch push ([`net`]).
 //!
 //! ## Quick start
 //!
@@ -94,6 +96,7 @@ pub use insq_baselines as baselines;
 pub use insq_core as core;
 pub use insq_geom as geom;
 pub use insq_index as index;
+pub use insq_net as net;
 pub use insq_roadnet as roadnet;
 pub use insq_server as server;
 pub use insq_sim as sim;
@@ -114,6 +117,7 @@ pub mod prelude {
         Aabb, Circle, ConvexPolygon, HalfPlane, Point, Segment, Trajectory, Vector,
     };
     pub use insq_index::{AxisWeights, RTree, SiteDelta, VorTree, WeightedVorTree};
+    pub use insq_net::{Message, NetClient, NetServer, NetServerConfig, SpaceKind, WireSpace};
     pub use insq_roadnet::{
         NetPosition, NetSiteDelta, NetTrajectory, NetworkVoronoi, NetworkWorld, RoadNetwork,
         SiteIdx, SiteSet, VertexId,
