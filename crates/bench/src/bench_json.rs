@@ -1,0 +1,247 @@
+//! Minimal JSON emission for machine-readable benchmark snapshots.
+//!
+//! The `report` binary commits `BENCH_<id>.json` files at the repo root
+//! so CI and downstream tooling can diff performance without parsing
+//! the human tables. No serde (no-deps discipline): a tiny value tree
+//! with a deterministic, pretty-printed writer is all the experiments
+//! need.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+
+/// A JSON value. Object keys keep insertion order so emitted files are
+/// stable across runs (diff-friendly).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (emitted without a decimal point).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float; non-finite values are emitted as `null`.
+    Num(f64),
+    /// String (escaped on emission).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+/// Convenience constructor for objects: `obj([("k", v.into()), ...])`.
+pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render(out: &mut String, v: &Json, indent: usize) {
+    const PAD: &str = "  ";
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::Num(f) => {
+            if f.is_finite() {
+                // Rust's shortest-roundtrip Display is valid JSON for
+                // finite doubles; keep integral floats float-typed.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains('.') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => escape_into(out, s),
+        Json::Arr(xs) => {
+            if xs.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent + 1));
+                render(out, x, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, x)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent + 1));
+                escape_into(out, k);
+                out.push_str(": ");
+                render(out, x, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+impl Json {
+    /// Pretty-prints (2-space indent, trailing newline).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        render(&mut out, self, 0);
+        out.push('\n');
+        out
+    }
+}
+
+/// The repository root (two levels above this crate's manifest).
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// Writes `value` to `BENCH_<id>.json` at the repo root, returning the
+/// path written. Failures are soft (reported, not fatal): the text
+/// report is the primary artifact and must not die on a read-only
+/// checkout.
+pub fn write_snapshot(id: &str, value: &Json) -> io::Result<PathBuf> {
+    let path = repo_root().join(format!("BENCH_{id}.json"));
+    std::fs::write(&path, value.to_pretty())?;
+    Ok(path)
+}
+
+/// [`write_snapshot`], folded into a one-line status string for the
+/// experiment's text report.
+pub fn snapshot_status(id: &str, value: &Json) -> String {
+    match write_snapshot(id, value) {
+        Ok(path) => format!("\nmachine-readable snapshot: {}\n", path.display()),
+        Err(e) => format!("\nmachine-readable snapshot NOT written (BENCH_{id}.json): {e}\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_stable_pretty_json() {
+        let v = obj([
+            ("experiment", "e_net".into()),
+            ("ticks", 300u64.into()),
+            ("bytes_per_tick", 812.5f64.into()),
+            ("ok", true.into()),
+            (
+                "runs",
+                Json::Arr(vec![obj([("threads", 1usize.into())]), Json::Null]),
+            ),
+            ("empty", Json::Obj(vec![])),
+            ("note", "a \"quoted\"\nline".into()),
+        ]);
+        let s = v.to_pretty();
+        assert!(s.starts_with("{\n"));
+        assert!(s.ends_with("}\n"));
+        assert!(s.contains("\"experiment\": \"e_net\""));
+        assert!(s.contains("\"ticks\": 300"));
+        assert!(s.contains("\"bytes_per_tick\": 812.5"));
+        assert!(s.contains("\"runs\": ["));
+        assert!(s.contains("\"empty\": {}"));
+        assert!(s.contains("\\\"quoted\\\"\\nline"));
+        assert!(!s.contains("NaN"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let v = obj([("bad", f64::NAN.into()), ("worse", f64::INFINITY.into())]);
+        let s = v.to_pretty();
+        assert!(s.contains("\"bad\": null"));
+        assert!(s.contains("\"worse\": null"));
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let v = obj([("x", 4.0f64.into())]);
+        assert!(v.to_pretty().contains("\"x\": 4.0"));
+    }
+}

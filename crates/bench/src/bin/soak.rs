@@ -1,0 +1,378 @@
+//! Loopback soak: many thousands of concurrent sessions against one
+//! reactor, under the event-driven `Deadline` tick policy.
+//!
+//! The reactor's claim is that live sessions are limited by file
+//! descriptors, not threads, and that per-session memory stays bounded
+//! no matter how clients behave. This binary checks both at scale, as a
+//! CI smoke:
+//!
+//! * the **parent** process raises its fd limit
+//!   ([`insq_net::sys::max_open_files`]), binds one `NetServer` with
+//!   `TickPolicy::Deadline`, and spawns client-herd **children** (one
+//!   process per herd, so the client side's descriptors don't eat the
+//!   server's budget);
+//! * each child drives its sessions through the non-blocking
+//!   [`ClientCore`] — one thread per herd, `try_send` / `poll_event`
+//!   only — recording update→result round-trip latency into a
+//!   mergeable log2-µs histogram it prints on exit;
+//! * the parent aggregates the histograms, prints the latency
+//!   distribution, and asserts the invariants: every session completed
+//!   its cycles, and the server's peak per-session buffer usage
+//!   ([`NetServer::buffer_high_water`]) stayed under the hard
+//!   read-buffer + write-buffer bound.
+//!
+//! Under `Deadline` a round-trip may legitimately be answered by a
+//! re-served (stale) result before the fresh one lands — that is the
+//! policy's liveness trade, and the histogram deliberately measures
+//! "time until the client heard back", not "time until recompute".
+//!
+//! ```text
+//! soak [--sessions N] [--results R] [--herds H] [--quick]
+//! soak --herd <addr> <count> <results> <seed>      (internal child role)
+//! ```
+
+use std::io::ErrorKind;
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use insq_bench::latency::LatencyHistogram;
+use insq_core::Euclidean;
+use insq_geom::{Aabb, Point};
+use insq_index::VorTree;
+use insq_net::buffer::READ_CHUNK;
+use insq_net::{
+    ClientCore, ClientEvent, Message, NetServer, NetServerConfig, SpaceKind, WirePos,
+    MAX_PAYLOAD_LEN,
+};
+use insq_server::{FleetConfig, TickPolicy, World};
+
+const WORLD_SIDE: f64 = 100.0;
+
+fn usage() -> ! {
+    eprintln!("usage: soak [--sessions N] [--results R] [--herds H] [--quick]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--herd") {
+        // Internal role: drive one herd of client sessions.
+        if args.len() != 5 {
+            usage();
+        }
+        let addr = args[1].clone();
+        let count: usize = args[2].parse().unwrap_or_else(|_| usage());
+        let results: usize = args[3].parse().unwrap_or_else(|_| usage());
+        let seed: u64 = args[4].parse().unwrap_or_else(|_| usage());
+        run_herd(&addr, count, results, seed);
+        return;
+    }
+
+    let mut sessions = 10_000usize;
+    let mut results = 5usize;
+    let mut herds = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sessions" => {
+                sessions = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--results" => {
+                results = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--herds" => {
+                herds = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--quick" => {
+                sessions = 1_000;
+                results = 3;
+            }
+            _ => usage(),
+        }
+    }
+    if herds == 0 {
+        // ~1250 sessions per child keeps every process well under
+        // typical fd limits while the server holds all N sockets.
+        herds = sessions.div_ceil(1_250);
+    }
+    run_server(sessions, results, herds);
+}
+
+/// A deterministic world: a grid of data objects over the unit square
+/// scaled to `WORLD_SIDE` — small on purpose, the soak stresses the
+/// serving layer, not the index.
+fn soak_world() -> Arc<World<VorTree>> {
+    let bounds = Aabb::new(Point::new(0.0, 0.0), Point::new(WORLD_SIDE, WORLD_SIDE));
+    let pts = (0..400)
+        .map(|i| {
+            Point::new(
+                (i % 20) as f64 * 5.0 + 0.5,
+                (i / 20) as f64 * 5.0 + 0.25 * (i % 3) as f64,
+            )
+        })
+        .collect();
+    Arc::new(World::new(
+        VorTree::build(pts, bounds.inflated(10.0)).expect("soak world"),
+    ))
+}
+
+fn run_server(sessions: usize, results: usize, herds: usize) {
+    let fd_limit = insq_net::sys::max_open_files().unwrap_or(0);
+    let needed = sessions as u64 + 64;
+    assert!(
+        fd_limit == 0 || fd_limit >= needed,
+        "fd limit {fd_limit} too low for {sessions} sessions (need ~{needed}); \
+         lower --sessions or raise ulimit -n"
+    );
+
+    let cfg = NetServerConfig {
+        fleet: FleetConfig {
+            shards: 32,
+            threads: 2,
+        },
+        policy: TickPolicy::Deadline { max_staleness: 3 },
+        // No tick until the whole fleet has registered: makes the run
+        // deterministic in shape (one ramp, then steady cycling).
+        min_clients: sessions,
+        max_sessions: sessions + 16,
+        ..NetServerConfig::default()
+    };
+    let write_buf_cap = cfg.write_buf.max(4 + MAX_PAYLOAD_LEN);
+    let server: NetServer<Euclidean> =
+        NetServer::bind("127.0.0.1:0", soak_world(), cfg).expect("bind soak server");
+    let addr = server.local_addr().to_string();
+    println!(
+        "soak: {sessions} sessions x {results} result cycles, {herds} herd processes, \
+         Deadline{{max_staleness: 3}} @ {addr}"
+    );
+
+    let t0 = Instant::now();
+    let exe = std::env::current_exe().expect("current_exe");
+    let base = sessions / herds;
+    let extra = sessions % herds;
+    let children: Vec<_> = (0..herds)
+        .map(|h| {
+            let count = base + usize::from(h < extra);
+            Command::new(&exe)
+                .arg("--herd")
+                .arg(&addr)
+                .arg(count.to_string())
+                .arg(results.to_string())
+                .arg((0x50AC ^ h as u64).to_string())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn herd")
+        })
+        .collect();
+
+    let mut merged = LatencyHistogram::new();
+    for child in children {
+        let out = child.wait_with_output().expect("herd exit");
+        assert!(out.status.success(), "herd failed: {}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let hist_line = stdout
+            .lines()
+            .rev()
+            .find_map(|l| l.strip_prefix("HIST "))
+            .expect("herd printed no HIST line");
+        merged.merge(&LatencyHistogram::parse_line(hist_line).expect("parse herd histogram"));
+    }
+    let wall = t0.elapsed();
+
+    // Sessions close after their last result; give the reactor a
+    // moment to reap the EOFs before reading final counters.
+    let reap_deadline = Instant::now() + Duration::from_secs(10);
+    while server.live_sessions() > 0 && Instant::now() < reap_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let ticks = server.ticks();
+    let (bytes_in, bytes_out) = server.wire_bytes();
+    let high_water = server.buffer_high_water();
+    let live = server.live_sessions();
+    server.shutdown();
+
+    println!("\nupdate -> result round-trip latency (all {herds} herds merged):");
+    print!("{}", merged.to_ascii());
+    println!(
+        "\nserver: {ticks} ticks in {wall:.1?}, {bytes_in} B in / {bytes_out} B out \
+         ({:.1} B/tick down), peak per-session buffers {high_water} B, \
+         {live} sessions still live at reap",
+        bytes_out as f64 / ticks.max(1) as f64,
+    );
+
+    // The invariants this smoke exists for.
+    let expected = (sessions * results) as u64;
+    assert_eq!(
+        merged.count(),
+        expected,
+        "every session must complete all its result cycles"
+    );
+    let buffer_bound = (4 + MAX_PAYLOAD_LEN + READ_CHUNK + write_buf_cap) as u64;
+    assert!(
+        high_water <= buffer_bound,
+        "per-session buffer high water {high_water} exceeds hard bound {buffer_bound}"
+    );
+    assert_eq!(live, 0, "sessions leaked past client disconnect");
+    println!(
+        "\nOK: {expected} round-trips across {sessions} concurrent sessions; \
+         per-session buffers bounded ({high_water} <= {buffer_bound} B)"
+    );
+}
+
+/// One session's client-side state machine.
+struct Session {
+    core: ClientCore,
+    /// Cycles completed (first registration result is not a cycle).
+    done: usize,
+    /// When the in-flight position update was sent; `None` while idle.
+    sent_at: Option<Instant>,
+    /// Seen the registration result yet?
+    primed: bool,
+}
+
+fn herd_pos(seed: u64, idx: usize, cycle: usize) -> (f64, f64) {
+    // Deterministic, distinct, in-bounds walk per session.
+    let h = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(idx as u64);
+    let x = (h % 97) as f64 + (cycle as f64 * 0.37) % 2.0;
+    let y = ((h / 97) % 97) as f64 + (cycle as f64 * 0.53) % 2.0;
+    (x.min(WORLD_SIDE - 0.01), y.min(WORLD_SIDE - 0.01))
+}
+
+fn run_herd(addr: &str, count: usize, results: usize, seed: u64) {
+    let connect_deadline = Instant::now() + Duration::from_secs(60);
+    let mut sessions: Vec<Session> = (0..count)
+        .map(|i| {
+            let core = loop {
+                match ClientCore::connect(addr) {
+                    Ok(c) => break c,
+                    // Accept backlog overflows under the connect storm
+                    // surface as refusals/resets: back off and retry.
+                    Err(_) if Instant::now() < connect_deadline => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => panic!("herd connect {i}: {e}"),
+                }
+            };
+            Session {
+                core,
+                done: 0,
+                sent_at: None,
+                primed: false,
+            }
+        })
+        .collect();
+
+    // Register everyone, then drive all sessions from this one thread.
+    for (i, s) in sessions.iter_mut().enumerate() {
+        let (x, y) = herd_pos(seed, i, 0);
+        send_when_able(&mut s.core, &register_msg(x, y), i);
+    }
+
+    let mut hist = LatencyHistogram::new();
+    let mut finished = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(240);
+    while finished < count {
+        assert!(
+            Instant::now() < deadline,
+            "herd stalled: {finished}/{count} sessions finished"
+        );
+        let mut progressed = false;
+        for (i, s) in sessions.iter_mut().enumerate() {
+            if s.done >= results {
+                continue;
+            }
+            loop {
+                match s.core.poll_event() {
+                    Ok(Some(ClientEvent::Result { .. })) => {
+                        progressed = true;
+                        let now = Instant::now();
+                        if let Some(t) = s.sent_at.take() {
+                            hist.record(now - t);
+                            s.done += 1;
+                        } else if !s.primed {
+                            s.primed = true;
+                        } else {
+                            // Deadline re-serve while idle — not a cycle.
+                            continue;
+                        }
+                        if s.done < results {
+                            let (x, y) = herd_pos(seed, i, s.done + 1);
+                            send_when_able(&mut s.core, &update_msg(x, y), i);
+                            s.sent_at = Some(Instant::now());
+                        } else {
+                            finished += 1;
+                            let _ = s.core.try_send(&Message::Deregister);
+                            let _ = s.core.flush();
+                            break;
+                        }
+                    }
+                    Ok(Some(ClientEvent::Epoch(_))) => {}
+                    Ok(Some(ClientEvent::ServerError { code, detail })) => {
+                        panic!("session {i}: server error {code:?}: {detail}")
+                    }
+                    Ok(Some(other)) => panic!("session {i}: unexpected {other:?}"),
+                    Ok(None) => {
+                        let _ = s.core.flush();
+                        break;
+                    }
+                    Err(e) => panic!("session {i}: {e}"),
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // Connections drop here; the server reaps the EOFs.
+    drop(sessions);
+    println!("HIST {}", hist.to_line());
+}
+
+fn register_msg(x: f64, y: f64) -> Message {
+    Message::Register {
+        space: SpaceKind::Euclidean,
+        k: 4,
+        rho: 1.6,
+        pos: WirePos::Point { x, y },
+    }
+}
+
+fn update_msg(x: f64, y: f64) -> Message {
+    Message::PositionUpdate {
+        pos: WirePos::Point { x, y },
+    }
+}
+
+/// `try_send` with bounded retry: the only send failure a healthy soak
+/// sees is `WouldBlock` (client write buffer full while the socket is
+/// full), which drains as the reactor reads.
+fn send_when_able(core: &mut ClientCore, msg: &Message, session: usize) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match core.try_send(msg) {
+            Ok(()) => return,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                assert!(
+                    Instant::now() < deadline,
+                    "session {session}: send stalled for 60s"
+                );
+                let _ = core.flush();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("session {session}: send failed: {e}"),
+        }
+    }
+}

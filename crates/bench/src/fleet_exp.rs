@@ -17,6 +17,7 @@ use insq_core::Euclidean;
 use insq_server::FleetStats;
 use insq_workload::{FleetScenario, SpaceWorkload};
 
+use crate::bench_json::{obj, snapshot_status, Json};
 use crate::space_exp::run_fleet;
 use crate::Effort;
 
@@ -50,6 +51,7 @@ pub fn e_fleet(effort: Effort) -> String {
     // Fleet totals of the largest sweep cell, in the standard per-method
     // comparison format (one row per thread count).
     let mut totals = insq_sim::Comparison::new();
+    let mut cells_json: Vec<Json> = Vec::new();
 
     for &clients in &fleet_sizes {
         let sc = scenario(clients, effort);
@@ -79,6 +81,23 @@ pub fn e_fleet(effort: Effort) -> String {
             if Some(&clients) == fleet_sizes.last() {
                 totals.add_stats(&format!("fleet/{t}t"), &stats.total, stats.elapsed);
             }
+            cells_json.push(obj([
+                ("clients", clients.into()),
+                ("threads", t.into()),
+                ("kticks_per_s", kticks.into()),
+                ("speedup", speedup.into()),
+                (
+                    "us_per_tick",
+                    (stats.elapsed.as_secs_f64() * 1e6 / stats.total.ticks.max(1) as f64).into(),
+                ),
+                ("validations_per_tick", stats.validations_per_tick().into()),
+                ("recompute_rate", stats.recompute_rate().into()),
+                (
+                    "comm_objects_per_query_tick",
+                    (stats.total.comm_objects as f64 / stats.total.ticks.max(1) as f64).into(),
+                ),
+                ("identical_to_1_thread", identical.into()),
+            ]));
             if baseline.is_none() {
                 baseline = Some((stats, wall));
             }
@@ -98,5 +117,21 @@ pub fn e_fleet(effort: Effort) -> String {
          1-thread run); the epoch swap costs each client exactly one extra\n\
          recomputation.\n",
     );
+
+    let snapshot = obj([
+        ("experiment", "e_fleet".into()),
+        (
+            "effort",
+            match effort {
+                Effort::Quick => "quick",
+                Effort::Full => "full",
+            }
+            .into(),
+        ),
+        ("n", 5_000usize.into()),
+        ("k", 5usize.into()),
+        ("runs", Json::Arr(cells_json)),
+    ]);
+    out.push_str(&snapshot_status("e_fleet", &snapshot));
     out
 }

@@ -12,9 +12,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench_json;
 pub mod euclidean_exp;
 pub mod figures;
 pub mod fleet_exp;
+pub mod latency;
 pub mod net_exp;
 pub mod network_exp;
 pub mod space_exp;

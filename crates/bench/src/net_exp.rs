@@ -11,6 +11,7 @@
 //! accounted in real bytes, not only in model units.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use insq_core::{Euclidean, InsConfig};
 use insq_geom::Point;
@@ -20,6 +21,8 @@ use insq_server::{FleetConfig, FleetEngine, FleetStats, InsFleetQuery, World};
 use insq_voronoi::SiteId;
 use insq_workload::{client_updates, FleetScenario, SpaceWorkload};
 
+use crate::bench_json::{obj, snapshot_status, Json};
+use crate::latency::LatencyHistogram;
 use crate::Effort;
 
 /// The mid-run data-object update, identical in both runs.
@@ -63,6 +66,10 @@ struct NetRun {
     bytes_out: u64,
     client_results: u64,
     epoch_notifies: u64,
+    /// Per-result round-trip latency: position update sent → result
+    /// frame received, one sample per client per tick.
+    latency: LatencyHistogram,
+    wall: Duration,
 }
 
 /// Drives `sc` over loopback TCP in lockstep, applying one delta epoch
@@ -80,7 +87,7 @@ fn run_tcp(sc: &FleetScenario, threads: usize) -> NetRun {
                 threads,
             },
             min_clients: sc.clients,
-            write_queue: 16,
+            ..NetServerConfig::default()
         },
     )
     .expect("bind loopback");
@@ -102,11 +109,14 @@ fn run_tcp(sc: &FleetScenario, threads: usize) -> NetRun {
     let delta_at = sc.ticks / 2;
     let mut client_results = 0u64;
     let mut epoch_notifies = 0u64;
+    let mut latency = LatencyHistogram::new();
+    let t_run = Instant::now();
     for tick in 0..sc.ticks {
         if tick == delta_at {
             // A small data-object update, pushed as a delta epoch.
             server.world().apply(&poi_delta()).expect("delta applies");
         }
+        let t_tick = Instant::now();
         if tick > 0 {
             for (cl, stream) in clients.iter_mut().zip(streams.iter_mut()) {
                 cl.update::<Euclidean>(stream.next().expect("scenario tick"))
@@ -115,10 +125,12 @@ fn run_tcp(sc: &FleetScenario, threads: usize) -> NetRun {
         }
         for cl in clients.iter_mut() {
             let upd = cl.next_result().expect("result");
+            latency.record(t_tick.elapsed());
             client_results += 1;
             epoch_notifies += upd.notified.len() as u64;
         }
     }
+    let wall = t_run.elapsed();
     for cl in clients.iter_mut() {
         cl.deregister().ok();
     }
@@ -131,6 +143,8 @@ fn run_tcp(sc: &FleetScenario, threads: usize) -> NetRun {
         bytes_out,
         client_results,
         epoch_notifies,
+        latency,
+        wall,
     }
 }
 
@@ -162,20 +176,53 @@ pub fn e_net(effort: Effort) -> String {
         sc.clients, sc.n, sc.k, sc.rho, sc.ticks
     );
     out.push_str(&format!(
-        "{:<22} {:>10} {:>12} {:>12} {:>11} {:>9}\n",
-        "run", "ticks", "B/tick up", "B/tick down", "results", "notifies"
+        "{:<10} {:>7} {:>11} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "run",
+        "ticks",
+        "B/tick up",
+        "B/tick down",
+        "results",
+        "notifies",
+        "us/tick",
+        "p50 us",
+        "p99 us"
     ));
+    let mut runs_json: Vec<Json> = Vec::new();
     for threads in [1usize, 4] {
         let run = run_tcp(&sc, threads);
+        let ticks = run.ticks.max(1) as f64;
+        let us_per_tick = run.wall.as_secs_f64() * 1e6 / ticks;
         out.push_str(&format!(
-            "{:<22} {:>10} {:>12.1} {:>12.1} {:>11} {:>9}\n",
+            "{:<10} {:>7} {:>11.1} {:>12.1} {:>9} {:>9} {:>9.1} {:>9} {:>9}\n",
             format!("tcp/{threads}t"),
             run.ticks,
-            run.bytes_in as f64 / run.ticks.max(1) as f64,
-            run.bytes_out as f64 / run.ticks.max(1) as f64,
+            run.bytes_in as f64 / ticks,
+            run.bytes_out as f64 / ticks,
             run.client_results,
             run.epoch_notifies,
+            us_per_tick,
+            run.latency.p50_us(),
+            run.latency.p99_us(),
         ));
+        runs_json.push(obj([
+            ("threads", threads.into()),
+            ("ticks", run.ticks.into()),
+            ("bytes_in_per_tick", (run.bytes_in as f64 / ticks).into()),
+            ("bytes_out_per_tick", (run.bytes_out as f64 / ticks).into()),
+            ("client_results", run.client_results.into()),
+            ("epoch_notifies", run.epoch_notifies.into()),
+            ("us_per_tick", us_per_tick.into()),
+            (
+                "latency_us",
+                obj([
+                    ("p50", run.latency.p50_us().into()),
+                    ("p99", run.latency.p99_us().into()),
+                    ("max", run.latency.max_us().into()),
+                    ("mean", run.latency.mean_us().into()),
+                    ("samples", run.latency.count().into()),
+                ]),
+            ),
+        ]));
     }
 
     out.push_str(&format!(
@@ -194,5 +241,28 @@ pub fn e_net(effort: Effort) -> String {
          Byte counts are exact (counted by the server); results = clients x ticks;\n\
          notifies = one epoch push per live session at the delta epoch.\n",
     );
+
+    let snapshot = obj([
+        ("experiment", "e_net".into()),
+        (
+            "effort",
+            match effort {
+                Effort::Quick => "quick",
+                Effort::Full => "full",
+            }
+            .into(),
+        ),
+        ("clients", sc.clients.into()),
+        ("n", sc.n.into()),
+        ("k", sc.k.into()),
+        ("rho", sc.rho.into()),
+        ("ticks", sc.ticks.into()),
+        ("runs", Json::Arr(runs_json)),
+        (
+            "model_comm_objects_per_query_tick",
+            (model.total.comm_objects as f64 / query_ticks as f64).into(),
+        ),
+    ]);
+    out.push_str(&snapshot_status("e_net", &snapshot));
     out
 }

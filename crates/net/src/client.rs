@@ -1,20 +1,29 @@
-//! The blocking INSQ TCP client.
+//! The INSQ TCP client: a non-blocking core with blocking helpers on
+//! top.
 //!
-//! [`NetClient`] is a thin, synchronous library over one socket: frame
-//! in, frame out, with wire-byte accounting so callers (the `e_net`
-//! experiment) can report *measured* bytes per tick next to the paper's
-//! model-level communication counter. The space-typed helpers
-//! ([`NetClient::register`], [`NetClient::update`]) convert native
-//! positions through [`WireSpace`]; everything else speaks raw
-//! [`Message`]s.
+//! [`ClientCore`] is the event-driven half: a non-blocking socket, an
+//! incremental frame reassembler ([`crate::FrameBuf`]) and a bounded
+//! write buffer ([`crate::WriteBuf`]). [`ClientCore::try_send_update`]
+//! and [`ClientCore::poll_event`] never block, so thousands of client
+//! sessions can be driven from one thread and one `poll(2)` loop — the
+//! soak harness and the reactor fuzz tests do exactly that.
+//!
+//! [`NetClient`] is the original blocking convenience API
+//! (`register` / `update` / `next_knn`), re-expressed as thin waits
+//! around the core: block until the socket is writable, flush; block
+//! until readable, poll. It keeps wire-byte accounting so callers (the
+//! `e_net` experiment) can report *measured* bytes per tick next to the
+//! paper's model-level communication counter.
 
-use std::io::{self, BufReader};
+use std::io::{self, Read};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 
 use insq_server::Epoch;
 
+use crate::buffer::{FrameBuf, WriteBuf, READ_CHUNK};
 use crate::space::WireSpace;
-use crate::wire::{read_message, write_message, ErrorCode, Message, SpaceKind, WireOutcome};
+use crate::sys;
+use crate::wire::{ErrorCode, Message, SpaceKind, WireOutcome};
 
 /// Client-side protocol errors.
 #[derive(Debug)]
@@ -68,32 +77,223 @@ pub struct KnnUpdate {
     pub notified: Vec<u64>,
 }
 
-/// A blocking client session against a [`crate::NetServer`].
+/// A typed server frame, as surfaced by [`ClientCore::poll_event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// A kNN result for one tick.
+    Result {
+        /// The world epoch the result was computed against.
+        epoch: u64,
+        /// The kNN ids (wire ordinals), ascending by distance.
+        ids: Vec<u32>,
+        /// What the INS protocol had to do this tick.
+        outcome: WireOutcome,
+    },
+    /// The server published a new index epoch.
+    Epoch(u64),
+    /// The server rejected something; the session is about to close.
+    ServerError {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A client→server message arrived (protocol violation).
+    Unexpected(Message),
+    /// The server closed the stream.
+    Closed,
+}
+
+/// Bound on a client's outbound buffer: far more than any sane number
+/// of coalescing position updates, still finite.
+const CLIENT_WRITE_BUF: usize = 1 << 20;
+
+/// The non-blocking client core: one socket, zero blocking calls.
+///
+/// Sends queue into a bounded write buffer and flush opportunistically
+/// ([`ClientCore::try_send`] reports `WouldBlock` only if the buffer is
+/// full even after a flush attempt); receives reassemble frames
+/// incrementally and surface them as typed [`ClientEvent`]s. Callers
+/// multiplex many cores over [`crate::sys::poll`] using
+/// [`ClientCore::raw_fd`].
 #[derive(Debug)]
-pub struct NetClient {
+pub struct ClientCore {
     stream: TcpStream,
-    reader: BufReader<TcpStream>,
+    rbuf: FrameBuf,
+    wbuf: WriteBuf,
     bytes_out: u64,
     bytes_in: u64,
+    eof: bool,
+}
+
+impl ClientCore {
+    /// Connects and switches the socket to non-blocking mode.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ClientCore> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(ClientCore {
+            stream,
+            rbuf: FrameBuf::new(),
+            wbuf: WriteBuf::with_capacity(CLIENT_WRITE_BUF),
+            bytes_out: 0,
+            bytes_in: 0,
+            eof: false,
+        })
+    }
+
+    /// The raw descriptor, for multiplexing many cores over
+    /// [`crate::sys::poll`].
+    pub fn raw_fd(&self) -> sys::RawFd {
+        sys::raw_fd(&self.stream)
+    }
+
+    /// Queues a message and flushes what the socket takes right now.
+    /// `WouldBlock` means the write buffer is full even after flushing
+    /// — poll for writability and retry.
+    pub fn try_send(&mut self, msg: &Message) -> io::Result<()> {
+        let frame = msg.encode_frame();
+        if !self.wbuf.push(&frame) {
+            self.flush()?;
+            if !self.wbuf.push(&frame) {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+        }
+        self.flush()?;
+        Ok(())
+    }
+
+    /// Queues the next tick's position (the non-blocking
+    /// [`NetClient::update`]).
+    pub fn try_send_update<S: WireSpace>(&mut self, pos: S::Pos) -> io::Result<()> {
+        self.try_send(&Message::PositionUpdate {
+            pos: S::pos_to_wire(pos),
+        })
+    }
+
+    /// Writes as much queued output as the socket takes; `Ok(true)`
+    /// means the buffer is fully drained.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        self.bytes_out += self.wbuf.write_to(&mut self.stream)? as u64;
+        Ok(self.wbuf.is_empty())
+    }
+
+    /// Bytes queued and not yet written.
+    pub fn pending_out(&self) -> usize {
+        self.wbuf.pending()
+    }
+
+    /// Whether the server has closed its end of the stream.
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Decodes the next buffered frame, reading whatever the socket has
+    /// — never blocking. `Ok(None)` means no complete frame yet (poll
+    /// for readability); EOF is reported via [`ClientCore::is_eof`].
+    pub fn poll_message(&mut self) -> io::Result<Option<Message>> {
+        loop {
+            if let Some((msg, _)) = self.rbuf.next_message().map_err(io::Error::from)? {
+                return Ok(Some(msg));
+            }
+            if self.eof {
+                return Ok(None);
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    if !self.rbuf.at_frame_boundary() {
+                        return Err(io::ErrorKind::UnexpectedEof.into());
+                    }
+                    return Ok(None);
+                }
+                Ok(n) => {
+                    self.bytes_in += n as u64;
+                    self.rbuf.extend(&chunk[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`ClientCore::poll_message`] typed: `Ok(None)` means nothing to
+    /// surface yet; a clean EOF becomes [`ClientEvent::Closed`].
+    pub fn poll_event(&mut self) -> io::Result<Option<ClientEvent>> {
+        let event = match self.poll_message()? {
+            Some(Message::KnnResult {
+                epoch,
+                ids,
+                outcome,
+            }) => ClientEvent::Result {
+                epoch,
+                ids,
+                outcome,
+            },
+            Some(Message::EpochNotify { epoch }) => ClientEvent::Epoch(epoch),
+            Some(Message::Error { code, detail }) => ClientEvent::ServerError { code, detail },
+            Some(other) => ClientEvent::Unexpected(other),
+            None if self.eof => ClientEvent::Closed,
+            None => return Ok(None),
+        };
+        Ok(Some(event))
+    }
+
+    /// Half-closes the write side (after a graceful deregister).
+    pub fn shutdown_write(&mut self) -> io::Result<()> {
+        self.stream.shutdown(Shutdown::Write)
+    }
+
+    /// Wire bytes `(sent, received)` by this core so far.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        (self.bytes_out, self.bytes_in)
+    }
+}
+
+/// A blocking client session against a [`crate::NetServer`] — the
+/// original convenience API, re-expressed as readiness waits around a
+/// [`ClientCore`].
+#[derive(Debug)]
+pub struct NetClient {
+    core: ClientCore,
 }
 
 impl NetClient {
     /// Connects (no registration yet).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
         Ok(NetClient {
-            stream,
-            reader,
-            bytes_out: 0,
-            bytes_in: 0,
+            core: ClientCore::connect(addr)?,
         })
     }
 
-    /// Sends a raw protocol message.
+    /// The non-blocking core, for mixing blocking and event-driven use.
+    pub fn core(&mut self) -> &mut ClientCore {
+        &mut self.core
+    }
+
+    /// Unwraps into the non-blocking core.
+    pub fn into_core(self) -> ClientCore {
+        self.core
+    }
+
+    /// Sends a raw protocol message, blocking until it is fully on the
+    /// wire.
     pub fn send(&mut self, msg: &Message) -> io::Result<()> {
-        self.bytes_out += write_message(&mut self.stream, msg)? as u64;
+        loop {
+            match self.core.try_send(msg) {
+                Ok(()) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    sys::wait_writable(self.core.raw_fd())?;
+                    self.core.flush()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        while !self.core.flush()? {
+            sys::wait_writable(self.core.raw_fd())?;
+        }
         Ok(())
     }
 
@@ -135,17 +335,19 @@ impl NetClient {
     /// Closes the session cleanly.
     pub fn deregister(&mut self) -> io::Result<()> {
         self.send(&Message::Deregister)?;
-        self.stream.shutdown(Shutdown::Write)
+        self.core.shutdown_write()
     }
 
-    /// Receives the next server frame (`None` on clean EOF).
+    /// Receives the next server frame, blocking (`None` on clean EOF).
     pub fn recv(&mut self) -> io::Result<Option<Message>> {
-        match read_message(&mut self.reader)? {
-            Some((msg, n)) => {
-                self.bytes_in += n as u64;
-                Ok(Some(msg))
+        loop {
+            if let Some(msg) = self.core.poll_message()? {
+                return Ok(Some(msg));
             }
-            None => Ok(None),
+            if self.core.is_eof() {
+                return Ok(None);
+            }
+            sys::wait_readable(self.core.raw_fd())?;
         }
     }
 
@@ -190,6 +392,6 @@ impl NetClient {
 
     /// Wire bytes `(sent, received)` by this client so far.
     pub fn wire_bytes(&self) -> (u64, u64) {
-        (self.bytes_out, self.bytes_in)
+        self.core.wire_bytes()
     }
 }

@@ -15,24 +15,39 @@
 //! * [`WireSpace`] — wire conversions per [`insq_core::Space`]
 //!   (positions are validated against the served index; all three
 //!   in-tree spaces implement it).
-//! * [`NetServer`] — a multithreaded `TcpListener` frontend over an
-//!   epoch-versioned `World` + `FleetEngine`: sessions map 1:1 to
-//!   never-reused `QueryId`s, position updates batch per tick, results
-//!   and epoch-swap notifications are pushed back through bounded
-//!   per-session write queues, and shutdown is graceful.
-//! * [`NetClient`] — a blocking client library with wire-byte
-//!   accounting (the `e_net` experiment reports measured bytes/tick
-//!   next to the paper's `comm` counter).
+//! * [`NetServer`] — a **readiness-driven reactor** over an
+//!   epoch-versioned `World` + `FleetEngine`: one event loop on
+//!   non-blocking sockets (an in-tree `poll(2)` wrapper, [`sys`] — same
+//!   no-deps discipline as `crates/compat/`) drives accept → decode →
+//!   batch → tick → push. Sessions map 1:1 to never-reused `QueryId`s;
+//!   inbound frames reassemble incrementally ([`FrameBuf`]) across
+//!   arbitrary packet boundaries; results and epoch-swap notifications
+//!   push through bounded per-session write buffers ([`WriteBuf`]) —
+//!   so per-session memory is bounded and live sessions are limited by
+//!   file descriptors, not threads. *When* the fleet ticks is an
+//!   explicit `TickPolicy` ([`NetServerConfig::policy`]): `Barrier`
+//!   (lockstep, deterministic) or `Deadline` (event-driven — stale
+//!   sessions are re-served their last result instead of stalling the
+//!   fleet).
+//! * [`ClientCore`] / [`NetClient`] — the client library, split into a
+//!   non-blocking core (`try_send_update` / `poll_event` returning
+//!   typed [`ClientEvent`]s, so one thread can drive thousands of
+//!   sessions) and the blocking convenience API re-expressed on top,
+//!   with wire-byte accounting (the `e_net` experiment reports measured
+//!   bytes/tick next to the paper's `comm` counter).
 //!
 //! ## Determinism
 //!
-//! The server ticks the whole fleet only when every live session has a
-//! fresh position, through the same deterministic sharded engine as the
-//! in-process path — so per-session result streams over real TCP are
-//! **bit-identical** to `FleetEngine::tick_all` fed the same positions,
-//! across delta-epoch swaps and at any worker-thread count
-//! (`tests/loopback_soak.rs` asserts exactly this, for the Euclidean
-//! and road-network spaces).
+//! Under the default `Barrier` policy the reactor ticks the whole fleet
+//! only when every live session has a fresh position, through the same
+//! deterministic sharded engine as the in-process path — so per-session
+//! result streams over real TCP are **bit-identical** to
+//! `FleetEngine::tick_all` fed the same positions, across delta-epoch
+//! swaps and at any worker-thread count (`tests/loopback_soak.rs`
+//! asserts exactly this, for the Euclidean and road-network spaces).
+//! `Deadline` trades that lockstep for liveness; its semantics are
+//! pinned by the engine-level suite in
+//! `crates/server/tests/tick_policy.rs`.
 //!
 //! ## Quick start
 //!
@@ -65,14 +80,20 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `sys` module opts back in for the two
+// hand-audited FFI calls (`poll`, `get/setrlimit`) behind the reactor.
+// Everything else in the crate still refuses unsafe code.
+#![deny(unsafe_code)]
 
+pub mod buffer;
 pub mod client;
 pub mod server;
 pub mod space;
+pub mod sys;
 pub mod wire;
 
-pub use client::{KnnUpdate, NetClient, NetError};
+pub use buffer::{FrameBuf, WriteBuf};
+pub use client::{ClientCore, ClientEvent, KnnUpdate, NetClient, NetError};
 pub use server::{NetServer, NetServerConfig};
 pub use space::{PosError, WireSpace};
 pub use wire::{

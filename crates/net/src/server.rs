@@ -1,74 +1,107 @@
-//! The INSQ TCP server: sessions in front of a [`World`] +
-//! [`FleetEngine`].
+//! The INSQ TCP server: an event-driven reactor in front of a
+//! [`World`] + [`FleetEngine`].
 //!
-//! [`NetServer`] owns the epoch-versioned world and the fleet engine and
-//! serves them over a multithreaded `std::net::TcpListener`:
+//! [`NetServer`] owns the epoch-versioned world and the fleet engine
+//! and serves them from **one readiness-driven event loop** over
+//! non-blocking sockets (an in-tree `poll(2)` wrapper, [`crate::sys`])
+//! — not a thread per connection, so live sessions are bounded by file
+//! descriptors, not threads:
 //!
 //! * each accepted connection becomes a **session** after a valid
 //!   `Register` frame — one [`SpaceQuery`] in the engine, mapped 1:1 to
-//!   a [`QueryId`] (ids are never reused, so a dropped session can never
-//!   alias a live one);
-//! * position updates are **batched per tick**: the tick loop waits
-//!   until every live session has a fresh position (updates between
-//!   ticks coalesce, last one wins), then runs one deterministic
-//!   [`FleetEngine::tick_all_outcomes`] over the whole fleet — so the
-//!   per-session result streams are bit-identical to an in-process run
-//!   fed the same positions (`tests/loopback_soak.rs` proves this across
-//!   a delta-epoch swap at multiple thread counts);
-//! * results are pushed back through **bounded per-session write
-//!   queues** drained by one writer thread per session. A session whose
-//!   queue overflows (slow consumer) is disconnected rather than letting
-//!   it stall the fleet; a disconnect — graceful `Deregister`, dropped
-//!   socket, or overflow — deregisters the query and the remaining
-//!   sessions keep ticking undisturbed;
+//!   a [`QueryId`] (ids are never reused, so a dropped session can
+//!   never alias a live one). Inbound bytes are reassembled
+//!   incrementally ([`crate::FrameBuf`]) — a frame may arrive split
+//!   across any number of readiness wakeups;
+//! * the loop drives accept → decode → batch → tick → push. When to
+//!   tick is an explicit [`TickPolicy`] ([`NetServerConfig::policy`]):
+//!   under `Barrier` the fleet advances only when every live session
+//!   has a fresh position (the deterministic lockstep spec — result
+//!   streams are bit-identical to [`FleetEngine::tick_all`] fed the
+//!   same positions, which `tests/loopback_soak.rs` proves across a
+//!   delta-epoch swap); under `Deadline { max_staleness }` the fleet
+//!   advances on whatever positions have arrived (paced by
+//!   [`NetServerConfig::tick_interval`]), **re-serving** each stale
+//!   session its cached last result and force-ticking any session held
+//!   past `max_staleness` — one slow phone no longer stalls the fleet;
+//! * results are pushed through **bounded per-session write buffers**
+//!   ([`crate::WriteBuf`], [`NetServerConfig::write_buf`] bytes) with
+//!   partial-write continuation under `POLLOUT`. A session whose
+//!   buffer would overflow (slow consumer) is disconnected rather than
+//!   growing without bound; a disconnect — graceful `Deregister`,
+//!   dropped socket, or overflow — deregisters the query and the
+//!   remaining sessions keep ticking undisturbed;
 //! * epoch swaps ([`World::publish`] / [`World::apply`] on
-//!   [`NetServer::world`]) are **pushed**: the first tick after a swap
-//!   sends each session an `EpochNotify` before its first result of the
-//!   new epoch.
+//!   [`NetServer::world`]) are **pushed**: each session gets an
+//!   `EpochNotify` before its first result computed against the new
+//!   epoch (re-served stale results are from the old epoch and carry
+//!   no notify — the session's query has not rebound yet).
 //!
-//! Everything (engine + session table) lives behind one mutex with one
-//! condvar — readers register/update under it, the tick loop batches
-//! and ticks under it — so there is no lock-order graph to get wrong,
-//! and the engine's own scoped-thread pool still parallelises the tick
-//! itself.
+//! The engine lives behind a plain mutex: the reactor thread locks it
+//! to register/deregister/tick, the owner's API calls ([`stats`],
+//! [`query_ids`]) lock it to read — there is no condvar and no
+//! lock-order graph, and the engine's own scoped-thread pool still
+//! parallelises the tick itself.
+//!
+//! [`stats`]: NetServer::stats
+//! [`query_ids`]: NetServer::query_ids
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, Write};
+use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use insq_core::InsConfig;
-use insq_server::{FleetConfig, FleetEngine, FleetStats, QueryId, SpaceQuery, World};
+use insq_server::{
+    Epoch, FleetConfig, FleetEngine, FleetStats, QueryId, SpaceQuery, TickDisposition, TickPolicy,
+    TickPos, World,
+};
 
+use crate::buffer::{FrameBuf, WriteBuf, READ_CHUNK};
 use crate::space::WireSpace;
-use crate::wire::{read_message, write_message, ErrorCode, Message};
+use crate::sys::{self, PollFd};
+use crate::wire::{ErrorCode, Message};
 
 /// Configuration of a [`NetServer`].
 #[derive(Debug, Clone, Copy)]
 pub struct NetServerConfig {
     /// Shard/worker configuration of the underlying [`FleetEngine`].
     pub fleet: FleetConfig,
+    /// When the reactor ticks the fleet. [`TickPolicy::Barrier`] (the
+    /// default) is the deterministic lockstep spec;
+    /// [`TickPolicy::Deadline`] is the event-driven mode.
+    pub policy: TickPolicy,
     /// The first tick fires only once this many sessions have ever
     /// registered (a start barrier, so a fleet connecting one by one is
     /// ticked as one batch from tick 0). `0`/`1` means tick as soon as
     /// any session is ready.
     pub min_clients: usize,
-    /// Depth of each session's bounded write queue (messages). A
-    /// session that falls this far behind is disconnected instead of
-    /// stalling the fleet.
-    pub write_queue: usize,
+    /// Byte bound of each session's outbound write buffer (clamped up
+    /// so one maximal frame always fits). A session that falls this far
+    /// behind is disconnected instead of growing without bound.
+    pub write_buf: usize,
+    /// Under [`TickPolicy::Deadline`], how long the reactor batches
+    /// freshly arrived positions before ticking a partially fresh fleet
+    /// (a fully fresh fleet ticks immediately). Ignored under
+    /// `Barrier`.
+    pub tick_interval: Duration,
+    /// Hard cap on concurrent connections; beyond it the reactor stops
+    /// accepting until a session closes (`0` means no cap).
+    pub max_sessions: usize,
 }
 
 impl Default for NetServerConfig {
     fn default() -> NetServerConfig {
         NetServerConfig {
             fleet: FleetConfig::default(),
+            policy: TickPolicy::Barrier,
             min_clients: 1,
-            write_queue: 64,
+            write_buf: 64 * 1024,
+            tick_interval: Duration::from_millis(5),
+            max_sessions: 0,
         }
     }
 }
@@ -81,51 +114,32 @@ impl NetServerConfig {
             ..NetServerConfig::default()
         }
     }
+
+    /// A configuration serving under the given [`TickPolicy`].
+    pub fn with_policy(policy: TickPolicy) -> NetServerConfig {
+        NetServerConfig {
+            policy,
+            ..NetServerConfig::default()
+        }
+    }
 }
 
-/// One live session: the engine-side state of a connected client.
-struct Session<S: WireSpace> {
-    /// The position for the next tick, if the client has sent one since
-    /// the last tick (several coalesce; the last one wins).
-    pending: Option<S::Pos>,
-    /// The bounded write queue drained by this session's writer thread.
-    tx: SyncSender<Message>,
-    /// The epoch this session last saw (bind epoch at registration,
-    /// then the epoch of every pushed notify/result).
-    last_epoch: insq_server::Epoch,
-}
-
-/// Everything the mutex protects: the engine and the session table are
-/// updated together, so their invariant — engine queries ⟺ sessions,
-/// 1:1 by [`QueryId`] — holds at every lock release.
-struct State<S: WireSpace> {
-    engine: FleetEngine<S::Index, SpaceQuery<S>>,
-    sessions: HashMap<u64, Session<S>>,
-    /// Total registrations over the server's lifetime (the
-    /// `min_clients` start barrier counts these, not live sessions).
-    registered_ever: u64,
-    /// Raw connection handles (keyed by an accept counter), used to
-    /// unblock reader threads at shutdown.
-    conns: HashMap<u64, TcpStream>,
-    next_conn: u64,
-    /// Connection-thread handles, joined at shutdown.
-    threads: Vec<JoinHandle<()>>,
-}
-
+/// State shared between the reactor thread and the owner's API calls.
 struct Shared<S: WireSpace> {
     world: Arc<World<S::Index>>,
-    state: Mutex<State<S>>,
-    wake: Condvar,
-    shutdown: AtomicBool,
+    engine: Mutex<FleetEngine<S::Index, SpaceQuery<S>>>,
     cfg: NetServerConfig,
+    shutdown: AtomicBool,
     ticks: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    live: AtomicUsize,
+    buf_high_water: AtomicU64,
 }
 
 impl<S: WireSpace> Shared<S> {
-    fn lock(&self) -> MutexGuard<'_, State<S>> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn engine(&self) -> MutexGuard<'_, FleetEngine<S::Index, SpaceQuery<S>>> {
+        self.engine.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -134,8 +148,7 @@ impl<S: WireSpace> Shared<S> {
 pub struct NetServer<S: WireSpace> {
     shared: Arc<Shared<S>>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
-    ticker: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl<S: WireSpace> std::fmt::Debug for NetServer<S> {
@@ -149,8 +162,8 @@ impl<S: WireSpace> std::fmt::Debug for NetServer<S> {
 }
 
 impl<S: WireSpace> NetServer<S> {
-    /// Binds a listener and starts serving `world` (accept thread + tick
-    /// thread start immediately). Bind to port 0 to let the OS pick.
+    /// Binds a listener and starts serving `world` (the reactor thread
+    /// starts immediately). Bind to port 0 to let the OS pick.
     pub fn bind(
         addr: impl ToSocketAddrs,
         world: Arc<World<S::Index>>,
@@ -162,34 +175,23 @@ impl<S: WireSpace> NetServer<S> {
         let engine = FleetEngine::new(Arc::clone(&world), cfg.fleet);
         let shared = Arc::new(Shared {
             world,
-            state: Mutex::new(State {
-                engine,
-                sessions: HashMap::new(),
-                registered_ever: 0,
-                conns: HashMap::new(),
-                next_conn: 0,
-                threads: Vec::new(),
-            }),
-            wake: Condvar::new(),
-            shutdown: AtomicBool::new(false),
+            engine: Mutex::new(engine),
             cfg,
+            shutdown: AtomicBool::new(false),
             ticks: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+            buf_high_water: AtomicU64::new(0),
         });
-        let accept = {
+        let reactor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(shared, listener))
-        };
-        let ticker = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || tick_loop(shared))
+            std::thread::spawn(move || Reactor::new(shared, listener).run())
         };
         Ok(NetServer {
             shared,
             addr: local,
-            accept: Some(accept),
-            ticker: Some(ticker),
+            reactor: Some(reactor),
         })
     }
 
@@ -199,24 +201,24 @@ impl<S: WireSpace> NetServer<S> {
     }
 
     /// The served world — publish or apply epochs through this handle;
-    /// sessions are notified at their next tick.
+    /// sessions are notified at their next result of the new epoch.
     pub fn world(&self) -> &Arc<World<S::Index>> {
         &self.shared.world
     }
 
     /// Live (registered, connected) sessions.
     pub fn live_sessions(&self) -> usize {
-        self.shared.lock().sessions.len()
+        self.shared.live.load(Ordering::Relaxed)
     }
 
     /// The ids of all live queries, ascending — 1:1 with sessions.
     pub fn query_ids(&self) -> Vec<QueryId> {
-        self.shared.lock().engine.ids()
+        self.shared.engine().ids()
     }
 
     /// Aggregated statistics of the underlying fleet engine.
     pub fn stats(&self) -> FleetStats {
-        self.shared.lock().engine.stats()
+        self.shared.engine().stats()
     }
 
     /// Fleet ticks completed since the server started.
@@ -232,38 +234,25 @@ impl<S: WireSpace> NetServer<S> {
         )
     }
 
-    /// Stops accepting, disconnects every session, and joins all server
-    /// threads. Called automatically on drop; calling it explicitly
-    /// surfaces the join points in the caller's control flow.
+    /// The largest read+write buffer footprint any single session has
+    /// reached so far, in bytes — the soak harness asserts this stays
+    /// bounded at 10k+ sessions.
+    pub fn buffer_high_water(&self) -> u64 {
+        self.shared.buf_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, disconnects every session, and joins the
+    /// reactor. Called automatically on drop; calling it explicitly
+    /// surfaces the join point in the caller's control flow.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        // The flag is flipped and the condvar notified while holding the
-        // state mutex: the tick loop checks the flag under the same
-        // mutex before waiting, so it is either before its check (and
-        // will see the flag) or already waiting (and gets the notify) —
-        // never in between losing the wakeup.
-        {
-            let st = self.shared.lock();
-            self.shared.shutdown.store(true, Ordering::SeqCst);
-            self.shared.wake.notify_all();
-            // Unblock every reader thread (registered or not).
-            for conn in st.conns.values() {
-                let _ = conn.shutdown(Shutdown::Both);
-            }
-        }
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.ticker.take() {
-            let _ = h.join();
-        }
-        // Connection threads observe the closed sockets and finish their
-        // cleanup; the accept loop has stopped, so no new ones appear.
-        let threads = std::mem::take(&mut self.shared.lock().threads);
-        for h in threads {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The reactor's poll wakes within its timeout slice and
+        // observes the flag; no pipe trick needed at these latencies.
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
     }
@@ -277,323 +266,536 @@ impl<S: WireSpace> Drop for NetServer<S> {
     }
 }
 
-fn accept_loop<S: WireSpace>(shared: Arc<Shared<S>>, listener: TcpListener) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                // On some platforms (BSD-derived, Windows) accepted
-                // sockets inherit the listener's non-blocking mode; the
-                // per-connection reader/writer threads want blocking
-                // I/O.
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                let _ = stream.set_nodelay(true);
-                let Ok(raw) = stream.try_clone() else {
-                    continue;
-                };
-                let mut st = shared.lock();
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let conn_id = st.next_conn;
-                st.next_conn += 1;
-                st.conns.insert(conn_id, raw);
-                let handle = {
-                    let shared = Arc::clone(&shared);
-                    std::thread::spawn(move || serve_conn(shared, stream, conn_id))
-                };
-                st.threads.push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+/// One connection's reactor-side state.
+struct Conn<S: WireSpace> {
+    stream: TcpStream,
+    rbuf: FrameBuf,
+    wbuf: WriteBuf,
+    /// `Some` once the session registered (1:1 with an engine query).
+    qid: Option<QueryId>,
+    /// A fresh position received since the last tick (several coalesce;
+    /// the last one wins).
+    pending: Option<S::Pos>,
+    /// The last position this session ever supplied — what a deadline
+    /// tick holds a stale query at.
+    last_pos: Option<S::Pos>,
+    /// The encoded frame of the last result pushed, re-served verbatim
+    /// when a deadline tick leaves this session stale.
+    last_result: Option<Vec<u8>>,
+    /// The epoch this session last saw in a pushed result.
+    last_epoch: Epoch,
+    /// Half-closed: no more reads; flush `wbuf`, then drop the socket.
+    closing: bool,
+}
+
+/// What a poll slot refers to.
+#[derive(Clone, Copy)]
+enum Target {
+    Listener,
+    Conn(usize),
+}
+
+/// How many [`READ_CHUNK`]s one session may consume per wakeup before
+/// yielding to its peers (level-triggered poll re-reports the rest).
+const READS_PER_WAKEUP: usize = 4;
+
+/// The single-threaded event loop: accept → decode → batch → tick →
+/// push, all driven by `poll(2)` readiness.
+struct Reactor<S: WireSpace> {
+    shared: Arc<Shared<S>>,
+    listener: TcpListener,
+    conns: Vec<Option<Conn<S>>>,
+    free: Vec<usize>,
+    /// Registered sessions: query id → conn slot.
+    by_qid: HashMap<u64, usize>,
+    registered_ever: u64,
+    last_tick: Instant,
+    pollfds: Vec<PollFd>,
+    targets: Vec<Target>,
+    scratch: Vec<u8>,
+}
+
+impl<S: WireSpace> Reactor<S> {
+    fn new(shared: Arc<Shared<S>>, listener: TcpListener) -> Reactor<S> {
+        Reactor {
+            shared,
+            listener,
+            conns: Vec::new(),
+            free: Vec::new(),
+            by_qid: HashMap::new(),
+            registered_ever: 0,
+            last_tick: Instant::now(),
+            pollfds: Vec::new(),
+            targets: Vec::new(),
+            scratch: vec![0u8; READ_CHUNK],
         }
     }
-}
 
-/// Sends a final error frame directly on `stream` (best effort — the
-/// peer may already be gone).
-fn send_error(stream: &mut TcpStream, code: ErrorCode, detail: &str) {
-    let msg = Message::Error {
-        code,
-        detail: detail.to_string(),
-    };
-    let _ = write_message(stream, &msg);
-    let _ = stream.flush();
-}
-
-/// The per-connection reader: handshake, then the position-update loop.
-fn serve_conn<S: WireSpace>(shared: Arc<Shared<S>>, mut stream: TcpStream, conn_id: u64) {
-    let registered = handshake_and_serve(&shared, &mut stream);
-    // Cleanup: drop the session (if one was registered) and the raw
-    // connection handle; wake the tick loop so the barrier stops
-    // counting this session.
-    {
-        let mut st = shared.lock();
-        st.conns.remove(&conn_id);
-        if let Some((qid, writer)) = registered {
-            st.sessions.remove(&qid.0);
-            st.engine.deregister(qid);
-            drop(st);
-            let _ = stream.shutdown(Shutdown::Both);
-            let _ = writer.join();
-        }
-    }
-    shared.wake.notify_all();
-}
-
-/// Runs a connection to completion. Returns the session's query id and
-/// writer-thread handle if registration succeeded (the caller cleans
-/// them up).
-fn handshake_and_serve<S: WireSpace>(
-    shared: &Arc<Shared<S>>,
-    stream: &mut TcpStream,
-) -> Option<(QueryId, JoinHandle<()>)> {
-    let Ok(read_half) = stream.try_clone() else {
-        return None;
-    };
-    let mut reader = BufReader::new(read_half);
-
-    // Handshake: the first frame must be a valid Register.
-    let (k, rho, wire_pos) = match read_message(&mut reader) {
-        Ok(Some((Message::Register { space, k, rho, pos }, n))) => {
-            shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-            if space != S::KIND {
-                send_error(
-                    stream,
-                    ErrorCode::SpaceMismatch,
-                    &format!("this server serves {:?}", S::KIND),
-                );
-                return None;
+    fn run(mut self) {
+        let poll_slice = self
+            .shared
+            .cfg
+            .tick_interval
+            .max(Duration::from_millis(1))
+            .min(Duration::from_millis(10));
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.build_pollfds();
+            if sys::poll(&mut self.pollfds, Some(poll_slice)).is_err() {
+                // Transient poll failure: pace and retry (shutdown is
+                // still observed at the loop head).
+                std::thread::sleep(poll_slice);
+                continue;
             }
-            (k, rho, pos)
-        }
-        Ok(Some((_, _))) => {
-            send_error(
-                stream,
-                ErrorCode::NotRegistered,
-                "first frame must register",
-            );
-            return None;
-        }
-        Ok(None) => return None,
-        Err(e) => {
-            send_error(stream, ErrorCode::Malformed, &e.to_string());
-            return None;
-        }
-    };
-    let (_, snapshot) = shared.world.snapshot();
-    let pos = match S::pos_from_wire(&snapshot, wire_pos) {
-        Ok(p) => p,
-        Err(e) => {
-            send_error(stream, ErrorCode::BadPosition, &e.to_string());
-            return None;
-        }
-    };
-    let query = match SpaceQuery::<S>::new(&shared.world, InsConfig::new(k as usize, rho)) {
-        Ok(q) => q,
-        Err(e) => {
-            send_error(stream, ErrorCode::BadConfig, &e.to_string());
-            return None;
-        }
-    };
-
-    // Register engine query + session atomically.
-    let (qid, rx) = {
-        let mut st = shared.lock();
-        if shared.shutdown.load(Ordering::SeqCst) {
-            send_error(stream, ErrorCode::Overloaded, "server shutting down");
-            return None;
-        }
-        let qid = st.engine.register(query);
-        let bound = st
-            .engine
-            .query(qid)
-            .map(insq_server::FleetQuery::bound_epoch)
-            .unwrap_or_default();
-        let (tx, rx) = sync_channel::<Message>(shared.cfg.write_queue.max(1));
-        st.sessions.insert(
-            qid.0,
-            Session {
-                pending: Some(pos),
-                tx,
-                last_epoch: bound,
-            },
-        );
-        st.registered_ever += 1;
-        (qid, rx)
-    };
-    shared.wake.notify_all();
-
-    // Writer: drains the bounded queue onto the socket until the session
-    // drops its sender or the peer goes away.
-    let writer = {
-        let shared = Arc::clone(shared);
-        let Ok(mut write_half) = stream.try_clone() else {
-            // Can't write results — undo the registration.
-            let mut st = shared.lock();
-            st.sessions.remove(&qid.0);
-            st.engine.deregister(qid);
-            return None;
-        };
-        std::thread::spawn(move || {
-            while let Ok(msg) = rx.recv() {
-                match write_message(&mut write_half, &msg) {
-                    Ok(n) => {
-                        shared.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+            for at in 0..self.pollfds.len() {
+                let fd = self.pollfds[at];
+                if !fd.ready() {
+                    continue;
+                }
+                match self.targets[at] {
+                    Target::Listener => self.accept_ready(),
+                    Target::Conn(slot) => {
+                        if fd.readable() {
+                            self.read_ready(slot);
+                        }
+                        if fd.writable() {
+                            self.write_ready(slot);
+                        }
                     }
-                    Err(_) => break,
                 }
             }
-            let _ = write_half.shutdown(Shutdown::Both);
-        })
-    };
+            self.maybe_tick();
+        }
+        self.close_all();
+    }
 
-    // Update loop.
-    loop {
-        match read_message(&mut reader) {
-            Ok(Some((Message::PositionUpdate { pos }, n))) => {
-                shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-                let (_, snapshot) = shared.world.snapshot();
+    /// Level-triggered interest set for this wakeup.
+    fn build_pollfds(&mut self) {
+        self.pollfds.clear();
+        self.targets.clear();
+        let cap = self.shared.cfg.max_sessions;
+        let open = self.conns.len() - self.free.len();
+        if cap == 0 || open < cap {
+            self.pollfds
+                .push(PollFd::new(sys::raw_fd(&self.listener), true, false));
+            self.targets.push(Target::Listener);
+        }
+        let mut high_water = 0u64;
+        for (slot, conn) in self.conns.iter().enumerate() {
+            let Some(conn) = conn else { continue };
+            high_water = high_water.max((conn.rbuf.high_water() + conn.wbuf.high_water()) as u64);
+            let read = !conn.closing;
+            let write = !conn.wbuf.is_empty();
+            if read || write {
+                self.pollfds
+                    .push(PollFd::new(sys::raw_fd(&conn.stream), read, write));
+                self.targets.push(Target::Conn(slot));
+            }
+        }
+        if high_water > 0 {
+            self.shared
+                .buf_high_water
+                .fetch_max(high_water, Ordering::Relaxed);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let cap = self.shared.cfg.max_sessions;
+            if cap != 0 && self.conns.len() - self.free.len() >= cap {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn = Conn {
+                        stream,
+                        rbuf: FrameBuf::new(),
+                        wbuf: WriteBuf::with_capacity(self.shared.cfg.write_buf),
+                        qid: None,
+                        pending: None,
+                        last_pos: None,
+                        last_result: None,
+                        last_epoch: Epoch::default(),
+                        closing: false,
+                    };
+                    match self.free.pop() {
+                        Some(slot) => self.conns[slot] = Some(conn),
+                        None => self.conns.push(Some(conn)),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drains the socket (bounded per wakeup) and processes every
+    /// complete frame.
+    fn read_ready(&mut self, slot: usize) {
+        for _ in 0..READS_PER_WAKEUP {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.closing {
+                return;
+            }
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // EOF: equivalent to a graceful deregister when at
+                    // a frame boundary; either way the session ends.
+                    self.finish(slot);
+                    return;
+                }
+                Ok(n) => {
+                    self.shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                    let conn = self.conns[slot].as_mut().expect("checked above");
+                    conn.rbuf.extend(&self.scratch[..n]);
+                    if !self.drain_messages(slot) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_conn(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes and handles every complete frame buffered on `slot`.
+    /// Returns `false` once the connection is closing or gone.
+    fn drain_messages(&mut self, slot: usize) -> bool {
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return false;
+            };
+            if conn.closing {
+                return false;
+            }
+            match conn.rbuf.next_message() {
+                Ok(Some((msg, _n))) => {
+                    if !self.handle_message(slot, msg) {
+                        return false;
+                    }
+                }
+                Ok(None) => return true,
+                Err(e) => {
+                    // Framing is lost — no recovery beyond this frame.
+                    self.fail(slot, ErrorCode::Malformed, &e.to_string());
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Handles one decoded client frame. Returns `false` once the
+    /// connection is closing or gone.
+    fn handle_message(&mut self, slot: usize, msg: Message) -> bool {
+        let registered = self.conns[slot].as_ref().is_some_and(|c| c.qid.is_some());
+        match (registered, msg) {
+            (false, Message::Register { space, k, rho, pos }) => {
+                if space != S::KIND {
+                    self.fail(
+                        slot,
+                        ErrorCode::SpaceMismatch,
+                        &format!("this server serves {:?}", S::KIND),
+                    );
+                    return false;
+                }
+                let (_, snapshot) = self.shared.world.snapshot();
+                let pos = match S::pos_from_wire(&snapshot, pos) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.fail(slot, ErrorCode::BadPosition, &e.to_string());
+                        return false;
+                    }
+                };
+                let query =
+                    match SpaceQuery::<S>::new(&self.shared.world, InsConfig::new(k as usize, rho))
+                    {
+                        Ok(q) => q,
+                        Err(e) => {
+                            self.fail(slot, ErrorCode::BadConfig, &e.to_string());
+                            return false;
+                        }
+                    };
+                let (qid, bound) = {
+                    let mut engine = self.shared.engine();
+                    let qid = engine.register(query);
+                    let bound = engine
+                        .query(qid)
+                        .map(insq_server::FleetQuery::bound_epoch)
+                        .unwrap_or_default();
+                    (qid, bound)
+                };
+                let conn = self.conns[slot].as_mut().expect("checked above");
+                conn.qid = Some(qid);
+                conn.pending = Some(pos);
+                conn.last_pos = Some(pos);
+                conn.last_epoch = bound;
+                self.by_qid.insert(qid.0, slot);
+                self.registered_ever += 1;
+                self.shared.live.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            (false, _) => {
+                self.fail(slot, ErrorCode::NotRegistered, "first frame must register");
+                false
+            }
+            (true, Message::PositionUpdate { pos }) => {
+                let (_, snapshot) = self.shared.world.snapshot();
                 match S::pos_from_wire(&snapshot, pos) {
                     Ok(p) => {
-                        let mut st = shared.lock();
-                        if let Some(sess) = st.sessions.get_mut(&qid.0) {
-                            sess.pending = Some(p);
-                        }
-                        drop(st);
-                        shared.wake.notify_all();
+                        let conn = self.conns[slot].as_mut().expect("checked above");
+                        conn.pending = Some(p);
+                        true
                     }
                     Err(e) => {
-                        // An unusable position would stall the whole
-                        // fleet at the tick barrier — close the session.
-                        send_error(stream, ErrorCode::BadPosition, &e.to_string());
-                        break;
+                        // An unusable position would hold the session
+                        // at the barrier forever — close it.
+                        self.fail(slot, ErrorCode::BadPosition, &e.to_string());
+                        false
                     }
                 }
             }
-            Ok(Some((Message::Deregister, n))) => {
-                shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-                break;
+            (true, Message::Deregister) => {
+                self.finish(slot);
+                false
             }
-            Ok(Some((Message::Register { .. }, n))) => {
-                shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-                send_error(
-                    stream,
+            (true, Message::Register { .. }) => {
+                self.fail(
+                    slot,
                     ErrorCode::AlreadyRegistered,
                     "session already registered",
                 );
-                break;
+                false
             }
-            Ok(Some((_, n))) => {
-                shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
-                send_error(stream, ErrorCode::Malformed, "server-bound frame expected");
-                break;
+            (true, _) => {
+                self.fail(slot, ErrorCode::Malformed, "server-bound frame expected");
+                false
             }
-            Ok(None) => break, // clean EOF
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                send_error(stream, ErrorCode::Malformed, &e.to_string());
-                break;
-            }
-            Err(_) => break, // connection reset / shutdown
         }
     }
-    Some((qid, writer))
-}
 
-/// The tick loop: waits until every live session has a fresh position
-/// (and the start barrier is met), then runs one deterministic engine
-/// tick and pushes each session its result.
-fn tick_loop<S: WireSpace>(shared: Arc<Shared<S>>) {
-    let mut outcomes: Vec<(QueryId, insq_core::TickOutcome)> = Vec::new();
-    loop {
-        let mut st = shared.lock();
-        loop {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            let ready = !st.sessions.is_empty()
-                && st.registered_ever >= shared.cfg.min_clients as u64
-                && st.sessions.values().all(|s| s.pending.is_some());
-            if ready {
-                break;
-            }
-            st = shared.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
-        }
-
-        // Batch: take every pending position. Registration and
-        // deregistration lock the same mutex, so the batch covers the
-        // engine's query set exactly.
-        let state = &mut *st;
-        let batch: HashMap<u64, S::Pos> = state
-            .sessions
-            .iter_mut()
-            .map(|(&id, sess)| (id, sess.pending.take().expect("barrier checked")))
-            .collect();
-        let summary = state
-            .engine
-            .tick_all_outcomes(|id| batch[&id.0], &mut outcomes);
-        let epoch = summary.epoch;
-
-        // Pair each outcome with its query's kNN in one O(n) pass:
-        // `for_each_query` visits in exactly the (deterministic) shard
-        // order `tick_all_outcomes` reported in, and nothing mutated the
-        // engine in between (we hold the state mutex throughout).
-        let mut results: Vec<(QueryId, Message)> = Vec::with_capacity(outcomes.len());
-        let mut at = 0usize;
-        state.engine.for_each_query(|qid, q| {
-            use insq_core::MovingKnn;
-            let (oid, outcome) = outcomes[at];
-            at += 1;
-            assert_eq!(oid, qid, "outcome order matches query order");
-            let ids: Vec<u32> = q.current_knn().into_iter().map(S::id_to_wire).collect();
-            results.push((
-                qid,
-                Message::KnnResult {
-                    epoch: epoch.0,
-                    ids,
-                    outcome: outcome.into(),
-                },
-            ));
-        });
-
-        // Push per-session results (epoch notify first where due); a
-        // full or closed queue drops the session silently — its writer
-        // may be wedged mid-frame, so no error frame can be interleaved.
-        let mut dead: Vec<QueryId> = Vec::new();
-        for (qid, result) in results {
-            let Some(sess) = state.sessions.get_mut(&qid.0) else {
-                continue;
-            };
-            if sess.last_epoch != epoch {
-                sess.last_epoch = epoch;
-                if !push(&sess.tx, Message::EpochNotify { epoch: epoch.0 }) {
-                    dead.push(qid);
-                    continue;
+    /// Flushes what the socket will take; drops the connection on a
+    /// write error or once a closing session has fully drained.
+    fn write_ready(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        match conn.wbuf.write_to(&mut conn.stream) {
+            Ok(n) => {
+                self.shared.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                let conn = self.conns[slot].as_mut().expect("checked above");
+                if conn.closing && conn.wbuf.is_empty() {
+                    self.drop_conn(slot);
                 }
             }
-            if !push(&sess.tx, result) {
-                dead.push(qid);
+            Err(_) => self.drop_conn(slot),
+        }
+    }
+
+    /// Ends a session with a final error frame (best effort: queued
+    /// behind whatever is pending, flushed, then closed).
+    fn fail(&mut self, slot: usize, code: ErrorCode, detail: &str) {
+        let frame = Message::Error {
+            code,
+            detail: detail.to_string(),
+        }
+        .encode_frame();
+        self.deregister_slot(slot);
+        if let Some(conn) = self.conns[slot].as_mut() {
+            let _ = conn.wbuf.push(&frame);
+            conn.closing = true;
+        }
+        self.write_ready(slot);
+    }
+
+    /// Ends a session gracefully (deregister/EOF): no error frame,
+    /// pending results still flush.
+    fn finish(&mut self, slot: usize) {
+        self.deregister_slot(slot);
+        if let Some(conn) = self.conns[slot].as_mut() {
+            conn.closing = true;
+            if conn.wbuf.is_empty() {
+                self.drop_conn(slot);
+                return;
             }
         }
-        for qid in dead {
-            // Dropping the sender ends the writer thread; the reader
-            // notices the socket close and finishes its own cleanup.
-            state.sessions.remove(&qid.0);
-            state.engine.deregister(qid);
-        }
-        shared.ticks.fetch_add(1, Ordering::Relaxed);
-        drop(st);
+        self.write_ready(slot);
     }
-}
 
-/// Non-blocking bounded-queue send; `false` means the session is dead
-/// (queue overflow or writer gone).
-fn push(tx: &SyncSender<Message>, msg: Message) -> bool {
-    match tx.try_send(msg) {
-        Ok(()) => true,
-        Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+    /// Removes the session's engine query (if registered), leaving the
+    /// connection itself to drain.
+    fn deregister_slot(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if let Some(qid) = conn.qid.take() {
+            self.by_qid.remove(&qid.0);
+            self.shared.engine().deregister(qid);
+            self.shared.live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Hard-closes a connection and frees its slot.
+    fn drop_conn(&mut self, slot: usize) {
+        self.deregister_slot(slot);
+        if let Some(conn) = self.conns[slot].take() {
+            let footprint = (conn.rbuf.high_water() + conn.wbuf.high_water()) as u64;
+            self.shared
+                .buf_high_water
+                .fetch_max(footprint, Ordering::Relaxed);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.free.push(slot);
+        }
+    }
+
+    /// Ticks the fleet if the configured policy says the moment has
+    /// come.
+    fn maybe_tick(&mut self) {
+        let live = self.by_qid.len();
+        if live == 0 || self.registered_ever < self.shared.cfg.min_clients as u64 {
+            return;
+        }
+        let fresh = self
+            .by_qid
+            .values()
+            .filter(|&&slot| {
+                self.conns[slot]
+                    .as_ref()
+                    .is_some_and(|c| c.pending.is_some())
+            })
+            .count();
+        match self.shared.cfg.policy {
+            TickPolicy::Barrier => {
+                if fresh < live {
+                    return;
+                }
+            }
+            TickPolicy::Deadline { .. } => {
+                if fresh == 0 {
+                    return;
+                }
+                if fresh < live && self.last_tick.elapsed() < self.shared.cfg.tick_interval {
+                    return;
+                }
+            }
+        }
+        self.tick();
+    }
+
+    /// One fleet tick: batch positions, advance the engine under the
+    /// policy, push each session its (possibly re-served) result.
+    fn tick(&mut self) {
+        self.last_tick = Instant::now();
+        let policy = self.shared.cfg.policy;
+
+        // Batch: consume every pending position. `Q::Pos` is `Copy`, so
+        // the feed map costs one word-sized copy per session.
+        let mut feed: HashMap<u64, TickPos<S::Pos>> = HashMap::with_capacity(self.by_qid.len());
+        for (&qid, &slot) in &self.by_qid {
+            let conn = self.conns[slot].as_mut().expect("by_qid slots are live");
+            let tp = match conn.pending.take() {
+                Some(p) => {
+                    conn.last_pos = Some(p);
+                    TickPos::Fresh(p)
+                }
+                None => match conn.last_pos {
+                    Some(p) => TickPos::Held(p),
+                    None => TickPos::Missing,
+                },
+            };
+            feed.insert(qid, tp);
+        }
+
+        // Tick + pair each disposition with its query's kNN in one O(n)
+        // pass: `for_each_query` visits in exactly the (deterministic)
+        // shard order `tick` reported in, and nothing mutates the
+        // engine in between (the reactor holds the lock throughout).
+        let mut dispositions: Vec<(QueryId, TickDisposition)> = Vec::new();
+        let mut results: Vec<(QueryId, Option<Message>)> = Vec::with_capacity(self.by_qid.len());
+        let epoch = {
+            let mut engine = self.shared.engine();
+            let summary = engine.tick(policy, |id| feed[&id.0], &mut dispositions);
+            let mut at = 0usize;
+            engine.for_each_query(|qid, q| {
+                use insq_core::MovingKnn;
+                let (did, disposition) = dispositions[at];
+                at += 1;
+                debug_assert_eq!(did, qid, "disposition order matches query order");
+                let msg = disposition.outcome().map(|outcome| {
+                    let ids: Vec<u32> = q.current_knn().into_iter().map(S::id_to_wire).collect();
+                    Message::KnnResult {
+                        epoch: summary.epoch.0,
+                        ids,
+                        outcome: outcome.into(),
+                    }
+                });
+                results.push((qid, msg));
+            });
+            summary.epoch
+        };
+
+        // Push: fresh results (epoch notify first where due) or the
+        // cached last frame for re-served sessions. A session whose
+        // write buffer can't take its result is dropped — bounded
+        // memory beats a complete stream for a consumer this far gone.
+        for (qid, msg) in results {
+            let Some(&slot) = self.by_qid.get(&qid.0) else {
+                continue;
+            };
+            let conn = self.conns[slot].as_mut().expect("by_qid slots are live");
+            match msg {
+                Some(msg) => {
+                    if conn.last_epoch != epoch {
+                        conn.last_epoch = epoch;
+                        let notify = Message::EpochNotify { epoch: epoch.0 }.encode_frame();
+                        if !conn.wbuf.push(&notify) {
+                            self.drop_conn(slot);
+                            continue;
+                        }
+                    }
+                    let frame = msg.encode_frame();
+                    let conn = self.conns[slot].as_mut().expect("by_qid slots are live");
+                    if !conn.wbuf.push(&frame) {
+                        self.drop_conn(slot);
+                        continue;
+                    }
+                    conn.last_result = Some(frame);
+                }
+                None => {
+                    // Re-serve: the session registered with a position,
+                    // so its first tick is always Fresh — by the time a
+                    // deadline tick leaves it stale, a cached result
+                    // exists.
+                    let frame = conn
+                        .last_result
+                        .clone()
+                        .expect("stale implies prior result");
+                    if !conn.wbuf.push(&frame) {
+                        self.drop_conn(slot);
+                        continue;
+                    }
+                }
+            }
+            // Optimistic flush: most sessions take their frame in one
+            // write, so POLLOUT interest stays rare.
+            self.write_ready(slot);
+        }
+        self.shared.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn close_all(&mut self) {
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.drop_conn(slot);
+            }
+        }
     }
 }

@@ -107,7 +107,7 @@ where
         NetServerConfig {
             fleet: FleetConfig { shards: 8, threads },
             min_clients: sc.clients,
-            write_queue: 16,
+            ..NetServerConfig::default()
         },
     )
     .expect("bind loopback");
@@ -319,7 +319,7 @@ fn dropped_tcp_session_keeps_survivor_streams_and_ids_stable() {
                 threads: 2,
             },
             min_clients: sc.clients,
-            write_queue: 16,
+            ..NetServerConfig::default()
         },
     )
     .unwrap();

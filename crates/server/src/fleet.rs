@@ -4,13 +4,27 @@
 //! one shared, epoch-versioned [`World`] and advances all of them per
 //! timestamp in parallel batches on a scoped-thread worker pool.
 //!
+//! **The tick contract.** [`FleetEngine::tick`] is the one entry point:
+//! it takes an explicit [`TickPolicy`], a position feed returning a
+//! [`TickPos`] per query, and a [`TickSink`] receiving one
+//! [`TickDisposition`] per live query in deterministic shard order.
+//! [`TickPolicy::Barrier`] is the classic all-present semantics (every
+//! query must have a fresh position — the spec the determinism suites
+//! pin); [`TickPolicy::Deadline`] ticks whatever positions have arrived,
+//! re-serves the rest, and force-refreshes any query held stale past
+//! `max_staleness` ticks so epoch swaps still propagate.
+//! [`FleetEngine::tick_all`] / [`FleetEngine::tick_all_outcomes`] are
+//! thin Barrier wrappers kept for every existing call site.
+//!
 //! **Determinism.** Queries are independent (they share only the
 //! immutable world snapshot), every query belongs to exactly one shard,
-//! shards process their queries in registration order, and per-shard
-//! statistics are merged in shard order — so `tick_all` results and all
+//! shards process their queries in registration order, per-query
+//! staleness counters advance in that same order, and per-shard
+//! statistics are merged in shard order — so `tick` results and all
 //! aggregate counters are bit-identical to sequential execution at every
-//! thread count. The equivalence test in `tests/fleet_equivalence.rs`
-//! asserts exactly this, across an epoch swap.
+//! thread count, under either policy. The equivalence tests in
+//! `tests/fleet_equivalence.rs` and `tests/tick_policy.rs` assert
+//! exactly this, across an epoch swap.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -67,10 +81,123 @@ impl FleetConfig {
     }
 }
 
+/// How a [`FleetEngine::tick`] decides which queries to advance.
+///
+/// The policy is explicit so serving layers can name the trade-off they
+/// make: `Barrier` is the deterministic lockstep spec, `Deadline` is the
+/// event-driven mode where one slow position producer no longer stalls
+/// the rest of the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickPolicy {
+    /// Every live query must have a fresh position
+    /// ([`TickPos::Fresh`]); the whole fleet advances together. This is
+    /// the classic `tick_all` semantics and the spec the determinism
+    /// suites pin — feeding [`TickPos::Held`] or [`TickPos::Missing`]
+    /// under this policy is a caller bug and panics.
+    Barrier,
+    /// Advance whatever queries have fresh positions; queries without
+    /// one are **re-served** (not ticked, their result stands and the
+    /// sink records [`TickDisposition::Stale`]) — except that a query
+    /// re-served for more than `max_staleness` consecutive ticks is
+    /// **force-ticked at its last known position**
+    /// ([`TickPos::Held`]), so index epoch swaps still reach every
+    /// query within a bounded number of ticks.
+    Deadline {
+        /// Consecutive ticks a query may be re-served before the engine
+        /// force-ticks it at its held position. `0` means a held query
+        /// is always re-ticked (never re-served).
+        max_staleness: u64,
+    },
+}
+
+/// One query's position for one [`FleetEngine::tick`], as returned by
+/// the position feed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TickPos<P> {
+    /// A fresh position arrived since the last tick.
+    Fresh(P),
+    /// No fresh position; `P` is the last known one. Under
+    /// [`TickPolicy::Deadline`] the query is re-served until its
+    /// staleness exceeds `max_staleness`, then force-ticked at `P`.
+    Held(P),
+    /// No position has ever been seen for this query; it is always
+    /// re-served under [`TickPolicy::Deadline`].
+    Missing,
+}
+
+/// What one [`FleetEngine::tick`] did with one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickDisposition {
+    /// Ticked on a fresh position.
+    Fresh(TickOutcome),
+    /// No fresh position, but staleness exceeded the deadline policy's
+    /// bound: force-ticked at the last known position.
+    Refreshed(TickOutcome),
+    /// Not ticked; the previous result stands (the serving layer
+    /// re-serves its cached last result).
+    Stale,
+}
+
+impl TickDisposition {
+    /// The tick outcome, if the query was actually advanced.
+    pub fn outcome(self) -> Option<TickOutcome> {
+        match self {
+            TickDisposition::Fresh(o) | TickDisposition::Refreshed(o) => Some(o),
+            TickDisposition::Stale => None,
+        }
+    }
+}
+
+/// Receives one [`TickDisposition`] per live query from
+/// [`FleetEngine::tick`], in deterministic shard order (registration
+/// order within a shard) — the same order
+/// [`FleetEngine::for_each_query`] visits in, so results pair with
+/// queries in one O(n) pass.
+///
+/// `()` records nothing and keeps the exact zero-recording hot path
+/// ([`FleetEngine::tick_all`] uses it); `Vec<(QueryId, TickOutcome)>`
+/// collects outcomes of ticked queries only (the
+/// [`FleetEngine::tick_all_outcomes`] wrapper); `Vec<(QueryId,
+/// TickDisposition)>` collects everything (the serving layer's sink).
+pub trait TickSink {
+    /// Whether the engine must materialise per-query dispositions at
+    /// all. `false` (the `()` sink) compiles recording away entirely.
+    const RECORDS: bool = true;
+
+    /// Called once per live query, in shard order.
+    fn record(&mut self, id: QueryId, disposition: TickDisposition);
+}
+
+impl TickSink for () {
+    const RECORDS: bool = false;
+
+    #[inline]
+    fn record(&mut self, _id: QueryId, _disposition: TickDisposition) {}
+}
+
+impl TickSink for Vec<(QueryId, TickDisposition)> {
+    #[inline]
+    fn record(&mut self, id: QueryId, disposition: TickDisposition) {
+        self.push((id, disposition));
+    }
+}
+
+impl TickSink for Vec<(QueryId, TickOutcome)> {
+    #[inline]
+    fn record(&mut self, id: QueryId, disposition: TickDisposition) {
+        if let Some(outcome) = disposition.outcome() {
+            self.push((id, outcome));
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Entry<Q> {
     id: QueryId,
     query: Q,
+    /// Consecutive ticks this query has been re-served (deadline policy
+    /// only; reset whenever the query actually ticks).
+    stale: u64,
 }
 
 /// What one [`FleetEngine::tick_all`] did, aggregated over the fleet.
@@ -91,6 +218,11 @@ pub struct TickSummary {
     pub local_reranks: u64,
     /// Full recomputations (update case (iii) / initial / post-rebind).
     pub recomputations: u64,
+    /// Queries re-served without ticking (deadline policy only).
+    pub stale: u64,
+    /// Queries force-ticked at their held position because staleness
+    /// exceeded the deadline policy's bound (subset of `ticked`).
+    pub refreshed: u64,
 }
 
 impl TickSummary {
@@ -101,6 +233,8 @@ impl TickSummary {
         self.swaps += other.swaps;
         self.local_reranks += other.local_reranks;
         self.recomputations += other.recomputations;
+        self.stale += other.stale;
+        self.refreshed += other.refreshed;
     }
 
     fn record(&mut self, outcome: TickOutcome) {
@@ -111,27 +245,6 @@ impl TickSummary {
             TickOutcome::LocalRerank => self.local_reranks += 1,
             TickOutcome::Recompute => self.recomputations += 1,
         }
-    }
-}
-
-/// Per-shard receiver of per-query tick outcomes. `()` records nothing
-/// (and compiles away entirely — [`FleetEngine::tick_all`] keeps its
-/// exact pre-existing hot path); a `Vec` collects them for callers that
-/// must relay results per query ([`FleetEngine::tick_all_outcomes`],
-/// used by the `insq-net` serving layer).
-trait OutcomeSink: Default + Send {
-    fn push(&mut self, id: QueryId, outcome: TickOutcome);
-}
-
-impl OutcomeSink for () {
-    #[inline]
-    fn push(&mut self, _id: QueryId, _outcome: TickOutcome) {}
-}
-
-impl OutcomeSink for Vec<(QueryId, TickOutcome)> {
-    #[inline]
-    fn push(&mut self, id: QueryId, outcome: TickOutcome) {
-        self.push((id, outcome));
     }
 }
 
@@ -239,7 +352,11 @@ where
         let id = QueryId(self.next_id);
         self.next_id += 1;
         let shard = id.index() % self.shards.len();
-        self.shards[shard].push(Entry { id, query });
+        self.shards[shard].push(Entry {
+            id,
+            query,
+            stale: 0,
+        });
         self.len += 1;
         id
     }
@@ -285,7 +402,45 @@ where
         ids
     }
 
-    /// Advances every query to its position for this timestamp.
+    /// Advances the fleet one timestamp under an explicit [`TickPolicy`]
+    /// — the one tick entry point behind every serving mode.
+    ///
+    /// `positions` maps a query id to its [`TickPos`] for this tick; it
+    /// is called from worker threads and must be pure (same id → same
+    /// answer within one call). `sink` receives one [`TickDisposition`]
+    /// per live query, in deterministic shard order. Queries that
+    /// actually tick and are bound to an older epoch than the world's
+    /// current one are rebound first (paying a recomputation on this
+    /// tick); re-served queries keep their old snapshot until the policy
+    /// forces a refresh.
+    ///
+    /// # Panics
+    ///
+    /// Under [`TickPolicy::Barrier`], if `positions` returns anything
+    /// but [`TickPos::Fresh`] for a live query.
+    pub fn tick<F, K>(&mut self, policy: TickPolicy, positions: F, sink: &mut K) -> TickSummary
+    where
+        F: Fn(QueryId) -> TickPos<Q::Pos> + Sync,
+        K: TickSink + ?Sized,
+    {
+        if K::RECORDS {
+            let (summary, per_shard) =
+                self.tick_sharded::<F, Vec<(QueryId, TickDisposition)>>(policy, positions);
+            for shard in per_shard {
+                for (id, disposition) in shard {
+                    sink.record(id, disposition);
+                }
+            }
+            summary
+        } else {
+            self.tick_sharded::<F, ()>(policy, positions).0
+        }
+    }
+
+    /// Advances every query to its position for this timestamp — the
+    /// [`TickPolicy::Barrier`] convenience wrapper over
+    /// [`FleetEngine::tick`] with a non-recording sink (its hot path is
+    /// unchanged: recording compiles away entirely).
     ///
     /// `positions` maps a query id to its new position; it is called from
     /// worker threads and must be pure (same id → same position within
@@ -297,14 +452,18 @@ where
     where
         F: Fn(QueryId) -> Q::Pos + Sync,
     {
-        self.tick_sharded::<F, ()>(positions).0
+        self.tick(
+            TickPolicy::Barrier,
+            |id| TickPos::Fresh(positions(id)),
+            &mut (),
+        )
     }
 
     /// [`FleetEngine::tick_all`] that additionally reports every query's
     /// individual [`TickOutcome`], appended to `out` in shard order
     /// (registration order within a shard) — deterministic at any thread
-    /// count, like everything else here. `out` is cleared first. The
-    /// serving layer uses this to relay per-session results.
+    /// count, like everything else here. `out` is cleared first. A thin
+    /// wrapper over [`FleetEngine::tick`] with a `Vec` sink.
     pub fn tick_all_outcomes<F>(
         &mut self,
         positions: F,
@@ -314,19 +473,15 @@ where
         F: Fn(QueryId) -> Q::Pos + Sync,
     {
         out.clear();
-        let (summary, per_shard) = self.tick_sharded::<F, Vec<(QueryId, TickOutcome)>>(positions);
-        for shard in per_shard {
-            out.extend(shard);
-        }
-        summary
+        self.tick(TickPolicy::Barrier, |id| TickPos::Fresh(positions(id)), out)
     }
 
-    /// The one tick loop behind both `tick_all` flavors: `R` is the
-    /// per-shard outcome sink (`()` = record nothing).
-    fn tick_sharded<F, R>(&mut self, positions: F) -> (TickSummary, Vec<R>)
+    /// The one tick loop behind every policy: `R` is the per-shard
+    /// disposition recorder (`()` = record nothing).
+    fn tick_sharded<F, R>(&mut self, policy: TickPolicy, positions: F) -> (TickSummary, Vec<R>)
     where
-        F: Fn(QueryId) -> Q::Pos + Sync,
-        R: OutcomeSink,
+        F: Fn(QueryId) -> TickPos<Q::Pos> + Sync,
+        R: TickSink + Default + Send,
     {
         let t0 = Instant::now();
         let (epoch, snapshot) = self.world.snapshot();
@@ -335,16 +490,59 @@ where
         let mut per_shard = vec![TickSummary::default(); n_shards];
         let mut recorded: Vec<R> = (0..n_shards).map(|_| R::default()).collect();
 
+        // Pre-tick bookkeeping shared by every path that actually
+        // advances a query: reset staleness, rebind if the epoch moved.
+        let tick_entry = |entry: &mut Entry<Q>, out: &mut TickSummary| {
+            entry.stale = 0;
+            if entry.query.bound_epoch() != epoch {
+                entry.query.bind(epoch, &snapshot);
+                out.rebinds += 1;
+            }
+        };
         let tick_shard = |shard: &mut Vec<Entry<Q>>, out: &mut TickSummary, rec: &mut R| {
             out.epoch = epoch;
-            for entry in shard.iter_mut() {
-                if entry.query.bound_epoch() != epoch {
-                    entry.query.bind(epoch, &snapshot);
-                    out.rebinds += 1;
+            match policy {
+                TickPolicy::Barrier => {
+                    for entry in shard.iter_mut() {
+                        let TickPos::Fresh(pos) = positions(entry.id) else {
+                            panic!("TickPolicy::Barrier requires a fresh position for every live query");
+                        };
+                        tick_entry(entry, out);
+                        let outcome = entry.query.tick(pos);
+                        out.record(outcome);
+                        rec.record(entry.id, TickDisposition::Fresh(outcome));
+                    }
                 }
-                let outcome = entry.query.tick(positions(entry.id));
-                out.record(outcome);
-                rec.push(entry.id, outcome);
+                TickPolicy::Deadline { max_staleness } => {
+                    for entry in shard.iter_mut() {
+                        match positions(entry.id) {
+                            TickPos::Fresh(pos) => {
+                                tick_entry(entry, out);
+                                let outcome = entry.query.tick(pos);
+                                out.record(outcome);
+                                rec.record(entry.id, TickDisposition::Fresh(outcome));
+                            }
+                            TickPos::Held(pos) => {
+                                entry.stale += 1;
+                                if entry.stale > max_staleness {
+                                    tick_entry(entry, out);
+                                    let outcome = entry.query.tick(pos);
+                                    out.record(outcome);
+                                    out.refreshed += 1;
+                                    rec.record(entry.id, TickDisposition::Refreshed(outcome));
+                                } else {
+                                    out.stale += 1;
+                                    rec.record(entry.id, TickDisposition::Stale);
+                                }
+                            }
+                            TickPos::Missing => {
+                                entry.stale += 1;
+                                out.stale += 1;
+                                rec.record(entry.id, TickDisposition::Stale);
+                            }
+                        }
+                    }
+                }
             }
         };
 

@@ -70,7 +70,10 @@ pub mod queries;
 pub mod util;
 pub mod world;
 
-pub use fleet::{FleetConfig, FleetEngine, FleetStats, QueryId, TickSummary};
+pub use fleet::{
+    FleetConfig, FleetEngine, FleetStats, QueryId, TickDisposition, TickPolicy, TickPos, TickSink,
+    TickSummary,
+};
 pub use queries::{FleetQuery, InsFleetQuery, NetFleetQuery, SpaceQuery, WFleetQuery};
 pub use util::parallel_map;
 pub use world::{Epoch, NetworkWorld, World};

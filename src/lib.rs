@@ -117,14 +117,17 @@ pub mod prelude {
         Aabb, Circle, ConvexPolygon, HalfPlane, Point, Segment, Trajectory, Vector,
     };
     pub use insq_index::{AxisWeights, RTree, SiteDelta, VorTree, WeightedVorTree};
-    pub use insq_net::{Message, NetClient, NetServer, NetServerConfig, SpaceKind, WireSpace};
+    pub use insq_net::{
+        ClientCore, ClientEvent, Message, NetClient, NetServer, NetServerConfig, SpaceKind,
+        WireSpace,
+    };
     pub use insq_roadnet::{
         NetPosition, NetSiteDelta, NetTrajectory, NetworkVoronoi, NetworkWorld, RoadNetwork,
         SiteIdx, SiteSet, VertexId,
     };
     pub use insq_server::{
         Epoch, FleetConfig, FleetEngine, FleetQuery, FleetStats, InsFleetQuery, NetFleetQuery,
-        QueryId, SpaceQuery, TickSummary, WFleetQuery, World,
+        QueryId, SpaceQuery, TickDisposition, TickPolicy, TickPos, TickSummary, WFleetQuery, World,
     };
     pub use insq_sim::{run_euclidean, run_network, Comparison, RunRecord};
     pub use insq_voronoi::{SiteId, Voronoi};
