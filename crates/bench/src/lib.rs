@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bench_json;
+pub mod cluster_exp;
 pub mod euclidean_exp;
 pub mod figures;
 pub mod fleet_exp;
@@ -146,6 +147,11 @@ pub fn experiments() -> Vec<Experiment> {
             id: "e_net",
             title: "E-net — TCP serving layer: measured wire bytes/tick vs model-level comm",
             run: net_exp::e_net,
+        },
+        Experiment {
+            id: "e_cluster",
+            title: "E-cluster — spatial partitions behind the router: 1 vs 2 vs 4 shards",
+            run: cluster_exp::e_cluster,
         },
         Experiment {
             id: "e_spaces",

@@ -1,0 +1,364 @@
+//! The cluster's source of truth: which site lives in which partition.
+//!
+//! A [`ClusterPlan`] owns the **global** site list (the one a
+//! single-world deployment would index) plus, per region, the membership
+//! of that region's replicated site set and the id mapping between the
+//! region's **local** dense site ids and the global ones. Everything
+//! else in the cluster layer — building regional worlds, rewriting
+//! result ids at the router, routing delta epochs — derives from this
+//! one structure.
+//!
+//! # The overlap-margin contract
+//!
+//! Region `r` replicates every site `s` with
+//! `partitioner.distance_to(r, s) <= margin`. For a query `q` homed in
+//! `r`, `distance_to(r, s) <= |q - s|`, so **every site within `margin`
+//! of `q` is present in `r`'s local index**. Consequently, whenever the
+//! local k-th-neighbor distance is `<= margin` (and a full `k` neighbors
+//! exist), the local kNN equals the global kNN *exactly* — same sites,
+//! same order, because the local index ranks by the same `(distance,
+//! id)` key over a superset of every possible contender, and the
+//! local→global id map is monotone on the initial build. A tick that
+//! cannot meet the bound is **flagged uncertified**, never silently
+//! wrong: its ids are still the exact kNN over the replicated set.
+//!
+//! # Delta epochs
+//!
+//! [`ClusterPlan::split`] turns one global [`SiteDelta`] into per-region
+//! local deltas (empty for unaffected regions — those worlds skip the
+//! epoch entirely) while updating the id maps to mirror, exactly, the
+//! pinned semantics of `VorTree::apply`: removals sort descending and
+//! swap-remove (the then-last site inherits the removed id), insertions
+//! append in order.
+
+use std::sync::Arc;
+
+use insq_geom::Point;
+use insq_index::SiteDelta;
+use insq_server::{Partitioner, RegionId};
+use insq_voronoi::SiteId;
+
+/// A rejected cluster operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A delta removal id does not exist in the global site list.
+    RemovalOutOfRange {
+        /// The offending global site id.
+        id: u32,
+        /// Number of global sites before the delta.
+        sites: usize,
+    },
+    /// A constructor was given inconsistent per-region inputs.
+    Shape(&'static str),
+    /// A regional index rejected its local delta (rendered message, to
+    /// stay generic over every space's error type).
+    Index(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::RemovalOutOfRange { id, sites } => {
+                write!(f, "removal id {id} out of range ({sites} global sites)")
+            }
+            ClusterError::Shape(what) => write!(f, "inconsistent cluster inputs: {what}"),
+            ClusterError::Index(what) => write!(f, "regional index rejected delta: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The partition map, global site list, and per-region id mappings —
+/// everything needed to shard one world into N and keep the shards
+/// consistent across delta epochs.
+pub struct ClusterPlan {
+    part: Arc<dyn Partitioner + Send + Sync>,
+    margin: f64,
+    global: Vec<Point>,
+    /// Per region: local id → global id. Strictly increasing after the
+    /// initial build; swap-remove mirroring perturbs the order exactly
+    /// the way the local index's own ids are perturbed.
+    to_global: Vec<Vec<u32>>,
+    /// Per region: global id → local id (dense, `None` = not replicated
+    /// there). Rebuilt after each delta.
+    to_local: Vec<Vec<Option<u32>>>,
+}
+
+impl std::fmt::Debug for ClusterPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterPlan")
+            .field("regions", &self.regions())
+            .field("margin", &self.margin)
+            .field("global_sites", &self.global.len())
+            .field(
+                "replicas",
+                &self.to_global.iter().map(Vec::len).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl ClusterPlan {
+    /// Partitions `sites` under `part` with the given replication
+    /// `margin` (Euclidean distance; see the module docs for the
+    /// correctness contract). Every site lands in its home region plus
+    /// every region whose border lies within `margin`.
+    pub fn new(
+        part: Arc<dyn Partitioner + Send + Sync>,
+        margin: f64,
+        sites: Vec<Point>,
+    ) -> ClusterPlan {
+        assert!(margin >= 0.0, "margin must be non-negative");
+        let n = part.regions();
+        let mut to_global: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut to_local: Vec<Vec<Option<u32>>> = vec![vec![None; sites.len()]; n];
+        for (g, &p) in sites.iter().enumerate() {
+            for r in 0..n {
+                if part.covers(RegionId(r as u32), p, margin) {
+                    to_local[r][g] = Some(to_global[r].len() as u32);
+                    to_global[r].push(g as u32);
+                }
+            }
+        }
+        ClusterPlan {
+            part,
+            margin,
+            global: sites,
+            to_global,
+            to_local,
+        }
+    }
+
+    /// The partition map.
+    pub fn partitioner(&self) -> &Arc<dyn Partitioner + Send + Sync> {
+        &self.part
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.part.regions()
+    }
+
+    /// The replication margin.
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// The home region of a position.
+    pub fn home(&self, pos: Point) -> RegionId {
+        self.part.region_of(pos)
+    }
+
+    /// The current global site list (what a single-world index holds).
+    pub fn global_sites(&self) -> &[Point] {
+        &self.global
+    }
+
+    /// The current site list of one region, in local-id order — feed
+    /// this to the space's index builder to construct the regional
+    /// world.
+    pub fn region_sites(&self, region: RegionId) -> Vec<Point> {
+        self.to_global[region.0 as usize]
+            .iter()
+            .map(|&g| self.global[g as usize])
+            .collect()
+    }
+
+    /// Local→global id map of one region (`map[local] = global`).
+    pub fn to_global(&self, region: RegionId) -> &[u32] {
+        &self.to_global[region.0 as usize]
+    }
+
+    /// Translates a region-local site id to the global id (`None` if the
+    /// local id is out of range — e.g. a corrupt backend frame).
+    pub fn globalize(&self, region: RegionId, local: u32) -> Option<u32> {
+        self.to_global[region.0 as usize]
+            .get(local as usize)
+            .copied()
+    }
+
+    /// A snapshot of every region's local→global map (the router's
+    /// rewrite tables).
+    pub fn tables(&self) -> Vec<Vec<u32>> {
+        self.to_global.clone()
+    }
+
+    /// Splits one global delta into per-region local deltas (index `r` =
+    /// region `r`; an empty delta means the region is unaffected and its
+    /// world must **not** be bumped), updating the plan's global list and
+    /// id maps. The returned deltas must then be applied to the regional
+    /// worlds — the plan has no handle on them.
+    ///
+    /// Id bookkeeping mirrors `VorTree::apply` exactly on both levels:
+    /// global removals sort descending and swap-remove on the global
+    /// list; each region's removals (the subset it replicates) sort
+    /// descending by *local* id and swap-remove on its map; insertions
+    /// append in order on both levels.
+    pub fn split(&mut self, delta: &SiteDelta) -> Result<Vec<SiteDelta>, ClusterError> {
+        let n_regions = self.regions();
+        let n_before = self.global.len();
+
+        // Global removal set: sorted descending, deduped, validated.
+        let mut removals: Vec<u32> = Vec::with_capacity(delta.removed.len());
+        for &sid in &delta.removed {
+            if sid.idx() >= n_before {
+                return Err(ClusterError::RemovalOutOfRange {
+                    id: sid.0,
+                    sites: n_before,
+                });
+            }
+            removals.push(sid.0);
+        }
+        removals.sort_unstable_by(|a, b| b.cmp(a));
+        removals.dedup();
+
+        // Per-region local removal lists, resolved against the
+        // *pre-delta* maps.
+        let mut out: Vec<SiteDelta> = (0..n_regions).map(|_| SiteDelta::default()).collect();
+        for (r, d) in out.iter_mut().enumerate() {
+            d.removed = removals
+                .iter()
+                .filter_map(|&g| self.to_local[r][g as usize])
+                .map(SiteId)
+                .collect();
+        }
+
+        // Simulate the global swap-removes to learn every surviving
+        // site's post-removal global id.
+        let mut gids: Vec<u32> = (0..n_before as u32).collect();
+        for &g in &removals {
+            gids.swap_remove(g as usize);
+            self.global.swap_remove(g as usize);
+        }
+        let mut new_of: Vec<Option<u32>> = vec![None; n_before];
+        for (now, &orig) in gids.iter().enumerate() {
+            new_of[orig as usize] = Some(now as u32);
+        }
+
+        // Mirror each region's own swap-removes on its map, then remap
+        // the surviving entries to post-removal global ids.
+        for (region_out, map) in out.iter().zip(self.to_global.iter_mut()) {
+            let mut local_rm: Vec<u32> = region_out.removed.iter().map(|s| s.0).collect();
+            local_rm.sort_unstable_by(|a, b| b.cmp(a));
+            for lid in local_rm {
+                map.swap_remove(lid as usize);
+            }
+            for g in map.iter_mut() {
+                *g = new_of[*g as usize].expect("surviving local site survives globally");
+            }
+        }
+
+        // Insertions: dense global ids after the removals; each lands in
+        // every region whose margin band covers it.
+        let base = self.global.len() as u32;
+        for (j, &p) in delta.added.iter().enumerate() {
+            let g = base + j as u32;
+            for (r, d) in out.iter_mut().enumerate() {
+                if self.part.covers(RegionId(r as u32), p, self.margin) {
+                    d.added.push(p);
+                    self.to_global[r].push(g);
+                }
+            }
+        }
+        self.global.extend_from_slice(&delta.added);
+
+        // Rebuild the inverse maps.
+        for r in 0..n_regions {
+            let mut inv = vec![None; self.global.len()];
+            for (l, &g) in self.to_global[r].iter().enumerate() {
+                inv[g as usize] = Some(l as u32);
+            }
+            self.to_local[r] = inv;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insq_geom::Aabb;
+    use insq_server::GridPartitioner;
+
+    fn plan(margin: f64, sites: Vec<Point>) -> ClusterPlan {
+        let bounds = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        ClusterPlan::new(Arc::new(GridPartitioner::strips(bounds, 2)), margin, sites)
+    }
+
+    #[test]
+    fn initial_membership_is_home_plus_margin_band() {
+        let sites = vec![
+            Point::new(10.0, 50.0), // deep in r0
+            Point::new(48.0, 50.0), // r0, within 5 of the border
+            Point::new(52.0, 50.0), // r1, within 5 of the border
+            Point::new(90.0, 50.0), // deep in r1
+        ];
+        let p = plan(5.0, sites);
+        assert_eq!(p.to_global(RegionId(0)), &[0, 1, 2]);
+        assert_eq!(p.to_global(RegionId(1)), &[1, 2, 3]);
+        assert_eq!(p.region_sites(RegionId(1)).len(), 3);
+        assert_eq!(p.globalize(RegionId(1), 0), Some(1));
+        assert_eq!(p.globalize(RegionId(1), 9), None);
+    }
+
+    #[test]
+    fn split_mirrors_swap_remove_semantics() {
+        let sites = vec![
+            Point::new(10.0, 50.0), // g0: r0 only
+            Point::new(49.0, 50.0), // g1: both (margin 5)
+            Point::new(51.0, 50.0), // g2: both
+            Point::new(90.0, 50.0), // g3: r1 only
+            Point::new(20.0, 20.0), // g4: r0 only
+        ];
+        let mut p = plan(5.0, sites);
+        assert_eq!(p.to_global(RegionId(0)), &[0, 1, 2, 4]);
+        assert_eq!(p.to_global(RegionId(1)), &[1, 2, 3]);
+
+        // Remove g1 (replicated in both) and add one site deep in r1.
+        let delta = SiteDelta {
+            added: vec![Point::new(80.0, 80.0)],
+            removed: vec![SiteId(1)],
+        };
+        let locals = p.split(&delta).unwrap();
+
+        // Global after: swap_remove(1) → [g0, g4, g2, g3] + new at 4.
+        assert_eq!(p.global_sites().len(), 5);
+        assert_eq!(p.global_sites()[1], Point::new(20.0, 20.0));
+        assert_eq!(p.global_sites()[4], Point::new(80.0, 80.0));
+
+        // r0's local delta removes its local id of g1 (= 1), no adds.
+        assert_eq!(locals[0].removed, vec![SiteId(1)]);
+        assert!(locals[0].added.is_empty());
+        // r0 map after its own swap_remove + global renames:
+        // [g0, g4, g2] locally = post-removal globals [0, 1, 2].
+        assert_eq!(p.to_global(RegionId(0)), &[0, 1, 2]);
+
+        // r1 removes its local id of g1 (= 0) and gains the new site.
+        assert_eq!(locals[1].removed, vec![SiteId(0)]);
+        assert_eq!(locals[1].added, vec![Point::new(80.0, 80.0)]);
+        // r1 map: swap_remove(0) on [g1,g2,g3] → [g3,g2] → renamed
+        // [3, 2], then push new global 4.
+        assert_eq!(p.to_global(RegionId(1)), &[3, 2, 4]);
+    }
+
+    #[test]
+    fn unaffected_regions_get_empty_deltas() {
+        let sites = vec![Point::new(10.0, 50.0), Point::new(90.0, 50.0)];
+        let mut p = plan(2.0, sites);
+        let delta = SiteDelta::insert(vec![Point::new(12.0, 50.0)]);
+        let locals = p.split(&delta).unwrap();
+        assert!(!locals[0].is_empty());
+        assert!(locals[1].is_empty());
+    }
+
+    #[test]
+    fn out_of_range_removal_is_rejected_atomically() {
+        let sites = vec![Point::new(10.0, 50.0)];
+        let mut p = plan(2.0, sites);
+        let before = p.global_sites().to_vec();
+        let err = p.split(&SiteDelta::remove(vec![SiteId(7)])).unwrap_err();
+        assert!(matches!(err, ClusterError::RemovalOutOfRange { id: 7, .. }));
+        assert_eq!(p.global_sites(), &before[..]);
+    }
+}

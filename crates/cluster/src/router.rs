@@ -1,0 +1,821 @@
+//! The cluster's wire front-end: one server socket, N partition
+//! backends, transparent handoff.
+//!
+//! [`RouterServer`] speaks the ordinary `insq-net` protocol to clients
+//! — a phone app talks to a partitioned deployment exactly the way it
+//! talks to a single [`insq_net::NetServer`] — and multiplexes every
+//! session over per-session [`ClientCore`] connections to the backend
+//! serving the session's current region. Three translations happen in
+//! flight:
+//!
+//! * **Routing**: `Register` and `PositionUpdate` frames carry planar
+//!   positions; the router homes them through its
+//!   [`Partitioner`] and forwards to the
+//!   backend of that region.
+//! * **Id rewrite**: backend `KnnResult` frames carry region-local site
+//!   ids; the router rewrites them to global ids through its rewrite
+//!   tables ([`RouterServer::set_tables`]) so clients only ever see the
+//!   ids a single-world deployment would emit. `FLAG_UNCERTIFIED` passes
+//!   through untouched.
+//! * **Handoff**: when a fresh position homes in a different region, the
+//!   router deregisters at the old backend, registers the same query
+//!   config at the new one (the position doubles as the first tick, so
+//!   the stream never skips a beat), and **drains** the old connection —
+//!   in-flight results forward to the client in order until the old
+//!   backend's clean close — before reading from the new one. The
+//!   client keeps one uninterrupted connection and one ordered result
+//!   stream throughout.
+//!
+//! Failure is isolated per session: a malformed or protocol-violating
+//! backend frame fails only the session it arrived on
+//! ([`ErrorCode::Malformed`]); an unexpected backend disconnect fails
+//! only the sessions homed on that backend
+//! ([`ErrorCode::Unavailable`]). Other sessions — including sessions
+//! multiplexed over the same router to other partitions — keep
+//! streaming.
+//!
+//! Rewrite tables are swapped atomically ([`RouterServer::set_tables`])
+//! by whatever orchestrates delta epochs across the backends; swap them
+//! while the affected backend is quiescent (between ticks), in the same
+//! breath as the backend's `World::apply`, so no in-flight result is
+//! rewritten through the wrong table generation.
+
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use insq_geom::Point;
+use insq_net::buffer::READ_CHUNK;
+use insq_net::sys::{self, PollFd};
+use insq_net::wire::{ErrorCode, Message, SpaceKind, WirePos};
+use insq_net::{ClientCore, FrameBuf, WriteBuf};
+use insq_server::{Partitioner, RegionId};
+
+/// Configuration of a [`RouterServer`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Backend partition servers, indexed by [`RegionId`] — must match
+    /// the partitioner's region count.
+    pub backends: Vec<SocketAddr>,
+    /// Initial rewrite tables (`tables[region][local_id] = global_id`),
+    /// typically [`crate::ClusterPlan::tables`]. Empty means identity
+    /// (backends already speak global ids).
+    pub tables: Vec<Vec<u32>>,
+    /// Byte bound of each session's client-facing write buffer.
+    pub write_buf: usize,
+    /// Hard cap on concurrent sessions (`0` = no cap).
+    pub max_sessions: usize,
+}
+
+impl RouterConfig {
+    /// A default-tuned configuration over the given backends.
+    pub fn new(backends: Vec<SocketAddr>) -> RouterConfig {
+        RouterConfig {
+            backends,
+            tables: Vec::new(),
+            write_buf: 256 * 1024,
+            max_sessions: 0,
+        }
+    }
+}
+
+struct RouterShared {
+    part: Arc<dyn Partitioner + Send + Sync>,
+    tables: RwLock<Vec<Vec<u32>>>,
+    cfg: RouterConfig,
+    shutdown: AtomicBool,
+    live: AtomicUsize,
+    handoffs: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// The partition-routing wire front-end. See the module docs; built by
+/// [`RouterServer::bind`].
+pub struct RouterServer {
+    shared: Arc<RouterShared>,
+    addr: SocketAddr,
+    reactor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RouterServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterServer")
+            .field("addr", &self.addr)
+            .field("backends", &self.shared.cfg.backends.len())
+            .field("sessions", &self.live_sessions())
+            .field("handoffs", &self.handoffs())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RouterServer {
+    /// Binds the client-facing listener and starts the routing reactor.
+    /// `part` must have exactly as many regions as `cfg.backends` has
+    /// addresses. Bind to port 0 to let the OS pick.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        part: Arc<dyn Partitioner + Send + Sync>,
+        cfg: RouterConfig,
+    ) -> io::Result<RouterServer> {
+        assert_eq!(
+            part.regions(),
+            cfg.backends.len(),
+            "one backend address per partition region required"
+        );
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            part,
+            tables: RwLock::new(cfg.tables.clone()),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            handoffs: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+        });
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || Router::new(shared, listener).run())
+        };
+        Ok(RouterServer {
+            shared,
+            addr: local,
+            reactor: Some(reactor),
+        })
+    }
+
+    /// The bound client-facing address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live registered sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.shared.live.load(Ordering::Relaxed)
+    }
+
+    /// Completed mid-session handoffs so far.
+    pub fn handoffs(&self) -> u64 {
+        self.shared.handoffs.load(Ordering::Relaxed)
+    }
+
+    /// Client-side wire bytes `(received, sent)` so far.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        (
+            self.shared.bytes_in.load(Ordering::Relaxed),
+            self.shared.bytes_out.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Atomically replaces the local→global rewrite tables (after a
+    /// delta epoch reshapes the regional site sets). See the module docs
+    /// for the quiescence requirement.
+    pub fn set_tables(&self, tables: Vec<Vec<u32>>) {
+        *self
+            .shared
+            .tables
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = tables;
+    }
+
+    /// Stops the reactor, closing every session and backend connection.
+    /// Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RouterServer {
+    fn drop(&mut self) {
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.stop();
+        }
+    }
+}
+
+/// One upstream connection: a non-blocking core plus the region it
+/// serves (selecting the rewrite-table row for its frames).
+struct Backend {
+    core: ClientCore,
+    region: RegionId,
+}
+
+/// The query facts needed to re-register at a handoff target.
+#[derive(Clone, Copy)]
+struct RegFacts {
+    space: SpaceKind,
+    k: u32,
+    rho: f64,
+}
+
+/// One client session and its backend leg(s).
+struct Session {
+    stream: TcpStream,
+    rbuf: FrameBuf,
+    wbuf: WriteBuf,
+    /// The current backend — target of forwarded client frames.
+    backend: Option<Backend>,
+    /// The old backend during a handoff: forwarded (never written to)
+    /// until its clean close, while the current backend stays unread.
+    draining: Option<Backend>,
+    reg: Option<RegFacts>,
+    /// Client sent `Deregister`: close once the backend stream ends.
+    finishing: bool,
+    /// Client write side: flush `wbuf`, then drop.
+    closing: bool,
+}
+
+impl Session {
+    fn counted_live(&self) -> bool {
+        self.reg.is_some() && !self.closing
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Target {
+    Listener,
+    /// Client-facing socket of a session.
+    Client(usize),
+    /// A session's backend socket (`true` = the draining old leg).
+    Backend(usize, bool),
+}
+
+/// Bounded reads per wakeup per socket, as in the net server's reactor.
+const READS_PER_WAKEUP: usize = 4;
+
+struct Router {
+    shared: Arc<RouterShared>,
+    listener: TcpListener,
+    sessions: Vec<Option<Session>>,
+    free: Vec<usize>,
+    pollfds: Vec<PollFd>,
+    targets: Vec<Target>,
+    scratch: Vec<u8>,
+}
+
+impl Router {
+    fn new(shared: Arc<RouterShared>, listener: TcpListener) -> Router {
+        Router {
+            shared,
+            listener,
+            sessions: Vec::new(),
+            free: Vec::new(),
+            pollfds: Vec::new(),
+            targets: Vec::new(),
+            scratch: vec![0u8; READ_CHUNK],
+        }
+    }
+
+    fn run(mut self) {
+        let slice = Duration::from_millis(5);
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.build_pollfds();
+            if sys::poll(&mut self.pollfds, Some(slice)).is_err() {
+                std::thread::sleep(slice);
+                continue;
+            }
+            for at in 0..self.pollfds.len() {
+                let fd = self.pollfds[at];
+                if !fd.ready() {
+                    continue;
+                }
+                match self.targets[at] {
+                    Target::Listener => self.accept_ready(),
+                    Target::Client(slot) => {
+                        if fd.readable() {
+                            self.client_read_ready(slot);
+                        }
+                        if fd.writable() {
+                            self.client_write_ready(slot);
+                        }
+                    }
+                    Target::Backend(slot, draining) => {
+                        if fd.readable() {
+                            self.backend_read_ready(slot, draining);
+                        }
+                        if fd.writable() {
+                            self.backend_write_ready(slot, draining);
+                        }
+                    }
+                }
+            }
+        }
+        self.close_all();
+    }
+
+    fn build_pollfds(&mut self) {
+        self.pollfds.clear();
+        self.targets.clear();
+        let cap = self.shared.cfg.max_sessions;
+        let open = self.sessions.len() - self.free.len();
+        if cap == 0 || open < cap {
+            self.pollfds
+                .push(PollFd::new(sys::raw_fd(&self.listener), true, false));
+            self.targets.push(Target::Listener);
+        }
+        for (slot, sess) in self.sessions.iter().enumerate() {
+            let Some(sess) = sess else { continue };
+            let read = !sess.closing && !sess.finishing;
+            let write = !sess.wbuf.is_empty();
+            if read || write {
+                self.pollfds
+                    .push(PollFd::new(sys::raw_fd(&sess.stream), read, write));
+                self.targets.push(Target::Client(slot));
+            }
+            if let Some(old) = &sess.draining {
+                self.pollfds
+                    .push(PollFd::new(old.core.raw_fd(), true, false));
+                self.targets.push(Target::Backend(slot, true));
+            }
+            if let Some(cur) = &sess.backend {
+                // While draining the old backend, the current one is
+                // deliberately left unread: its frames wait in the
+                // kernel buffer so the client's stream stays ordered.
+                let read = sess.draining.is_none();
+                let write = cur.core.pending_out() > 0;
+                if read || write {
+                    self.pollfds
+                        .push(PollFd::new(cur.core.raw_fd(), read, write));
+                    self.targets.push(Target::Backend(slot, false));
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let cap = self.shared.cfg.max_sessions;
+            if cap != 0 && self.sessions.len() - self.free.len() >= cap {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let sess = Session {
+                        stream,
+                        rbuf: FrameBuf::new(),
+                        wbuf: WriteBuf::with_capacity(self.shared.cfg.write_buf),
+                        backend: None,
+                        draining: None,
+                        reg: None,
+                        finishing: false,
+                        closing: false,
+                    };
+                    match self.free.pop() {
+                        Some(slot) => self.sessions[slot] = Some(sess),
+                        None => self.sessions.push(Some(sess)),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    // ---- client side ----------------------------------------------
+
+    fn client_read_ready(&mut self, slot: usize) {
+        for _ in 0..READS_PER_WAKEUP {
+            let Some(sess) = self.sessions[slot].as_mut() else {
+                return;
+            };
+            if sess.closing || sess.finishing {
+                return;
+            }
+            match sess.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // Client hung up: tear the whole session down (the
+                    // backends observe our EOF as a deregister).
+                    self.drop_session(slot);
+                    return;
+                }
+                Ok(n) => {
+                    self.shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                    let sess = self.sessions[slot].as_mut().expect("checked above");
+                    sess.rbuf.extend(&self.scratch[..n]);
+                    if !self.drain_client_frames(slot) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.drop_session(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn drain_client_frames(&mut self, slot: usize) -> bool {
+        loop {
+            let Some(sess) = self.sessions[slot].as_mut() else {
+                return false;
+            };
+            if sess.closing || sess.finishing {
+                return false;
+            }
+            match sess.rbuf.next_message() {
+                Ok(Some((msg, _n))) => {
+                    if !self.handle_client_frame(slot, msg) {
+                        return false;
+                    }
+                }
+                Ok(None) => return true,
+                Err(e) => {
+                    self.fail(slot, ErrorCode::Malformed, &e.to_string());
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Routes one decoded client frame. Returns `false` once the session
+    /// is closing or gone.
+    fn handle_client_frame(&mut self, slot: usize, msg: Message) -> bool {
+        let registered = self.sessions[slot]
+            .as_ref()
+            .is_some_and(|s| s.reg.is_some());
+        match (registered, msg) {
+            (false, Message::Register { space, k, rho, pos }) => {
+                let Some(p) = planar(&pos) else {
+                    self.fail(
+                        slot,
+                        ErrorCode::BadPosition,
+                        "router requires a planar position",
+                    );
+                    return false;
+                };
+                let region = self.shared.part.region_of(p);
+                let mut core = match self.connect_backend(region) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        self.fail(
+                            slot,
+                            ErrorCode::Unavailable,
+                            &format!("partition {region} backend: {e}"),
+                        );
+                        return false;
+                    }
+                };
+                if core
+                    .try_send(&Message::Register { space, k, rho, pos })
+                    .is_err()
+                {
+                    self.fail(slot, ErrorCode::Unavailable, "backend write failed");
+                    return false;
+                }
+                let sess = self.sessions[slot].as_mut().expect("checked above");
+                sess.backend = Some(Backend { core, region });
+                sess.reg = Some(RegFacts { space, k, rho });
+                self.shared.live.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            (false, _) => {
+                self.fail(slot, ErrorCode::NotRegistered, "first frame must register");
+                false
+            }
+            (true, Message::PositionUpdate { pos }) => {
+                let Some(p) = planar(&pos) else {
+                    self.fail(
+                        slot,
+                        ErrorCode::BadPosition,
+                        "router requires a planar position",
+                    );
+                    return false;
+                };
+                let home = self.shared.part.region_of(p);
+                let sess = self.sessions[slot].as_mut().expect("checked above");
+                let cur = sess.backend.as_mut().expect("registered session");
+                if home != cur.region && sess.draining.is_none() {
+                    return self.handoff(slot, home, pos);
+                }
+                // A crossing *during* an unfinished drain keeps feeding
+                // the current backend (results stay exact over its
+                // replicas, flagged when out of margin); the next update
+                // after the drain completes re-routes.
+                if cur.core.try_send(&Message::PositionUpdate { pos }).is_err() {
+                    self.fail(slot, ErrorCode::Unavailable, "backend write failed");
+                    return false;
+                }
+                true
+            }
+            (true, Message::Deregister) => {
+                let sess = self.sessions[slot].as_mut().expect("checked above");
+                sess.finishing = true;
+                if let Some(cur) = sess.backend.as_mut() {
+                    let _ = cur.core.try_send(&Message::Deregister);
+                    let _ = cur.core.flush();
+                }
+                // Remaining backend frames (the drain, the final
+                // results) still forward; the session closes when the
+                // current backend's stream ends.
+                false
+            }
+            (true, Message::Register { .. }) => {
+                self.fail(
+                    slot,
+                    ErrorCode::AlreadyRegistered,
+                    "session already registered",
+                );
+                false
+            }
+            (true, _) => {
+                self.fail(slot, ErrorCode::Malformed, "server-bound frame expected");
+                false
+            }
+        }
+    }
+
+    /// The mid-session border crossing: deregister at the old backend
+    /// (its close will end the drain), register the same query at the
+    /// new one with this position as its first tick.
+    fn handoff(&mut self, slot: usize, to: RegionId, pos: WirePos) -> bool {
+        let facts = self.sessions[slot]
+            .as_ref()
+            .and_then(|s| s.reg)
+            .expect("registered session");
+        let mut core = match self.connect_backend(to) {
+            Ok(c) => c,
+            Err(e) => {
+                self.fail(
+                    slot,
+                    ErrorCode::Unavailable,
+                    &format!("partition {to} backend: {e}"),
+                );
+                return false;
+            }
+        };
+        let register = Message::Register {
+            space: facts.space,
+            k: facts.k,
+            rho: facts.rho,
+            pos,
+        };
+        if core.try_send(&register).is_err() {
+            self.fail(slot, ErrorCode::Unavailable, "backend write failed");
+            return false;
+        }
+        let sess = self.sessions[slot].as_mut().expect("registered session");
+        let mut old = sess.backend.take().expect("registered session");
+        let _ = old.core.try_send(&Message::Deregister);
+        let _ = old.core.flush();
+        sess.draining = Some(old);
+        sess.backend = Some(Backend { core, region: to });
+        self.shared.handoffs.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn connect_backend(&self, region: RegionId) -> io::Result<ClientCore> {
+        let addr = self.shared.cfg.backends[region.0 as usize];
+        ClientCore::connect(addr)
+    }
+
+    fn client_write_ready(&mut self, slot: usize) {
+        let Some(sess) = self.sessions[slot].as_mut() else {
+            return;
+        };
+        match sess.wbuf.write_to(&mut sess.stream) {
+            Ok(n) => {
+                self.shared.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                let sess = self.sessions[slot].as_mut().expect("checked above");
+                if sess.closing && sess.wbuf.is_empty() {
+                    self.drop_session(slot);
+                }
+            }
+            Err(_) => self.drop_session(slot),
+        }
+    }
+
+    // ---- backend side ---------------------------------------------
+
+    fn backend_write_ready(&mut self, slot: usize, draining: bool) {
+        let Some(sess) = self.sessions[slot].as_mut() else {
+            return;
+        };
+        let leg = if draining {
+            sess.draining.as_mut()
+        } else {
+            sess.backend.as_mut()
+        };
+        if let Some(b) = leg {
+            if b.core.flush().is_err() && !draining {
+                self.fail(slot, ErrorCode::Unavailable, "backend write failed");
+            }
+        }
+    }
+
+    /// Forwards every frame the backend has ready; handles its EOF.
+    fn backend_read_ready(&mut self, slot: usize, draining: bool) {
+        loop {
+            let Some(sess) = self.sessions[slot].as_mut() else {
+                return;
+            };
+            let Some(leg) = (if draining {
+                sess.draining.as_mut()
+            } else {
+                sess.backend.as_mut()
+            }) else {
+                return;
+            };
+            let region = leg.region;
+            match leg.core.poll_message() {
+                Ok(Some(msg)) => {
+                    if !self.forward_backend_frame(slot, region, msg) {
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    if leg.core.is_eof() {
+                        self.backend_closed(slot, draining);
+                    }
+                    return;
+                }
+                Err(_) => {
+                    // Corrupt framing or transport error on this one
+                    // backend leg: this session is lost, its neighbors
+                    // are not.
+                    self.fail(slot, ErrorCode::Malformed, "backend stream corrupt");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Rewrites and forwards one backend frame to the client. Returns
+    /// `false` once the session is closing or gone.
+    fn forward_backend_frame(&mut self, slot: usize, region: RegionId, msg: Message) -> bool {
+        let out = match msg {
+            Message::KnnResult {
+                epoch,
+                ids,
+                outcome,
+                flags,
+            } => {
+                let rewritten = {
+                    let tables = self.shared.tables.read().unwrap_or_else(|e| e.into_inner());
+                    rewrite_ids(tables.get(region.0 as usize), ids)
+                };
+                match rewritten {
+                    Some(global) => Message::KnnResult {
+                        epoch,
+                        ids: global,
+                        outcome,
+                        flags,
+                    },
+                    None => {
+                        self.fail(
+                            slot,
+                            ErrorCode::Malformed,
+                            &format!("backend {region} returned an unknown site id"),
+                        );
+                        return false;
+                    }
+                }
+            }
+            // Per-region epochs pass through: the client sees the epoch
+            // stream of whichever region serves it, exactly as pushed.
+            Message::EpochNotify { epoch } => Message::EpochNotify { epoch },
+            Message::Error { code, detail } => {
+                // The backend is closing this query's session; relay the
+                // verdict and end ours the same way.
+                self.push_to_client(slot, &Message::Error { code, detail });
+                self.close_after_flush(slot);
+                return false;
+            }
+            _ => {
+                self.fail(slot, ErrorCode::Malformed, "backend protocol violation");
+                return false;
+            }
+        };
+        self.push_to_client(slot, &out)
+    }
+
+    /// Queues one frame on the client socket (dropping the session if
+    /// its buffer is exhausted — the same slow-consumer rule as the net
+    /// server) and flushes opportunistically.
+    fn push_to_client(&mut self, slot: usize, msg: &Message) -> bool {
+        let Some(sess) = self.sessions[slot].as_mut() else {
+            return false;
+        };
+        let frame = msg.encode_frame();
+        if !sess.wbuf.push(&frame) {
+            self.drop_session(slot);
+            return false;
+        }
+        self.client_write_ready(slot);
+        self.sessions[slot].is_some()
+    }
+
+    /// One backend stream ended. The draining (old) leg ending is the
+    /// handoff completing; the current leg ending is either the finish
+    /// of a deregistered session or an outage.
+    fn backend_closed(&mut self, slot: usize, draining: bool) {
+        let Some(sess) = self.sessions[slot].as_mut() else {
+            return;
+        };
+        if draining {
+            sess.draining = None;
+            return;
+        }
+        sess.backend = None;
+        if sess.finishing {
+            self.close_after_flush(slot);
+        } else {
+            self.fail(slot, ErrorCode::Unavailable, "partition backend lost");
+        }
+    }
+
+    // ---- teardown -------------------------------------------------
+
+    /// Ends a session with a final error frame to the client.
+    fn fail(&mut self, slot: usize, code: ErrorCode, detail: &str) {
+        let Some(sess) = self.sessions[slot].as_mut() else {
+            return;
+        };
+        if sess.counted_live() {
+            self.shared.live.fetch_sub(1, Ordering::Relaxed);
+        }
+        let frame = Message::Error {
+            code,
+            detail: detail.to_string(),
+        }
+        .encode_frame();
+        let _ = sess.wbuf.push(&frame);
+        sess.closing = true;
+        sess.backend = None;
+        sess.draining = None;
+        self.client_write_ready(slot);
+    }
+
+    /// Graceful end: flush what is queued, then drop.
+    fn close_after_flush(&mut self, slot: usize) {
+        let Some(sess) = self.sessions[slot].as_mut() else {
+            return;
+        };
+        if sess.counted_live() {
+            self.shared.live.fetch_sub(1, Ordering::Relaxed);
+        }
+        sess.closing = true;
+        sess.backend = None;
+        sess.draining = None;
+        if sess.wbuf.is_empty() {
+            self.drop_session(slot);
+            return;
+        }
+        self.client_write_ready(slot);
+    }
+
+    fn drop_session(&mut self, slot: usize) {
+        if let Some(sess) = self.sessions[slot].take() {
+            if sess.counted_live() {
+                self.shared.live.fetch_sub(1, Ordering::Relaxed);
+            }
+            let _ = sess.stream.shutdown(Shutdown::Both);
+            self.free.push(slot);
+        }
+    }
+
+    fn close_all(&mut self) {
+        for slot in 0..self.sessions.len() {
+            self.drop_session(slot);
+        }
+    }
+}
+
+/// The planar position of a wire position (`None` for road-network
+/// positions — the router only partitions planar spaces for now).
+fn planar(pos: &WirePos) -> Option<Point> {
+    match *pos {
+        WirePos::Point { x, y } if x.is_finite() && y.is_finite() => Some(Point::new(x, y)),
+        _ => None,
+    }
+}
+
+/// Maps region-local result ids through one table row (`None` row =
+/// identity). `None` means some id was out of range — a corrupt backend.
+fn rewrite_ids(row: Option<&Vec<u32>>, ids: Vec<u32>) -> Option<Vec<u32>> {
+    match row {
+        None => Some(ids),
+        Some(row) => ids
+            .into_iter()
+            .map(|local| row.get(local as usize).copied())
+            .collect(),
+    }
+}

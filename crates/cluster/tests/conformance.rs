@@ -1,0 +1,229 @@
+//! Cluster conformance: the partitioned engine against the single-world
+//! engine it shards.
+//!
+//! The contract under test (module docs of `insq_cluster::plan`): with a
+//! sufficient overlap margin every per-tick result is *certified* and
+//! bit-identical — same global ids, same order — to what one
+//! unpartitioned `FleetEngine` computes from the same positions; with a
+//! starved margin, degradation near borders is explicit (uncertified
+//! flags), never a silently wrong result. And the whole partitioned
+//! stream is bit-identical across worker thread counts, through a
+//! mid-run delta epoch and through handoffs.
+
+use std::sync::Arc;
+
+use insq_cluster::{ClientId, ClientResult, ClusterPlan, PartitionGroup};
+use insq_core::{Euclidean, InsConfig, MovingKnn};
+use insq_geom::{Aabb, Point};
+use insq_index::{SiteDelta, VorTree};
+use insq_server::{
+    FleetConfig, FleetEngine, GridPartitioner, InsFleetQuery, TickPolicy, TickPos, World,
+};
+use insq_workload::{FleetScenario, TrajectoryKind};
+
+const K: usize = 4;
+const CLIENTS: usize = 24;
+const TICKS: usize = 60;
+const DELTA_AT: usize = 30;
+
+fn scenario() -> FleetScenario {
+    FleetScenario {
+        clients: CLIENTS,
+        n: 400,
+        k: K,
+        rho: 1.8,
+        // Shuttles sweep the full width every loop: each client crosses
+        // every vertical partition border repeatedly.
+        mix: vec![TrajectoryKind::Shuttle],
+        speed: 3.0,
+        ticks: TICKS,
+        updates: vec![],
+        seed: 77,
+        ..FleetScenario::default()
+    }
+}
+
+fn bounds() -> Aabb {
+    Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+}
+
+/// The mid-run world change: drop a handful of sites (including some in
+/// the border band) and add fresh ones.
+fn delta(sites: &[Point]) -> SiteDelta {
+    SiteDelta {
+        removed: (0..8)
+            .map(|i| insq_voronoi::SiteId((i * 37 % sites.len()) as u32))
+            .collect(),
+        added: (0..10)
+            .map(|i| Point::new(31.0 + 4.1 * i as f64, 3.0 + (9.3 * i as f64) % 94.0))
+            .collect(),
+    }
+}
+
+/// Runs the partitioned group: `regions` vertical strips, `margin`,
+/// `threads` workers, the scenario's shuttle fleet, one delta epoch at
+/// `DELTA_AT`. Returns the full per-tick result stream.
+fn run_partitioned(regions: u32, margin: f64, threads: usize) -> Vec<Vec<ClientResult>> {
+    let sc = scenario();
+    let sites = sc.points(0);
+    let clip = sc.clip_window();
+    let part = Arc::new(GridPartitioner::strips(bounds(), regions));
+    let plan = ClusterPlan::new(part, margin, sites.clone());
+    let worlds: Vec<_> = (0..plan.regions())
+        .map(|r| {
+            let pts = plan.region_sites(insq_server::RegionId(r as u32));
+            Arc::new(World::new(VorTree::build(pts, clip).expect("valid sites")))
+        })
+        .collect();
+    let mut group =
+        PartitionGroup::<Euclidean>::new(plan, worlds, FleetConfig::with_threads(threads));
+
+    let trajs: Vec<_> = (0..CLIENTS).map(|c| sc.client_trajectory(c)).collect();
+    let cids: Vec<ClientId> = (0..CLIENTS)
+        .map(|c| {
+            group
+                .register(sc.position(&trajs[c], c, 0), InsConfig::new(K, sc.rho))
+                .expect("register")
+        })
+        .collect();
+
+    let mut stream = Vec::with_capacity(TICKS);
+    for tick in 0..TICKS {
+        if tick == DELTA_AT {
+            group.apply(&delta(&sites)).expect("delta splits cleanly");
+        }
+        let results = group.tick(TickPolicy::Barrier, |cid| {
+            let c = cids.iter().position(|&x| x == cid).expect("known client");
+            TickPos::Fresh(sc.position(&trajs[c], c, tick))
+        });
+        assert_eq!(results.len(), CLIENTS);
+        stream.push(results);
+    }
+
+    // Every regional world stayed the exact mirror of the plan's
+    // membership through the delta epoch.
+    for r in 0..group.plan().regions() {
+        let rid = insq_server::RegionId(r as u32);
+        let (_, snap) = group.worlds()[r].snapshot();
+        let expect = group.plan().region_sites(rid);
+        assert_eq!(snap.len(), expect.len(), "region {rid} site count");
+        for (l, &p) in expect.iter().enumerate() {
+            assert_eq!(snap.point(insq_voronoi::SiteId(l as u32)), p);
+        }
+    }
+    assert!(
+        group.handoffs() > 0,
+        "shuttle fleet must cross borders: {:?}",
+        group
+    );
+    stream
+}
+
+/// The unpartitioned reference: one engine, one world, same positions,
+/// same delta. Returns per-tick global kNN ids per client.
+fn run_single_world() -> Vec<Vec<Vec<u32>>> {
+    let sc = scenario();
+    let sites = sc.points(0);
+    let clip = sc.clip_window();
+    let world = Arc::new(World::new(
+        VorTree::build(sites.clone(), clip).expect("valid sites"),
+    ));
+    let mut engine: FleetEngine<VorTree, InsFleetQuery> =
+        FleetEngine::new(Arc::clone(&world), FleetConfig::with_threads(2));
+    let trajs: Vec<_> = (0..CLIENTS).map(|c| sc.client_trajectory(c)).collect();
+    let qids: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            engine.register(InsFleetQuery::new(&world, InsConfig::new(K, sc.rho)).expect("query"))
+        })
+        .collect();
+
+    let mut stream = Vec::with_capacity(TICKS);
+    for tick in 0..TICKS {
+        if tick == DELTA_AT {
+            world.apply(&delta(&sites)).expect("delta applies");
+        }
+        engine.tick_all(|qid| {
+            let c = qids.iter().position(|&x| x == qid).expect("known query");
+            sc.position(&trajs[c], c, tick)
+        });
+        let mut by_client = vec![Vec::new(); CLIENTS];
+        engine.for_each_query(|qid, q| {
+            let c = qids.iter().position(|&x| x == qid).expect("known query");
+            by_client[c] = q.current_knn().into_iter().map(|s| s.0).collect();
+        });
+        stream.push(by_client);
+    }
+    stream
+}
+
+#[test]
+fn certified_results_are_bit_identical_to_single_world() {
+    let single = run_single_world();
+    let grouped = run_partitioned(2, 30.0, 2);
+    let mut certified = 0usize;
+    let mut total = 0usize;
+    for (tick, results) in grouped.iter().enumerate() {
+        for res in results {
+            total += 1;
+            if res.certified {
+                certified += 1;
+                assert_eq!(
+                    res.knn, single[tick][res.client.0 as usize],
+                    "tick {tick} client {} (region {}, handoff {})",
+                    res.client, res.region, res.handoff
+                );
+            }
+        }
+    }
+    // A 30-unit margin dwarfs every k-th-neighbor distance at n=400 in a
+    // 100×100 space: the whole stream certifies.
+    assert_eq!(certified, total, "sufficient margin certifies every tick");
+}
+
+#[test]
+fn starved_margin_degrades_loudly_never_silently() {
+    let single = run_single_world();
+    let grouped = run_partitioned(2, 2.0, 2);
+    let mut uncertified = 0usize;
+    for (tick, results) in grouped.iter().enumerate() {
+        for res in results {
+            if res.certified {
+                // The contract holds at any margin: certified ⇒ global.
+                assert_eq!(
+                    res.knn, single[tick][res.client.0 as usize],
+                    "tick {tick} client {}",
+                    res.client
+                );
+            } else {
+                uncertified += 1;
+                // Degraded is still well-formed: a full k of real sites.
+                assert_eq!(res.knn.len(), K);
+            }
+        }
+    }
+    assert!(
+        uncertified > 0,
+        "a 2-unit margin must starve some border queries"
+    );
+}
+
+#[test]
+fn partitioned_stream_is_thread_count_invariant() {
+    let one = run_partitioned(2, 12.0, 1);
+    let two = run_partitioned(2, 12.0, 2);
+    let eight = run_partitioned(2, 12.0, 8);
+    assert_eq!(one, two, "1 ≡ 2 threads");
+    assert_eq!(two, eight, "2 ≡ 8 threads");
+}
+
+#[test]
+fn four_way_grid_certifies_and_matches_too() {
+    let single = run_single_world();
+    let grouped = run_partitioned(4, 30.0, 2);
+    for (tick, results) in grouped.iter().enumerate() {
+        for res in results {
+            assert!(res.certified, "tick {tick} client {}", res.client);
+            assert_eq!(res.knn, single[tick][res.client.0 as usize]);
+        }
+    }
+}

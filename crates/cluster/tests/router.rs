@@ -1,0 +1,290 @@
+//! Router end-to-end and failure-isolation tests: real partition
+//! backends behind a [`RouterServer`], driven by ordinary blocking
+//! `insq-net` clients, plus hostile fake backends for the wire-level
+//! fuzz cases.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::thread;
+
+use insq_cluster::{ClusterPlan, RouterConfig, RouterServer};
+use insq_core::Euclidean;
+use insq_geom::{Aabb, Point};
+use insq_index::VorTree;
+use insq_net::wire::{ErrorCode, Message, WireOutcome};
+use insq_net::{FrameBuf, NetClient, NetError, NetServer, NetServerConfig};
+use insq_server::{GridPartitioner, World};
+use insq_workload::Distribution;
+
+const K: usize = 4;
+const MARGIN: f64 = 30.0;
+
+fn bounds() -> Aabb {
+    Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+}
+
+/// Brute-force global kNN ids, ascending by `(distance, id)`.
+fn brute_knn(sites: &[Point], q: Point, k: usize) -> Vec<u32> {
+    let mut with_d: Vec<(f64, u32)> = sites
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p.distance(q), i as u32))
+        .collect();
+    with_d.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    with_d.into_iter().take(k).map(|(_, i)| i).collect()
+}
+
+/// Spins up `regions` real partition backends over one plan and a
+/// router in front of them. Returns (plan, backends, router).
+fn cluster(
+    regions: u32,
+    sites: Vec<Point>,
+) -> (ClusterPlan, Vec<NetServer<Euclidean>>, RouterServer) {
+    let part = Arc::new(GridPartitioner::strips(bounds(), regions));
+    let plan = ClusterPlan::new(part.clone(), MARGIN, sites);
+    let clip = bounds().inflated(10.0);
+    let backends: Vec<NetServer<Euclidean>> = (0..plan.regions())
+        .map(|r| {
+            let pts = plan.region_sites(insq_server::RegionId(r as u32));
+            let world = Arc::new(World::new(VorTree::build(pts, clip).expect("valid sites")));
+            let cfg = NetServerConfig {
+                certify_within: Some(MARGIN),
+                ..NetServerConfig::default()
+            };
+            NetServer::bind("127.0.0.1:0", world, cfg).expect("backend binds")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = backends.iter().map(NetServer::local_addr).collect();
+    let cfg = RouterConfig {
+        tables: plan.tables(),
+        ..RouterConfig::new(addrs)
+    };
+    let router = RouterServer::bind("127.0.0.1:0", part, cfg).expect("router binds");
+    (plan, backends, router)
+}
+
+#[test]
+fn one_session_crosses_the_border_and_stays_exact() {
+    let sites = Distribution::Uniform.generate(500, &bounds(), 42);
+    let (plan, _backends, router) = cluster(2, sites.clone());
+
+    // One client walks straight across the x=50 border on one
+    // uninterrupted connection.
+    let mut client = NetClient::connect(router.local_addr()).expect("connect");
+    let path: Vec<Point> = (0..30)
+        .map(|i| Point::new(20.0 + 2.1 * i as f64, 48.0))
+        .collect();
+    client
+        .register::<Euclidean>(K, 1.8, path[0])
+        .expect("register");
+    for (i, &pos) in path.iter().enumerate() {
+        if i > 0 {
+            client.update::<Euclidean>(pos).expect("update");
+        }
+        let upd = client.next_result().expect("result");
+        assert_eq!(upd.flags, 0, "tick {i}: a {MARGIN}-unit margin certifies");
+        assert_eq!(
+            upd.ids,
+            brute_knn(&sites, pos, K),
+            "tick {i} at {pos:?}: rewritten global ids must be the exact global kNN"
+        );
+    }
+    assert!(router.handoffs() >= 1, "the walk crosses x=50: {router:?}");
+    assert_eq!(router.live_sessions(), 1);
+    let _ = plan;
+    client.deregister().expect("deregister");
+    // The backend confirms the close by ending the stream.
+    assert!(matches!(client.next_result(), Err(NetError::Closed)));
+}
+
+#[test]
+fn fleet_of_shuttles_survives_many_handoffs() {
+    let sites = Distribution::Uniform.generate(400, &bounds(), 7);
+    let (_plan, _backends, router) = cluster(2, sites.clone());
+
+    let addr = router.local_addr();
+    let handles: Vec<_> = (0..6u64)
+        .map(|c| {
+            let sites = sites.clone();
+            thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let lane = 10.0 + 13.0 * c as f64;
+                let pos_at = |t: usize| {
+                    // A ping-pong shuttle across the border.
+                    let x = 48.0 + 8.0 * ((t as f64 * 0.7).sin());
+                    Point::new(x, lane)
+                };
+                client
+                    .register::<Euclidean>(K, 1.8, pos_at(0))
+                    .expect("register");
+                for t in 0..40 {
+                    if t > 0 {
+                        client.update::<Euclidean>(pos_at(t)).expect("update");
+                    }
+                    let upd = client.next_result().expect("result");
+                    assert_eq!(upd.flags, 0);
+                    assert_eq!(
+                        upd.ids,
+                        brute_knn(&sites, pos_at(t), K),
+                        "client {c} tick {t}"
+                    );
+                }
+                client.deregister().expect("deregister");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    assert!(router.handoffs() >= 6, "every shuttle crosses: {router:?}");
+}
+
+/// A hostile backend for the fuzz cases: serves the first `well_behaved`
+/// connections a valid lockstep result per inbound frame, then feeds
+/// every later connection `poison` bytes instead.
+fn hostile_backend(well_behaved: usize, poison: &'static [u8]) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    thread::spawn(move || {
+        let mut served = 0usize;
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { continue };
+            let good = served < well_behaved;
+            served += 1;
+            thread::spawn(move || {
+                let mut rbuf = FrameBuf::new();
+                let mut chunk = [0u8; 4096];
+                loop {
+                    use std::io::Read;
+                    let n = match conn.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => n,
+                    };
+                    rbuf.extend(&chunk[..n]);
+                    while let Ok(Some((msg, _))) = rbuf.next_message() {
+                        match msg {
+                            Message::Register { .. } | Message::PositionUpdate { .. } => {
+                                if good {
+                                    let frame = Message::KnnResult {
+                                        epoch: 1,
+                                        ids: vec![0, 1, 2, 3],
+                                        outcome: WireOutcome::Valid,
+                                        flags: 0,
+                                    }
+                                    .encode_frame();
+                                    if conn.write_all(&frame).is_err() {
+                                        return;
+                                    }
+                                } else {
+                                    let _ = conn.write_all(poison);
+                                    let _ = conn.flush();
+                                    return;
+                                }
+                            }
+                            Message::Deregister => return,
+                            _ => return,
+                        }
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn malformed_backend_frames_poison_only_their_own_session() {
+    // Version byte 0xFF inside a length-sane frame: undecodable payload.
+    let poison: &[u8] = &[0x00, 0x00, 0x00, 0x02, 0xFF, 0xFF];
+    let backend = hostile_backend(1, poison);
+    let part = Arc::new(GridPartitioner::strips(bounds(), 1));
+    let router = RouterServer::bind("127.0.0.1:0", part, RouterConfig::new(vec![backend]))
+        .expect("router binds");
+
+    // First session: well served (identity tables — no rewrite).
+    let mut good = NetClient::connect(router.local_addr()).expect("connect");
+    good.register::<Euclidean>(K, 1.8, Point::new(10.0, 10.0))
+        .expect("register");
+    assert_eq!(good.next_result().expect("result").ids, vec![0, 1, 2, 3]);
+
+    // Second session: poisoned — fails alone, with a clean error frame.
+    let mut bad = NetClient::connect(router.local_addr()).expect("connect");
+    bad.register::<Euclidean>(K, 1.8, Point::new(20.0, 20.0))
+        .expect("register");
+    match bad.next_result() {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected a Malformed error, got {other:?}"),
+    }
+
+    // The good session keeps streaming after its neighbor's poisoning.
+    for _ in 0..3 {
+        good.update::<Euclidean>(Point::new(11.0, 11.0))
+            .expect("update");
+        assert_eq!(good.next_result().expect("result").ids, vec![0, 1, 2, 3]);
+    }
+}
+
+#[test]
+fn out_of_range_backend_ids_fail_the_session_cleanly() {
+    let backend = hostile_backend(usize::MAX, &[]);
+    let part = Arc::new(GridPartitioner::strips(bounds(), 1));
+    // Tables with a 2-entry row: the fake backend's ids 2 and 3 have no
+    // global mapping — a corrupt backend, surfaced as Malformed.
+    let router = RouterServer::bind(
+        "127.0.0.1:0",
+        part,
+        RouterConfig {
+            tables: vec![vec![40, 41]],
+            ..RouterConfig::new(vec![backend])
+        },
+    )
+    .expect("router binds");
+
+    let mut client = NetClient::connect(router.local_addr()).expect("connect");
+    client
+        .register::<Euclidean>(K, 1.8, Point::new(10.0, 10.0))
+        .expect("register");
+    match client.next_result() {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected a Malformed error, got {other:?}"),
+    }
+}
+
+#[test]
+fn backend_loss_drops_only_that_partitions_sessions() {
+    let sites = Distribution::Uniform.generate(400, &bounds(), 11);
+    let (_plan, mut backends, router) = cluster(2, sites);
+
+    // One session per partition, both streaming.
+    let mut left = NetClient::connect(router.local_addr()).expect("connect");
+    left.register::<Euclidean>(K, 1.8, Point::new(10.0, 50.0))
+        .expect("register");
+    let mut right = NetClient::connect(router.local_addr()).expect("connect");
+    right
+        .register::<Euclidean>(K, 1.8, Point::new(90.0, 50.0))
+        .expect("register");
+    left.next_result().expect("left result");
+    right.next_result().expect("right result");
+
+    // Partition 0 dies.
+    backends.remove(0).shutdown();
+
+    // The left session ends with a clean Unavailable verdict (whether
+    // the router noticed the EOF first or the next forward failed).
+    left.update::<Euclidean>(Point::new(11.0, 50.0))
+        .expect("update reaches the router");
+    match left.next_result() {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, ErrorCode::Unavailable),
+        Err(NetError::Closed) => panic!("must carry an explicit Unavailable error"),
+        other => panic!("expected Unavailable, got {other:?}"),
+    }
+
+    // The right session never notices.
+    for i in 0..3 {
+        right
+            .update::<Euclidean>(Point::new(90.0 - i as f64, 50.0))
+            .expect("update");
+        right.next_result().expect("right keeps streaming");
+    }
+}

@@ -192,6 +192,7 @@ mod tests {
             epoch: i,
             ids: vec![i as u32, i as u32 + 1],
             outcome: WireOutcome::Valid,
+            flags: 0,
         }
     }
 

@@ -73,6 +73,9 @@ pub struct KnnUpdate {
     pub ids: Vec<u32>,
     /// What the INS protocol had to do this tick.
     pub outcome: WireOutcome,
+    /// Result qualifiers ([`crate::wire::FLAG_UNCERTIFIED`]); 0 on a
+    /// single-world server.
+    pub flags: u8,
     /// Epochs announced by `EpochNotify` frames since the last result.
     pub notified: Vec<u64>,
 }
@@ -88,6 +91,8 @@ pub enum ClientEvent {
         ids: Vec<u32>,
         /// What the INS protocol had to do this tick.
         outcome: WireOutcome,
+        /// Result qualifiers ([`crate::wire::FLAG_UNCERTIFIED`]).
+        flags: u8,
     },
     /// The server published a new index epoch.
     Epoch(u64),
@@ -227,10 +232,12 @@ impl ClientCore {
                 epoch,
                 ids,
                 outcome,
+                flags,
             }) => ClientEvent::Result {
                 epoch,
                 ids,
                 outcome,
+                flags,
             },
             Some(Message::EpochNotify { epoch }) => ClientEvent::Epoch(epoch),
             Some(Message::Error { code, detail }) => ClientEvent::ServerError { code, detail },
@@ -362,11 +369,13 @@ impl NetClient {
                     epoch,
                     ids,
                     outcome,
+                    flags,
                 }) => {
                     return Ok(KnnUpdate {
                         epoch,
                         ids,
                         outcome,
+                        flags,
                         notified,
                     })
                 }

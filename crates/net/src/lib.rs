@@ -98,5 +98,5 @@ pub use server::{NetServer, NetServerConfig};
 pub use space::{PosError, WireSpace};
 pub use wire::{
     Decode, DecodeError, Encode, ErrorCode, Message, Reader, SpaceKind, WireOutcome, WirePos,
-    MAX_IDS, MAX_PAYLOAD_LEN, WIRE_VERSION,
+    FLAG_UNCERTIFIED, MAX_IDS, MAX_PAYLOAD_LEN, WIRE_VERSION,
 };

@@ -91,6 +91,15 @@ pub struct NetServerConfig {
     /// Hard cap on concurrent connections; beyond it the reactor stops
     /// accepting until a session closes (`0` means no cap).
     pub max_sessions: usize,
+    /// Partition-backend mode: the replication margin this server's
+    /// world is guaranteed complete within. When set, every fresh
+    /// [`Message::KnnResult`] carries
+    /// [`crate::wire::FLAG_UNCERTIFIED`] unless the query's k-th
+    /// neighbor distance (at its tick position) is ≤ this margin and a
+    /// full k neighbors exist — i.e. the served index provably contains
+    /// every site that could beat the result. `None` (the default, a
+    /// whole-world server) always certifies.
+    pub certify_within: Option<f64>,
 }
 
 impl Default for NetServerConfig {
@@ -102,6 +111,7 @@ impl Default for NetServerConfig {
             write_buf: 64 * 1024,
             tick_interval: Duration::from_millis(5),
             max_sessions: 0,
+            certify_within: None,
         }
     }
 }
@@ -731,10 +741,25 @@ impl<S: WireSpace> Reactor<S> {
                 debug_assert_eq!(did, qid, "disposition order matches query order");
                 let msg = disposition.outcome().map(|outcome| {
                     let ids: Vec<u32> = q.current_knn().into_iter().map(S::id_to_wire).collect();
+                    let flags = match self.shared.cfg.certify_within {
+                        Some(margin) => {
+                            let p = q.processor();
+                            let knn = p.current_knn_with_dists();
+                            let full = knn.len() >= p.config().k;
+                            let kth = knn.last().map_or(f64::INFINITY, |&(_, d)| d);
+                            if full && kth <= margin {
+                                0
+                            } else {
+                                crate::wire::FLAG_UNCERTIFIED
+                            }
+                        }
+                        None => 0,
+                    };
                     Message::KnnResult {
                         epoch: summary.epoch.0,
                         ids,
                         outcome: outcome.into(),
+                        flags,
                     }
                 });
                 results.push((qid, msg));

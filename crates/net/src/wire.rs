@@ -32,7 +32,19 @@ use std::io::{self, Read, Write};
 /// Protocol version carried by every frame. A decoder rejects frames
 /// whose version byte differs — bump this when the message set changes
 /// incompatibly.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version history: 1 = PR 5/6 message set; 2 = [`Message::KnnResult`]
+/// carries a `flags` byte (partition certification) and
+/// [`ErrorCode::Unavailable`] exists (router backend loss).
+pub const WIRE_VERSION: u8 = 2;
+
+/// [`Message::KnnResult`] flag bit: the serving partition could not
+/// certify this result against the global site set — the query's k-th
+/// neighbor distance exceeded the partition's replication margin (or the
+/// partition holds fewer than k sites), so a site owned by another
+/// partition *may* be closer. Degraded, never silently wrong: the ids
+/// are still the exact kNN over the partition's replicated site set.
+pub const FLAG_UNCERTIFIED: u8 = 1;
 
 /// Hard upper bound on a frame's payload length. Checked against the
 /// length prefix before anything is allocated; generous enough for a
@@ -429,6 +441,10 @@ pub enum ErrorCode {
     /// session *without* an error frame: its writer may be wedged
     /// mid-frame, so nothing can be safely interleaved on the socket.
     Overloaded,
+    /// The partition backend serving this session was lost (router
+    /// deployments only). The session is closed; re-registering opens a
+    /// fresh one.
+    Unavailable,
 }
 
 impl Encode for ErrorCode {
@@ -441,6 +457,7 @@ impl Encode for ErrorCode {
             ErrorCode::Malformed => 4,
             ErrorCode::BadPosition => 5,
             ErrorCode::Overloaded => 6,
+            ErrorCode::Unavailable => 7,
         };
         b.encode(out);
     }
@@ -456,6 +473,7 @@ impl Decode for ErrorCode {
             4 => Ok(ErrorCode::Malformed),
             5 => Ok(ErrorCode::BadPosition),
             6 => Ok(ErrorCode::Overloaded),
+            7 => Ok(ErrorCode::Unavailable),
             value => Err(DecodeError::BadDiscriminant {
                 what: "error code",
                 value,
@@ -500,6 +518,9 @@ pub enum Message {
         ids: Vec<u32>,
         /// What the INS protocol had to do this tick.
         outcome: WireOutcome,
+        /// Result qualifiers ([`FLAG_UNCERTIFIED`]); 0 on a single-world
+        /// server. Unknown bits are reserved and must be ignored.
+        flags: u8,
     },
     /// The server published a new index epoch; the session's query
     /// rebinds at its next tick. Pushed at most once per epoch per
@@ -547,11 +568,13 @@ impl Message {
                 epoch,
                 ids,
                 outcome,
+                flags,
             } => {
                 Self::TAG_KNN_RESULT.encode(out);
                 epoch.encode(out);
                 ids.encode(out);
                 outcome.encode(out);
+                flags.encode(out);
             }
             Message::EpochNotify { epoch } => {
                 Self::TAG_EPOCH_NOTIFY.encode(out);
@@ -589,6 +612,7 @@ impl Message {
                 epoch: u64::decode(&mut r)?,
                 ids: Vec::<u32>::decode(&mut r)?,
                 outcome: WireOutcome::decode(&mut r)?,
+                flags: u8::decode(&mut r)?,
             },
             Self::TAG_EPOCH_NOTIFY => Message::EpochNotify {
                 epoch: u64::decode(&mut r)?,
@@ -676,6 +700,7 @@ mod tests {
             epoch: 7,
             ids: vec![3, 1, 4, 1, 5],
             outcome: WireOutcome::Swap,
+            flags: FLAG_UNCERTIFIED,
         };
         let mut wire = Vec::new();
         let wrote = write_message(&mut wire, &msg).unwrap();

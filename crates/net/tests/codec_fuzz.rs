@@ -43,6 +43,7 @@ fn corpus() -> Vec<Message> {
             epoch: 42,
             ids: vec![9, 1, 7, 0, u32::MAX],
             outcome: WireOutcome::LocalRerank,
+            flags: insq_net::wire::FLAG_UNCERTIFIED,
         },
         Message::EpochNotify { epoch: u64::MAX },
         Message::Error {

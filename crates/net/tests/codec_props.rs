@@ -48,6 +48,7 @@ fn arb_code() -> BoxedStrategy<ErrorCode> {
         Just(ErrorCode::Malformed),
         Just(ErrorCode::BadPosition),
         Just(ErrorCode::Overloaded),
+        Just(ErrorCode::Unavailable),
     ]
     .boxed()
 }
@@ -68,13 +69,14 @@ fn arb_message() -> BoxedStrategy<Message> {
             .prop_map(|(space, k, rho, pos)| Message::Register { space, k, rho, pos }),
         arb_pos().prop_map(|pos| Message::PositionUpdate { pos }),
         Just(Message::Deregister),
-        ((0u64..u64::MAX), arb_ids(), arb_outcome()).prop_map(|(epoch, ids, outcome)| {
-            Message::KnnResult {
+        ((0u64..u64::MAX), arb_ids(), arb_outcome(), 0u32..256).prop_map(
+            |(epoch, ids, outcome, flags)| Message::KnnResult {
                 epoch,
                 ids,
                 outcome,
+                flags: flags as u8,
             }
-        }),
+        ),
         (0u64..u64::MAX).prop_map(|epoch| Message::EpochNotify { epoch }),
         (arb_code(), arb_detail()).prop_map(|(code, detail)| Message::Error { code, detail }),
     ]
@@ -113,8 +115,8 @@ proptest! {
     }
 
     #[test]
-    fn knn_result_roundtrips(epoch in 0u64..u64::MAX, ids in arb_ids(), outcome in arb_outcome()) {
-        roundtrip(&Message::KnnResult { epoch, ids, outcome })?;
+    fn knn_result_roundtrips(epoch in 0u64..u64::MAX, ids in arb_ids(), outcome in arb_outcome(), flags in 0u32..256) {
+        roundtrip(&Message::KnnResult { epoch, ids, outcome, flags: flags as u8 })?;
     }
 
     #[test]
@@ -163,6 +165,7 @@ fn empty_ids_roundtrip() {
         epoch: 0,
         ids: vec![],
         outcome: WireOutcome::Valid,
+        flags: 0,
     };
     let frame = msg.encode_frame();
     assert_eq!(Message::decode_payload(&frame[4..]), Ok(msg));
@@ -175,6 +178,7 @@ fn max_size_ids_roundtrip() {
         epoch: u64::MAX,
         ids: (0..MAX_IDS as u32).collect(),
         outcome: WireOutcome::Recompute,
+        flags: insq_net::wire::FLAG_UNCERTIFIED,
     };
     let frame = msg.encode_frame();
     assert!(frame.len() - 4 <= MAX_PAYLOAD_LEN);
@@ -186,7 +190,7 @@ fn one_past_max_ids_is_rejected() {
     // Hand-encode a KnnResult claiming MAX_IDS + 1 ids: the decoder must
     // reject the count against its cap, not trust it.
     let mut payload = Vec::new();
-    1u8.encode(&mut payload); // version
+    insq_net::wire::WIRE_VERSION.encode(&mut payload); // version
     3u8.encode(&mut payload); // KnnResult tag
     7u64.encode(&mut payload); // epoch
     ((MAX_IDS + 1) as u32).encode(&mut payload); // ids count: over cap

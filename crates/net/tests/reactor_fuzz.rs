@@ -59,6 +59,7 @@ fn corpus(rng: &mut StdRng, len: usize) -> Vec<Message> {
                 epoch: i as u64,
                 ids: (0..rng.random_range(0..64u32)).collect(),
                 outcome: WireOutcome::Swap,
+                flags: 0,
             },
             3 => Message::EpochNotify { epoch: i as u64 },
             _ => Message::Deregister,

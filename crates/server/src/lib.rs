@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 pub mod fleet;
+pub mod partition;
 pub mod queries;
 pub mod util;
 pub mod world;
@@ -74,6 +75,7 @@ pub use fleet::{
     FleetConfig, FleetEngine, FleetStats, QueryId, TickDisposition, TickPolicy, TickPos, TickSink,
     TickSummary,
 };
+pub use partition::{GridPartitioner, Partitioner, RegionId};
 pub use queries::{FleetQuery, InsFleetQuery, NetFleetQuery, SpaceQuery, WFleetQuery};
 pub use util::parallel_map;
 pub use world::{Epoch, NetworkWorld, World};

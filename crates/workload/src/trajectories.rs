@@ -24,6 +24,12 @@ pub enum TrajectoryKind {
         /// Radius as a fraction of the half-width (0 < r ≤ 1).
         radius_frac: f64,
     },
+    /// A horizontal shuttle: back and forth across the full width of
+    /// the data space in a seeded y-lane. The adversarial input for
+    /// spatial partitioning — a shuttle crosses every vertical
+    /// partition border twice per loop, so a fleet of them exercises
+    /// handoff continuously.
+    Shuttle,
 }
 
 impl TrajectoryKind {
@@ -58,6 +64,16 @@ impl TrajectoryKind {
                 Trajectory::new(vec![
                     Point::new(inner.min.x, c.y),
                     Point::new(inner.max.x, c.y),
+                ])
+                .expect("non-degenerate bounds")
+            }
+            TrajectoryKind::Shuttle => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let y = rng.random_range(inner.min.y..inner.max.y);
+                Trajectory::new(vec![
+                    Point::new(inner.min.x, y),
+                    Point::new(inner.max.x, y),
+                    Point::new(inner.min.x, y),
                 ])
                 .expect("non-degenerate bounds")
             }
@@ -104,6 +120,21 @@ mod tests {
         let t = TrajectoryKind::StraightCrossing.generate(&space(), 0);
         assert_eq!(t.waypoints().len(), 2);
         assert!((t.length() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuttle_crosses_every_vertical_border_each_loop() {
+        let t = TrajectoryKind::Shuttle.generate(&space(), 7);
+        let pts = t.waypoints();
+        assert_eq!(pts.len(), 3);
+        // Full inner width, closed loop, constant lane.
+        assert_eq!(pts[0].x, 5.0);
+        assert_eq!(pts[1].x, 95.0);
+        assert_eq!(pts[0], pts[2]);
+        assert_eq!(pts[0].y, pts[1].y);
+        // Distinct seeds shuttle in distinct lanes.
+        let t2 = TrajectoryKind::Shuttle.generate(&space(), 8);
+        assert_ne!(pts[0].y, t2.waypoints()[0].y);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! The INSQ system scaled out: partitions behind the router.
+//!
+//! Slices one Euclidean world into two vertical strips, boots a real
+//! `NetServer` per strip, and puts a `RouterServer` in front speaking
+//! the ordinary wire protocol. A handful of clients then shuttle across
+//! the partition border on single uninterrupted connections: the router
+//! re-homes each one transparently (deregister on the old backend,
+//! re-register on the new, ids rewritten to global), and because every
+//! regional index replicates sites within the overlap margin of its
+//! border, every answer is the exact global kNN — verified here
+//! tick-by-tick against brute force.
+//!
+//! Run with: `cargo run --release --example cluster_fleet`
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+
+use insq::cluster::{ClusterPlan, RouterConfig, RouterServer};
+use insq::core::Euclidean;
+use insq::net::{NetClient, NetServer, NetServerConfig};
+use insq::prelude::*;
+use insq::server::{GridPartitioner, RegionId};
+
+const K: usize = 5;
+const MARGIN: f64 = 15.0;
+const CLIENTS: usize = 6;
+const TICKS: usize = 50;
+
+fn brute_knn(sites: &[Point], q: Point, k: usize) -> Vec<u32> {
+    let mut with_d: Vec<(f64, u32)> = sites
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p.distance(q), i as u32))
+        .collect();
+    with_d.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    with_d.into_iter().take(k).map(|(_, i)| i).collect()
+}
+
+fn main() {
+    let bounds = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+    let sites = Distribution::Uniform.generate(2_000, &bounds, 2016);
+
+    // The partition map: two vertical strips with a 15-unit overlap
+    // margin — each regional index replicates every site within the
+    // margin of its strip, which is what makes border answers exact.
+    let part = Arc::new(GridPartitioner::strips(bounds, 2));
+    let plan = ClusterPlan::new(part.clone(), MARGIN, sites.clone());
+
+    // One real server per strip, each over its regional slice only.
+    let clip = bounds.inflated(10.0);
+    let backends: Vec<NetServer<Euclidean>> = (0..plan.regions())
+        .map(|r| {
+            let pts = plan.region_sites(RegionId(r as u32));
+            println!(
+                "partition {r}: {} of {} sites (strip + margin overlap)",
+                pts.len(),
+                sites.len()
+            );
+            let world = Arc::new(World::new(VorTree::build(pts, clip).expect("valid sites")));
+            let cfg = NetServerConfig {
+                certify_within: Some(MARGIN),
+                ..NetServerConfig::default()
+            };
+            NetServer::bind("127.0.0.1:0", world, cfg).expect("backend binds")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = backends.iter().map(NetServer::local_addr).collect();
+
+    // The router: clients speak the ordinary protocol to it and never
+    // learn the cluster exists.
+    let router = RouterServer::bind(
+        "127.0.0.1:0",
+        part,
+        RouterConfig {
+            tables: plan.tables(),
+            ..RouterConfig::new(addrs)
+        },
+    )
+    .expect("router binds");
+    println!(
+        "router on {} over {} partitions\n",
+        router.local_addr(),
+        plan.regions()
+    );
+
+    // Shuttle clients, one thread each: every one repeatedly crosses
+    // the x=50 border mid-session and checks its answers against brute
+    // force over the *global* site set.
+    let addr = router.local_addr();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let sites = sites.clone();
+            thread::spawn(move || {
+                let lane = 10.0 + 80.0 * c as f64 / CLIENTS as f64;
+                let pos_at = |t: usize| Point::new(50.0 + 30.0 * ((t as f64 * 0.35).sin()), lane);
+                let mut client = NetClient::connect(addr).expect("connect");
+                client
+                    .register::<Euclidean>(K, 1.8, pos_at(0))
+                    .expect("register");
+                for t in 0..TICKS {
+                    if t > 0 {
+                        client.update::<Euclidean>(pos_at(t)).expect("update");
+                    }
+                    let upd = client.next_result().expect("result");
+                    assert_eq!(upd.flags, 0, "the margin certifies every tick");
+                    assert_eq!(
+                        upd.ids,
+                        brute_knn(&sites, pos_at(t), K),
+                        "client {c} tick {t}: global kNN across the border"
+                    );
+                }
+                client.deregister().expect("deregister");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let (bytes_in, bytes_out) = router.wire_bytes();
+    println!(
+        "{} clients x {} ticks: {} transparent handoffs, every result the \
+         exact global kNN ({:.1} KiB up, {:.1} KiB down through the router)",
+        CLIENTS,
+        TICKS,
+        router.handoffs(),
+        bytes_in as f64 / 1024.0,
+        bytes_out as f64 / 1024.0,
+    );
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+    println!("router and backends drained and shut down cleanly");
+}

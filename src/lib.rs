@@ -93,6 +93,7 @@
 #![forbid(unsafe_code)]
 
 pub use insq_baselines as baselines;
+pub use insq_cluster as cluster;
 pub use insq_core as core;
 pub use insq_geom as geom;
 pub use insq_index as index;
@@ -108,6 +109,7 @@ pub mod prelude {
     pub use insq_baselines::{
         NaiveProcessor, NetNaiveProcessor, OkvProcessor, VStarConfig, VStarProcessor,
     };
+    pub use insq_cluster::{ClientId, ClusterPlan, PartitionGroup, RouterConfig, RouterServer};
     pub use insq_core::{
         influential_neighbor_set, minimal_influential_set, Euclidean, InsConfig, InsProcessor,
         MovingKnn, NetInsConfig, NetInsProcessor, Network, Processor, QueryStats, Space,
