@@ -49,7 +49,7 @@ use std::time::Duration;
 
 use insq_geom::Point;
 use insq_net::buffer::READ_CHUNK;
-use insq_net::sys::{self, PollFd};
+use insq_net::sys::{self, Event, Readiness, ReadinessKind};
 use insq_net::wire::{ErrorCode, Message, SpaceKind, WirePos};
 use insq_net::{ClientCore, FrameBuf, WriteBuf};
 use insq_server::{Partitioner, RegionId};
@@ -68,6 +68,12 @@ pub struct RouterConfig {
     pub write_buf: usize,
     /// Hard cap on concurrent sessions (`0` = no cap).
     pub max_sessions: usize,
+    /// Which readiness backend drives the routing reactor (the router
+    /// multiplexes 2–3 descriptors per session, so it hits the
+    /// `poll(2)` scan wall even sooner than the net server). Defaults
+    /// like [`insq_net::NetServerConfig::readiness`]: the
+    /// `INSQ_READINESS` environment variable, else auto.
+    pub readiness: ReadinessKind,
 }
 
 impl RouterConfig {
@@ -78,6 +84,7 @@ impl RouterConfig {
             tables: Vec::new(),
             write_buf: 256 * 1024,
             max_sessions: 0,
+            readiness: ReadinessKind::from_env(),
         }
     }
 }
@@ -129,6 +136,9 @@ impl RouterServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        // Opened here, not in the reactor thread, so an unsupported
+        // `ReadinessKind` fails the bind call.
+        let readiness = Readiness::new(cfg.readiness)?;
         let shared = Arc::new(RouterShared {
             part,
             tables: RwLock::new(cfg.tables.clone()),
@@ -141,7 +151,7 @@ impl RouterServer {
         });
         let reactor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || Router::new(shared, listener).run())
+            std::thread::spawn(move || Router::new(shared, listener, readiness).run())
         };
         Ok(RouterServer {
             shared,
@@ -211,6 +221,21 @@ impl Drop for RouterServer {
 struct Backend {
     core: ClientCore,
     region: RegionId,
+    /// What the readiness backend currently has for this leg's fd:
+    /// `(read, write, token)`; `None` until the first interest sync
+    /// registers it. The token changes when a handoff re-tags the leg
+    /// from current to draining.
+    reg: Option<(bool, bool, u64)>,
+}
+
+impl Backend {
+    fn new(core: ClientCore, region: RegionId) -> Backend {
+        Backend {
+            core,
+            region,
+            reg: None,
+        }
+    }
 }
 
 /// The query facts needed to re-register at a handoff target.
@@ -236,6 +261,8 @@ struct Session {
     finishing: bool,
     /// Client write side: flush `wbuf`, then drop.
     closing: bool,
+    /// The `(read, write)` interest registered for the client socket.
+    client_reg: (bool, bool),
 }
 
 impl Session {
@@ -244,37 +271,60 @@ impl Session {
     }
 }
 
-#[derive(Clone, Copy)]
-enum Target {
-    Listener,
-    /// Client-facing socket of a session.
-    Client(usize),
-    /// A session's backend socket (`true` = the draining old leg).
-    Backend(usize, bool),
-}
-
 /// Bounded reads per wakeup per socket, as in the net server's reactor.
 const READS_PER_WAKEUP: usize = 4;
+
+/// The listener's readiness token (unreachable by any leg token: leg
+/// generations are masked to 30 bits, so the top token bits never
+/// saturate).
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// Which leg of a session a readiness token refers to.
+const LEG_CLIENT: u64 = 1;
+const LEG_CURRENT: u64 = 2;
+const LEG_DRAINING: u64 = 3;
+
+/// How long the reactor stops accepting after a resource-exhaustion
+/// accept error — same rationale as the net server's reactor (a
+/// level-triggered listener would otherwise spin the loop on
+/// `EMFILE`).
+const ACCEPT_ERROR_PAUSE: Duration = Duration::from_millis(25);
+
+/// Readiness token of one session leg: slot in the low 32 bits, the
+/// leg kind above it, the slot's occupancy generation (masked to 30
+/// bits) on top — so an event for a leg that was dropped or re-tagged
+/// earlier in the same batch never reaches the wrong occupant.
+fn leg_token(gen: u32, leg: u64, slot: usize) -> u64 {
+    (((gen & 0x3FFF_FFFF) as u64) << 34) | (leg << 32) | slot as u64
+}
 
 struct Router {
     shared: Arc<RouterShared>,
     listener: TcpListener,
+    readiness: Readiness,
+    events: Vec<Event>,
     sessions: Vec<Option<Session>>,
+    /// Occupancy generation per slot, bumped on every drop (see
+    /// [`leg_token`]).
+    gens: Vec<u32>,
     free: Vec<usize>,
-    pollfds: Vec<PollFd>,
-    targets: Vec<Target>,
+    listener_armed: bool,
+    accept_pause_until: Option<std::time::Instant>,
     scratch: Vec<u8>,
 }
 
 impl Router {
-    fn new(shared: Arc<RouterShared>, listener: TcpListener) -> Router {
+    fn new(shared: Arc<RouterShared>, listener: TcpListener, readiness: Readiness) -> Router {
         Router {
             shared,
             listener,
+            readiness,
+            events: Vec::new(),
             sessions: Vec::new(),
+            gens: Vec::new(),
             free: Vec::new(),
-            pollfds: Vec::new(),
-            targets: Vec::new(),
+            listener_armed: false,
+            accept_pause_until: None,
             scratch: vec![0u8; READ_CHUNK],
         }
     }
@@ -282,75 +332,157 @@ impl Router {
     fn run(mut self) {
         let slice = Duration::from_millis(5);
         while !self.shared.shutdown.load(Ordering::SeqCst) {
-            self.build_pollfds();
-            if sys::poll(&mut self.pollfds, Some(slice)).is_err() {
+            self.sync_listener();
+            let mut events = std::mem::take(&mut self.events);
+            if self.readiness.wait(Some(slice), &mut events).is_err() {
                 std::thread::sleep(slice);
+                self.events = events;
                 continue;
             }
-            for at in 0..self.pollfds.len() {
-                let fd = self.pollfds[at];
-                if !fd.ready() {
+            for ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
                     continue;
                 }
-                match self.targets[at] {
-                    Target::Listener => self.accept_ready(),
-                    Target::Client(slot) => {
-                        if fd.readable() {
+                let slot = (ev.token & u32::MAX as u64) as usize;
+                let leg = (ev.token >> 32) & 0x3;
+                let gen = (ev.token >> 34) as u32;
+                if slot >= self.gens.len() || (self.gens[slot] & 0x3FFF_FFFF) != gen {
+                    // The occupant this event was for is gone (dropped
+                    // earlier in this same batch).
+                    continue;
+                }
+                match leg {
+                    LEG_CLIENT => {
+                        if ev.readable() {
                             self.client_read_ready(slot);
                         }
-                        if fd.writable() {
+                        if ev.writable() {
                             self.client_write_ready(slot);
                         }
                     }
-                    Target::Backend(slot, draining) => {
-                        if fd.readable() {
-                            self.backend_read_ready(slot, draining);
+                    LEG_CURRENT => {
+                        if ev.readable() {
+                            self.backend_read_ready(slot, false);
                         }
-                        if fd.writable() {
-                            self.backend_write_ready(slot, draining);
+                        if ev.writable() {
+                            self.backend_write_ready(slot, false);
                         }
                     }
+                    LEG_DRAINING => {
+                        if ev.readable() {
+                            self.backend_read_ready(slot, true);
+                        }
+                        if ev.writable() {
+                            self.backend_write_ready(slot, true);
+                        }
+                    }
+                    _ => {}
                 }
+                self.sync_session(slot);
             }
+            self.events = events;
         }
         self.close_all();
     }
 
-    fn build_pollfds(&mut self) {
-        self.pollfds.clear();
-        self.targets.clear();
+    /// Arms or disarms the listener to match whether a connection can
+    /// be taken right now (below the cap, not in an exhaustion pause).
+    fn sync_listener(&mut self) {
+        if let Some(t) = self.accept_pause_until {
+            if std::time::Instant::now() >= t {
+                self.accept_pause_until = None;
+            }
+        }
         let cap = self.shared.cfg.max_sessions;
         let open = self.sessions.len() - self.free.len();
-        if cap == 0 || open < cap {
-            self.pollfds
-                .push(PollFd::new(sys::raw_fd(&self.listener), true, false));
-            self.targets.push(Target::Listener);
+        let want = (cap == 0 || open < cap) && self.accept_pause_until.is_none();
+        if want && !self.listener_armed {
+            self.listener_armed = self
+                .readiness
+                .register(sys::raw_fd(&self.listener), LISTENER_TOKEN, true, false)
+                .is_ok();
+        } else if !want && self.listener_armed {
+            let _ = self.readiness.deregister(sys::raw_fd(&self.listener));
+            self.listener_armed = false;
         }
-        for (slot, sess) in self.sessions.iter().enumerate() {
-            let Some(sess) = sess else { continue };
-            let read = !sess.closing && !sess.finishing;
-            let write = !sess.wbuf.is_empty();
-            if read || write {
-                self.pollfds
-                    .push(PollFd::new(sys::raw_fd(&sess.stream), read, write));
-                self.targets.push(Target::Client(slot));
+    }
+
+    /// Reconciles the readiness registrations of all of `slot`'s legs
+    /// with its current state — registering fresh legs, re-tagging a
+    /// leg a handoff moved from current to draining, toggling write
+    /// interest on buffer transitions. Each leg costs a syscall only
+    /// when something about it actually changed.
+    fn sync_session(&mut self, slot: usize) {
+        let gen = match self.gens.get(slot) {
+            Some(&g) => g,
+            None => return,
+        };
+        let Some(sess) = self.sessions[slot].as_mut() else {
+            return;
+        };
+        // Client leg (always registered from accept).
+        let want = (!sess.closing && !sess.finishing, !sess.wbuf.is_empty());
+        if want != sess.client_reg {
+            sess.client_reg = want;
+            let fd = sys::raw_fd(&sess.stream);
+            let tok = leg_token(gen, LEG_CLIENT, slot);
+            if self.readiness.modify(fd, tok, want.0, want.1).is_err() {
+                self.drop_session(slot);
+                return;
             }
-            if let Some(old) = &sess.draining {
-                self.pollfds
-                    .push(PollFd::new(old.core.raw_fd(), true, false));
-                self.targets.push(Target::Backend(slot, true));
+        }
+        // Draining leg: read-only until its clean close.
+        if let Some(old) = sess.draining.as_mut() {
+            let tok = leg_token(gen, LEG_DRAINING, slot);
+            if Self::sync_leg(&mut self.readiness, old, true, false, tok).is_err() {
+                self.fail(slot, ErrorCode::Unavailable, "backend watch failed");
+                return;
             }
-            if let Some(cur) = &sess.backend {
-                // While draining the old backend, the current one is
-                // deliberately left unread: its frames wait in the
-                // kernel buffer so the client's stream stays ordered.
-                let read = sess.draining.is_none();
-                let write = cur.core.pending_out() > 0;
-                if read || write {
-                    self.pollfds
-                        .push(PollFd::new(cur.core.raw_fd(), read, write));
-                    self.targets.push(Target::Backend(slot, false));
-                }
+        }
+        // Current leg: unread while draining (ordering — see
+        // `build`-time comment in `backend_read_ready`), write interest
+        // only while its out-buffer is non-empty.
+        let Some(sess) = self.sessions[slot].as_mut() else {
+            return;
+        };
+        let draining = sess.draining.is_some();
+        if let Some(cur) = sess.backend.as_mut() {
+            let tok = leg_token(gen, LEG_CURRENT, slot);
+            let write = cur.core.pending_out() > 0;
+            if Self::sync_leg(&mut self.readiness, cur, !draining, write, tok).is_err() {
+                self.fail(slot, ErrorCode::Unavailable, "backend watch failed");
+            }
+        }
+    }
+
+    /// Registers or modifies one backend leg to the wanted interest
+    /// and token; no syscall if nothing changed.
+    fn sync_leg(
+        readiness: &mut Readiness,
+        leg: &mut Backend,
+        read: bool,
+        write: bool,
+        tok: u64,
+    ) -> io::Result<()> {
+        if leg.reg == Some((read, write, tok)) {
+            return Ok(());
+        }
+        let fd = leg.core.raw_fd();
+        match leg.reg {
+            Some(_) => readiness.modify(fd, tok, read, write)?,
+            None => readiness.register(fd, tok, read, write)?,
+        }
+        leg.reg = Some((read, write, tok));
+        Ok(())
+    }
+
+    /// Detaches a removed leg from the readiness set (must run before
+    /// the `ClientCore` — and with it the descriptor — drops).
+    fn unwatch_leg(readiness: &mut Readiness, leg: &Option<Backend>) {
+        if let Some(b) = leg {
+            if b.reg.is_some() {
+                let _ = readiness.deregister(b.core.raw_fd());
             }
         }
     }
@@ -376,14 +508,42 @@ impl Router {
                         reg: None,
                         finishing: false,
                         closing: false,
+                        client_reg: (true, false),
                     };
-                    match self.free.pop() {
-                        Some(slot) => self.sessions[slot] = Some(sess),
-                        None => self.sessions.push(Some(sess)),
+                    let slot = match self.free.pop() {
+                        Some(slot) => {
+                            self.sessions[slot] = Some(sess);
+                            slot
+                        }
+                        None => {
+                            self.sessions.push(Some(sess));
+                            self.gens.push(0);
+                            self.sessions.len() - 1
+                        }
+                    };
+                    let fd =
+                        sys::raw_fd(&self.sessions[slot].as_ref().expect("just placed").stream);
+                    let tok = leg_token(self.gens[slot], LEG_CLIENT, slot);
+                    if self.readiness.register(fd, tok, true, false).is_err() {
+                        let sess = self.sessions[slot].take().expect("just placed");
+                        let _ = sess.stream.shutdown(Shutdown::Both);
+                        self.gens[slot] = self.gens[slot].wrapping_add(1);
+                        self.free.push(slot);
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(_) => return,
+                Err(e)
+                    if e.kind() == io::ErrorKind::Interrupted
+                        || e.kind() == io::ErrorKind::ConnectionAborted =>
+                {
+                    continue;
+                }
+                Err(_) => {
+                    // Resource exhaustion: pause accepting instead of
+                    // spinning on a level-triggered readable listener.
+                    self.accept_pause_until = Some(std::time::Instant::now() + ACCEPT_ERROR_PAUSE);
+                    return;
+                }
             }
         }
     }
@@ -482,7 +642,7 @@ impl Router {
                     return false;
                 }
                 let sess = self.sessions[slot].as_mut().expect("checked above");
-                sess.backend = Some(Backend { core, region });
+                sess.backend = Some(Backend::new(core, region));
                 sess.reg = Some(RegFacts { space, k, rho });
                 self.shared.live.fetch_add(1, Ordering::Relaxed);
                 true
@@ -576,8 +736,11 @@ impl Router {
         let mut old = sess.backend.take().expect("registered session");
         let _ = old.core.try_send(&Message::Deregister);
         let _ = old.core.flush();
+        // The old leg keeps its registration; the next interest sync
+        // re-tags its token from current to draining and the new leg
+        // registers fresh.
         sess.draining = Some(old);
-        sess.backend = Some(Backend { core, region: to });
+        sess.backend = Some(Backend::new(core, to));
         self.shared.handoffs.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -622,39 +785,52 @@ impl Router {
     }
 
     /// Forwards every frame the backend has ready; handles its EOF.
+    /// Queued frames coalesce into **one** client flush at the end of
+    /// the drain, not a write syscall per frame.
     fn backend_read_ready(&mut self, slot: usize, draining: bool) {
+        let mut forwarded = false;
         loop {
             let Some(sess) = self.sessions[slot].as_mut() else {
                 return;
             };
+            if !draining && sess.draining.is_some() {
+                // A handoff started this batch: the current leg stays
+                // unread until the old one drains, so the client's
+                // result stream stays ordered.
+                break;
+            }
             let Some(leg) = (if draining {
                 sess.draining.as_mut()
             } else {
                 sess.backend.as_mut()
             }) else {
-                return;
+                break;
             };
             let region = leg.region;
             match leg.core.poll_message() {
                 Ok(Some(msg)) => {
                     if !self.forward_backend_frame(slot, region, msg) {
-                        return;
+                        break;
                     }
+                    forwarded = true;
                 }
                 Ok(None) => {
                     if leg.core.is_eof() {
                         self.backend_closed(slot, draining);
                     }
-                    return;
+                    break;
                 }
                 Err(_) => {
                     // Corrupt framing or transport error on this one
                     // backend leg: this session is lost, its neighbors
                     // are not.
                     self.fail(slot, ErrorCode::Malformed, "backend stream corrupt");
-                    return;
+                    break;
                 }
             }
+        }
+        if forwarded && self.sessions[slot].is_some() {
+            self.client_write_ready(slot);
         }
     }
 
@@ -709,7 +885,8 @@ impl Router {
 
     /// Queues one frame on the client socket (dropping the session if
     /// its buffer is exhausted — the same slow-consumer rule as the net
-    /// server) and flushes opportunistically.
+    /// server). The flush is the caller's: `backend_read_ready` issues
+    /// one per drained batch.
     fn push_to_client(&mut self, slot: usize, msg: &Message) -> bool {
         let Some(sess) = self.sessions[slot].as_mut() else {
             return false;
@@ -719,8 +896,7 @@ impl Router {
             self.drop_session(slot);
             return false;
         }
-        self.client_write_ready(slot);
-        self.sessions[slot].is_some()
+        true
     }
 
     /// One backend stream ended. The draining (old) leg ending is the
@@ -731,10 +907,13 @@ impl Router {
             return;
         };
         if draining {
-            sess.draining = None;
+            let old = sess.draining.take();
+            Self::unwatch_leg(&mut self.readiness, &old);
             return;
         }
-        sess.backend = None;
+        let cur = sess.backend.take();
+        Self::unwatch_leg(&mut self.readiness, &cur);
+        let sess = self.sessions[slot].as_mut().expect("checked above");
         if sess.finishing {
             self.close_after_flush(slot);
         } else {
@@ -759,9 +938,12 @@ impl Router {
         .encode_frame();
         let _ = sess.wbuf.push(&frame);
         sess.closing = true;
-        sess.backend = None;
-        sess.draining = None;
+        let cur = sess.backend.take();
+        let old = sess.draining.take();
+        Self::unwatch_leg(&mut self.readiness, &cur);
+        Self::unwatch_leg(&mut self.readiness, &old);
         self.client_write_ready(slot);
+        self.sync_session(slot);
     }
 
     /// Graceful end: flush what is queued, then drop.
@@ -773,13 +955,17 @@ impl Router {
             self.shared.live.fetch_sub(1, Ordering::Relaxed);
         }
         sess.closing = true;
-        sess.backend = None;
-        sess.draining = None;
+        let cur = sess.backend.take();
+        let old = sess.draining.take();
+        Self::unwatch_leg(&mut self.readiness, &cur);
+        Self::unwatch_leg(&mut self.readiness, &old);
+        let sess = self.sessions[slot].as_mut().expect("checked above");
         if sess.wbuf.is_empty() {
             self.drop_session(slot);
             return;
         }
         self.client_write_ready(slot);
+        self.sync_session(slot);
     }
 
     fn drop_session(&mut self, slot: usize) {
@@ -787,6 +973,12 @@ impl Router {
             if sess.counted_live() {
                 self.shared.live.fetch_sub(1, Ordering::Relaxed);
             }
+            // Detach every leg from the readiness set before its
+            // descriptor closes.
+            Self::unwatch_leg(&mut self.readiness, &sess.backend);
+            Self::unwatch_leg(&mut self.readiness, &sess.draining);
+            let _ = self.readiness.deregister(sys::raw_fd(&sess.stream));
+            self.gens[slot] = self.gens[slot].wrapping_add(1);
             let _ = sess.stream.shutdown(Shutdown::Both);
             self.free.push(slot);
         }

@@ -17,9 +17,14 @@
 //!   in-tree spaces implement it).
 //! * [`NetServer`] — a **readiness-driven reactor** over an
 //!   epoch-versioned `World` + `FleetEngine`: one event loop on
-//!   non-blocking sockets (an in-tree `poll(2)` wrapper, [`sys`] — same
-//!   no-deps discipline as `crates/compat/`) drives accept → decode →
-//!   batch → tick → push. Sessions map 1:1 to never-reused `QueryId`s;
+//!   non-blocking sockets (an in-tree [`sys::Readiness`] backend —
+//!   `epoll` on Linux for O(ready) wakeups, portable `poll(2)` as the
+//!   fallback, selectable via [`NetServerConfig::readiness`] or the
+//!   `INSQ_READINESS` environment variable; same no-deps discipline as
+//!   `crates/compat/`) drives accept → decode → batch → tick → push
+//!   with persistent interest registration (register on accept, modify
+//!   on write-buffer transitions, deregister on drop).
+//!   Sessions map 1:1 to never-reused `QueryId`s;
 //!   inbound frames reassemble incrementally ([`FrameBuf`]) across
 //!   arbitrary packet boundaries; results and epoch-swap notifications
 //!   push through bounded per-session write buffers ([`WriteBuf`]) —
@@ -80,9 +85,10 @@
 //! ```
 
 #![warn(missing_docs)]
-// `deny`, not `forbid`: the `sys` module opts back in for the two
-// hand-audited FFI calls (`poll`, `get/setrlimit`) behind the reactor.
-// Everything else in the crate still refuses unsafe code.
+// `deny`, not `forbid`: the `sys` module opts back in for the
+// hand-audited FFI calls (`poll`, `epoll_*`, `get/setrlimit`,
+// `clock_gettime`, `setsockopt`) behind the reactor. Everything else
+// in the crate still refuses unsafe code.
 #![deny(unsafe_code)]
 
 pub mod buffer;
@@ -96,6 +102,7 @@ pub use buffer::{FrameBuf, WriteBuf};
 pub use client::{ClientCore, ClientEvent, KnnUpdate, NetClient, NetError};
 pub use server::{NetServer, NetServerConfig};
 pub use space::{PosError, WireSpace};
+pub use sys::ReadinessKind;
 pub use wire::{
     Decode, DecodeError, Encode, ErrorCode, Message, Reader, SpaceKind, WireOutcome, WirePos,
     FLAG_UNCERTIFIED, MAX_IDS, MAX_PAYLOAD_LEN, WIRE_VERSION,

@@ -3,9 +3,15 @@
 //!
 //! [`NetServer`] owns the epoch-versioned world and the fleet engine
 //! and serves them from **one readiness-driven event loop** over
-//! non-blocking sockets (an in-tree `poll(2)` wrapper, [`crate::sys`])
-//! — not a thread per connection, so live sessions are bounded by file
-//! descriptors, not threads:
+//! non-blocking sockets (an in-tree [`crate::sys::Readiness`] backend —
+//! `epoll` on Linux, portable `poll(2)` elsewhere, selectable via
+//! [`NetServerConfig::readiness`]) — not a thread per connection, so
+//! live sessions are bounded by file descriptors, not threads.
+//! Interest registration is **persistent**: a socket is registered once
+//! on accept, its write interest toggled only on buffer-empty
+//! transitions, and deregistered on drop, so a wakeup costs O(ready
+//! events) on `epoll` — not O(live sessions), and never an interest-set
+//! rebuild:
 //!
 //! * each accepted connection becomes a **session** after a valid
 //!   `Register` frame — one [`SpaceQuery`] in the engine, mapped 1:1 to
@@ -62,7 +68,7 @@ use insq_server::{
 
 use crate::buffer::{FrameBuf, WriteBuf, READ_CHUNK};
 use crate::space::WireSpace;
-use crate::sys::{self, PollFd};
+use crate::sys::{self, Event, Readiness, ReadinessKind};
 use crate::wire::{ErrorCode, Message};
 
 /// Configuration of a [`NetServer`].
@@ -100,6 +106,18 @@ pub struct NetServerConfig {
     /// every site that could beat the result. `None` (the default, a
     /// whole-world server) always certifies.
     pub certify_within: Option<f64>,
+    /// Which readiness backend drives the reactor. The default defers
+    /// to the `INSQ_READINESS` environment variable (so a CI matrix can
+    /// force the portable backend suite-wide) and otherwise
+    /// auto-selects `epoll` on Linux, `poll(2)` elsewhere.
+    pub readiness: ReadinessKind,
+    /// Kernel send-buffer bound applied (best effort) to every accepted
+    /// session. Setting it locks the buffer against kernel autotuning,
+    /// so a slow reader's backlog lands in the session's accountable
+    /// [`WriteBuf`] (bounded by [`NetServerConfig::write_buf`]) instead
+    /// of ballooning invisible kernel memory. `None` (the default)
+    /// leaves the kernel's autotuning in charge.
+    pub sndbuf: Option<usize>,
 }
 
 impl Default for NetServerConfig {
@@ -112,6 +130,8 @@ impl Default for NetServerConfig {
             tick_interval: Duration::from_millis(5),
             max_sessions: 0,
             certify_within: None,
+            readiness: ReadinessKind::from_env(),
+            sndbuf: None,
         }
     }
 }
@@ -182,6 +202,9 @@ impl<S: WireSpace> NetServer<S> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        // Open the readiness backend here, not in the reactor thread,
+        // so an unsupported `ReadinessKind` fails the bind call.
+        let readiness = Readiness::new(cfg.readiness)?;
         let engine = FleetEngine::new(Arc::clone(&world), cfg.fleet);
         let shared = Arc::new(Shared {
             world,
@@ -196,7 +219,7 @@ impl<S: WireSpace> NetServer<S> {
         });
         let reactor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || Reactor::new(shared, listener).run())
+            std::thread::spawn(move || Reactor::new(shared, listener, readiness).run())
         };
         Ok(NetServer {
             shared,
@@ -296,47 +319,83 @@ struct Conn<S: WireSpace> {
     last_epoch: Epoch,
     /// Half-closed: no more reads; flush `wbuf`, then drop the socket.
     closing: bool,
-}
-
-/// What a poll slot refers to.
-#[derive(Clone, Copy)]
-enum Target {
-    Listener,
-    Conn(usize),
+    /// The `(read, write)` interest currently registered with the
+    /// readiness backend — [`Reactor::sync_interest`] issues a `modify`
+    /// only when the desired interest diverges from this.
+    reg: (bool, bool),
 }
 
 /// How many [`READ_CHUNK`]s one session may consume per wakeup before
-/// yielding to its peers (level-triggered poll re-reports the rest).
+/// yielding to its peers (level-triggered readiness re-reports the
+/// rest — both backends register level-triggered; see
+/// [`crate::sys::epoll`]).
 const READS_PER_WAKEUP: usize = 4;
 
+/// The listener's readiness token (no conn slot can reach it: slots
+/// occupy the low 32 bits and generations the high 32, and a
+/// generation never reaches `u32::MAX` — it would take 2^32 drops of
+/// one slot).
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// How long the reactor stops accepting after a resource-exhaustion
+/// accept error (`EMFILE`/`ENFILE`/`ENOBUFS`). With level-triggered
+/// readiness the listener would otherwise re-report readable instantly
+/// and the loop would spin at 100% CPU exactly when the server is
+/// fullest; pausing briefly lets live sessions keep being served and
+/// retries once descriptors may have freed.
+const ACCEPT_ERROR_PAUSE: Duration = Duration::from_millis(25);
+
+/// The readiness token of connection `slot` in its `gen`-th occupancy.
+/// The generation tag keeps a recycled slot from consuming an event
+/// batch's stale entries for its previous occupant.
+fn conn_token(gen: u32, slot: usize) -> u64 {
+    ((gen as u64) << 32) | slot as u64
+}
+
 /// The single-threaded event loop: accept → decode → batch → tick →
-/// push, all driven by `poll(2)` readiness.
+/// push, all driven by backend readiness events.
 struct Reactor<S: WireSpace> {
     shared: Arc<Shared<S>>,
     listener: TcpListener,
+    readiness: Readiness,
+    events: Vec<Event>,
     conns: Vec<Option<Conn<S>>>,
+    /// Occupancy generation per slot, bumped on every drop (see
+    /// [`conn_token`]).
+    gens: Vec<u32>,
     free: Vec<usize>,
     /// Registered sessions: query id → conn slot.
     by_qid: HashMap<u64, usize>,
     registered_ever: u64,
+    /// Registered sessions holding an unconsumed `pending` position —
+    /// maintained incrementally so tick-readiness is O(1) per wakeup,
+    /// not an O(live) recount.
+    fresh: usize,
     last_tick: Instant,
-    pollfds: Vec<PollFd>,
-    targets: Vec<Target>,
+    /// Whether the listener is currently in the readiness set (it
+    /// leaves when the session cap is reached or after an
+    /// exhaustion-error pause).
+    listener_armed: bool,
+    accept_pause_until: Option<Instant>,
     scratch: Vec<u8>,
 }
 
 impl<S: WireSpace> Reactor<S> {
-    fn new(shared: Arc<Shared<S>>, listener: TcpListener) -> Reactor<S> {
+    fn new(shared: Arc<Shared<S>>, listener: TcpListener, readiness: Readiness) -> Reactor<S> {
         Reactor {
             shared,
             listener,
+            readiness,
+            events: Vec::new(),
             conns: Vec::new(),
+            gens: Vec::new(),
             free: Vec::new(),
             by_qid: HashMap::new(),
             registered_ever: 0,
+            fresh: 0,
             last_tick: Instant::now(),
-            pollfds: Vec::new(),
-            targets: Vec::new(),
+            listener_armed: false,
+            accept_pause_until: None,
             scratch: vec![0u8; READ_CHUNK],
         }
     }
@@ -349,63 +408,91 @@ impl<S: WireSpace> Reactor<S> {
             .max(Duration::from_millis(1))
             .min(Duration::from_millis(10));
         while !self.shared.shutdown.load(Ordering::SeqCst) {
-            self.build_pollfds();
-            if sys::poll(&mut self.pollfds, Some(poll_slice)).is_err() {
-                // Transient poll failure: pace and retry (shutdown is
+            self.sync_listener();
+            let mut events = std::mem::take(&mut self.events);
+            if self.readiness.wait(Some(poll_slice), &mut events).is_err() {
+                // Transient wait failure: pace and retry (shutdown is
                 // still observed at the loop head).
                 std::thread::sleep(poll_slice);
+                self.events = events;
                 continue;
             }
-            for at in 0..self.pollfds.len() {
-                let fd = self.pollfds[at];
-                if !fd.ready() {
+            for ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
                     continue;
                 }
-                match self.targets[at] {
-                    Target::Listener => self.accept_ready(),
-                    Target::Conn(slot) => {
-                        if fd.readable() {
-                            self.read_ready(slot);
-                        }
-                        if fd.writable() {
-                            self.write_ready(slot);
-                        }
-                    }
+                let slot = (ev.token & u32::MAX as u64) as usize;
+                let gen = (ev.token >> 32) as u32;
+                if slot >= self.gens.len() || self.gens[slot] != gen {
+                    // The occupant this event was for is already gone
+                    // (dropped earlier in this same batch).
+                    continue;
                 }
+                if ev.readable() {
+                    self.read_ready(slot);
+                }
+                if ev.writable() {
+                    self.write_ready(slot);
+                }
+                self.sync_interest(slot);
             }
+            self.events = events;
             self.maybe_tick();
         }
         self.close_all();
     }
 
-    /// Level-triggered interest set for this wakeup.
-    fn build_pollfds(&mut self) {
-        self.pollfds.clear();
-        self.targets.clear();
-        let cap = self.shared.cfg.max_sessions;
-        let open = self.conns.len() - self.free.len();
-        if cap == 0 || open < cap {
-            self.pollfds
-                .push(PollFd::new(sys::raw_fd(&self.listener), true, false));
-            self.targets.push(Target::Listener);
-        }
-        let mut high_water = 0u64;
-        for (slot, conn) in self.conns.iter().enumerate() {
-            let Some(conn) = conn else { continue };
-            high_water = high_water.max((conn.rbuf.high_water() + conn.wbuf.high_water()) as u64);
-            let read = !conn.closing;
-            let write = !conn.wbuf.is_empty();
-            if read || write {
-                self.pollfds
-                    .push(PollFd::new(sys::raw_fd(&conn.stream), read, write));
-                self.targets.push(Target::Conn(slot));
+    /// Arms or disarms the listener to match whether the reactor can
+    /// take a connection right now (below the session cap, not inside
+    /// an exhaustion-error pause).
+    fn sync_listener(&mut self) {
+        if let Some(t) = self.accept_pause_until {
+            if Instant::now() >= t {
+                self.accept_pause_until = None;
             }
         }
-        if high_water > 0 {
-            self.shared
-                .buf_high_water
-                .fetch_max(high_water, Ordering::Relaxed);
+        let cap = self.shared.cfg.max_sessions;
+        let open = self.conns.len() - self.free.len();
+        let want = (cap == 0 || open < cap) && self.accept_pause_until.is_none();
+        if want && !self.listener_armed {
+            self.listener_armed = self
+                .readiness
+                .register(sys::raw_fd(&self.listener), LISTENER_TOKEN, true, false)
+                .is_ok();
+        } else if !want && self.listener_armed {
+            let _ = self.readiness.deregister(sys::raw_fd(&self.listener));
+            self.listener_armed = false;
         }
+    }
+
+    /// Brings `slot`'s registered interest in line with its state: read
+    /// while not closing, write while the write buffer is non-empty.
+    /// No-op (no syscall) unless a transition actually happened.
+    fn sync_interest(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let want = (!conn.closing, !conn.wbuf.is_empty());
+        if want == conn.reg {
+            return;
+        }
+        conn.reg = want;
+        let fd = sys::raw_fd(&conn.stream);
+        let tok = conn_token(self.gens[slot], slot);
+        if self.readiness.modify(fd, tok, want.0, want.1).is_err() {
+            self.drop_conn(slot);
+        }
+    }
+
+    /// Records `conn`'s buffer footprint into the shared high-water
+    /// mark (called where the footprint can grow: reads and result
+    /// pushes).
+    fn note_buffers(&self, conn: &Conn<S>) {
+        let footprint = (conn.rbuf.high_water() + conn.wbuf.high_water()) as u64;
+        self.shared
+            .buf_high_water
+            .fetch_max(footprint, Ordering::Relaxed);
     }
 
     fn accept_ready(&mut self) {
@@ -420,6 +507,9 @@ impl<S: WireSpace> Reactor<S> {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
+                    if let Some(bytes) = self.shared.cfg.sndbuf {
+                        let _ = sys::set_send_buffer(sys::raw_fd(&stream), bytes);
+                    }
                     let conn = Conn {
                         stream,
                         rbuf: FrameBuf::new(),
@@ -430,14 +520,47 @@ impl<S: WireSpace> Reactor<S> {
                         last_result: None,
                         last_epoch: Epoch::default(),
                         closing: false,
+                        reg: (true, false),
                     };
-                    match self.free.pop() {
-                        Some(slot) => self.conns[slot] = Some(conn),
-                        None => self.conns.push(Some(conn)),
+                    let slot = match self.free.pop() {
+                        Some(slot) => {
+                            self.conns[slot] = Some(conn);
+                            slot
+                        }
+                        None => {
+                            self.conns.push(Some(conn));
+                            self.gens.push(0);
+                            self.conns.len() - 1
+                        }
+                    };
+                    let fd = sys::raw_fd(&self.conns[slot].as_ref().expect("just placed").stream);
+                    let tok = conn_token(self.gens[slot], slot);
+                    if self.readiness.register(fd, tok, true, false).is_err() {
+                        // Can't watch it, can't serve it. Close without
+                        // the usual deregister bookkeeping (it never
+                        // entered the readiness set).
+                        let conn = self.conns[slot].take().expect("just placed");
+                        let _ = conn.stream.shutdown(Shutdown::Both);
+                        self.gens[slot] = self.gens[slot].wrapping_add(1);
+                        self.free.push(slot);
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(_) => return,
+                Err(e)
+                    if e.kind() == io::ErrorKind::Interrupted
+                        || e.kind() == io::ErrorKind::ConnectionAborted =>
+                {
+                    continue;
+                }
+                Err(_) => {
+                    // Resource exhaustion (EMFILE/ENFILE/ENOBUFS…): the
+                    // listener stays level-triggered readable, so
+                    // returning here without disarming it would spin
+                    // the loop at 100% CPU. Pause accepting; live
+                    // sessions keep being served meanwhile.
+                    self.accept_pause_until = Some(Instant::now() + ACCEPT_ERROR_PAUSE);
+                    return;
+                }
             }
         }
     }
@@ -463,6 +586,7 @@ impl<S: WireSpace> Reactor<S> {
                     self.shared.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
                     let conn = self.conns[slot].as_mut().expect("checked above");
                     conn.rbuf.extend(&self.scratch[..n]);
+                    self.note_buffers(self.conns[slot].as_ref().expect("checked above"));
                     if !self.drain_messages(slot) {
                         return;
                     }
@@ -550,6 +674,7 @@ impl<S: WireSpace> Reactor<S> {
                 conn.last_epoch = bound;
                 self.by_qid.insert(qid.0, slot);
                 self.registered_ever += 1;
+                self.fresh += 1;
                 self.shared.live.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -562,6 +687,9 @@ impl<S: WireSpace> Reactor<S> {
                 match S::pos_from_wire(&snapshot, pos) {
                     Ok(p) => {
                         let conn = self.conns[slot].as_mut().expect("checked above");
+                        if conn.pending.is_none() {
+                            self.fresh += 1;
+                        }
                         conn.pending = Some(p);
                         true
                     }
@@ -624,6 +752,7 @@ impl<S: WireSpace> Reactor<S> {
             conn.closing = true;
         }
         self.write_ready(slot);
+        self.sync_interest(slot);
     }
 
     /// Ends a session gracefully (deregister/EOF): no error frame,
@@ -638,6 +767,7 @@ impl<S: WireSpace> Reactor<S> {
             }
         }
         self.write_ready(slot);
+        self.sync_interest(slot);
     }
 
     /// Removes the session's engine query (if registered), leaving the
@@ -647,6 +777,9 @@ impl<S: WireSpace> Reactor<S> {
             return;
         };
         if let Some(qid) = conn.qid.take() {
+            if conn.pending.take().is_some() {
+                self.fresh -= 1;
+            }
             self.by_qid.remove(&qid.0);
             self.shared.engine().deregister(qid);
             self.shared.live.fetch_sub(1, Ordering::Relaxed);
@@ -657,10 +790,12 @@ impl<S: WireSpace> Reactor<S> {
     fn drop_conn(&mut self, slot: usize) {
         self.deregister_slot(slot);
         if let Some(conn) = self.conns[slot].take() {
-            let footprint = (conn.rbuf.high_water() + conn.wbuf.high_water()) as u64;
-            self.shared
-                .buf_high_water
-                .fetch_max(footprint, Ordering::Relaxed);
+            self.note_buffers(&conn);
+            // Detach from the readiness set before the descriptor
+            // closes (a closed fd left registered would poll NVAL
+            // forever on the portable backend).
+            let _ = self.readiness.deregister(sys::raw_fd(&conn.stream));
+            self.gens[slot] = self.gens[slot].wrapping_add(1);
             let _ = conn.stream.shutdown(Shutdown::Both);
             self.free.push(slot);
         }
@@ -673,15 +808,9 @@ impl<S: WireSpace> Reactor<S> {
         if live == 0 || self.registered_ever < self.shared.cfg.min_clients as u64 {
             return;
         }
-        let fresh = self
-            .by_qid
-            .values()
-            .filter(|&&slot| {
-                self.conns[slot]
-                    .as_ref()
-                    .is_some_and(|c| c.pending.is_some())
-            })
-            .count();
+        // `fresh` is maintained incrementally on position arrival and
+        // session teardown — no O(live) recount per wakeup.
+        let fresh = self.fresh;
         match self.shared.cfg.policy {
             TickPolicy::Barrier => {
                 if fresh < live {
@@ -723,6 +852,8 @@ impl<S: WireSpace> Reactor<S> {
             };
             feed.insert(qid, tp);
         }
+        // Every pending position was just consumed.
+        self.fresh = 0;
 
         // Tick + pair each disposition with its query's kNN in one O(n)
         // pass: `for_each_query` visits in exactly the (deterministic)
@@ -795,23 +926,31 @@ impl<S: WireSpace> Reactor<S> {
                     conn.last_result = Some(frame);
                 }
                 None => {
-                    // Re-serve: the session registered with a position,
-                    // so its first tick is always Fresh — by the time a
-                    // deadline tick leaves it stale, a cached result
-                    // exists.
-                    let frame = conn
-                        .last_result
-                        .clone()
-                        .expect("stale implies prior result");
+                    // Re-serve: a session registers with a position, so
+                    // its first tick should always be Fresh and a
+                    // cached result should exist by the time a deadline
+                    // tick leaves it stale. Should that invariant ever
+                    // break (a hostile client finding a path around
+                    // it), drop the one session — never panic the
+                    // reactor every other session depends on.
+                    let Some(frame) = conn.last_result.clone() else {
+                        self.drop_conn(slot);
+                        continue;
+                    };
                     if !conn.wbuf.push(&frame) {
                         self.drop_conn(slot);
                         continue;
                     }
                 }
             }
+            if let Some(conn) = self.conns[slot].as_ref() {
+                self.note_buffers(conn);
+            }
             // Optimistic flush: most sessions take their frame in one
-            // write, so POLLOUT interest stays rare.
+            // write, so write interest stays rare (armed by the
+            // interest sync below only when the flush left a residue).
             self.write_ready(slot);
+            self.sync_interest(slot);
         }
         self.shared.ticks.fetch_add(1, Ordering::Relaxed);
     }

@@ -15,10 +15,15 @@
 //!   (plus a no-op `TcpStream` coalescing case that concatenates many
 //!   frames into one write) still gets bit-exact results from a live
 //!   `NetServer`, and a non-blocking [`ClientCore`] drives a whole
-//!   session through `poll_event` without ever blocking.
+//!   session through `poll_event` without ever blocking;
+//! * backpressure: a client that stops reading while large results
+//!   accumulate forces the reactor through its persistent-interest
+//!   `POLLOUT` arm/disarm transitions, and still drains bit-identically
+//!   once it resumes.
 //!
-//! All inputs derive from fixed-seed RNGs, so a failure reproduces
-//! exactly.
+//! Every end-to-end case runs against each readiness backend this
+//! target offers (`poll` everywhere, `epoll` on Linux). All inputs
+//! derive from fixed-seed RNGs, so a failure reproduces exactly.
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -30,8 +35,8 @@ use insq_geom::{Aabb, Point};
 use insq_index::VorTree;
 use insq_net::wire::{Message, MAX_PAYLOAD_LEN};
 use insq_net::{
-    ClientCore, ClientEvent, FrameBuf, NetClient, NetServer, NetServerConfig, SpaceKind,
-    WireOutcome, WirePos,
+    sys, ClientCore, ClientEvent, FrameBuf, NetClient, NetServer, NetServerConfig, ReadinessKind,
+    SpaceKind, WireOutcome, WirePos,
 };
 use insq_server::World;
 use rand::rngs::StdRng;
@@ -147,6 +152,14 @@ fn bit_flips_in_valid_streams_error_cleanly() {
     }
 }
 
+/// Every readiness backend available on this target.
+fn backend_kinds() -> Vec<ReadinessKind> {
+    #[cfg(target_os = "linux")]
+    return vec![ReadinessKind::Poll, ReadinessKind::Epoll];
+    #[cfg(not(target_os = "linux"))]
+    return vec![ReadinessKind::Poll];
+}
+
 fn euclid_world(n: usize) -> Arc<World<VorTree>> {
     let bounds = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
     let pts = (0..n)
@@ -163,14 +176,24 @@ fn euclid_world(n: usize) -> Arc<World<VorTree>> {
 }
 
 /// A client whose every frame reaches the server one byte per `write`
-/// call must see the same results as a well-behaved one.
+/// call must see the same results as a well-behaved one — on every
+/// readiness backend.
 #[test]
 fn byte_at_a_time_client_is_served_bit_identically() {
+    for kind in backend_kinds() {
+        byte_at_a_time_roundtrip(kind);
+    }
+}
+
+fn byte_at_a_time_roundtrip(readiness: ReadinessKind) {
     let world = euclid_world(100);
     let server: NetServer<Euclidean> = NetServer::bind(
         "127.0.0.1:0",
         Arc::clone(&world),
-        NetServerConfig::with_min_clients(2),
+        NetServerConfig {
+            readiness,
+            ..NetServerConfig::with_min_clients(2)
+        },
     )
     .unwrap();
 
@@ -266,14 +289,24 @@ fn byte_at_a_time_client_is_served_bit_identically() {
 }
 
 /// A non-blocking [`ClientCore`] session driven entirely through
-/// `try_send_update` / `poll_event` — no blocking call anywhere.
+/// `try_send_update` / `poll_event` — no blocking call anywhere, on
+/// every readiness backend.
 #[test]
 fn client_core_drives_a_session_without_blocking() {
+    for kind in backend_kinds() {
+        client_core_roundtrip(kind);
+    }
+}
+
+fn client_core_roundtrip(readiness: ReadinessKind) {
     let world = euclid_world(100);
     let server: NetServer<Euclidean> = NetServer::bind(
         "127.0.0.1:0",
         Arc::clone(&world),
-        NetServerConfig::default(),
+        NetServerConfig {
+            readiness,
+            ..NetServerConfig::default()
+        },
     )
     .unwrap();
 
@@ -310,5 +343,140 @@ fn client_core_drives_a_session_without_blocking() {
     }
     let (sent, received) = core.wire_bytes();
     assert!(sent > 0 && received > 0);
+    server.shutdown();
+}
+
+/// A dense uniform world (1024 sites inside the 0..100 bounds) so a
+/// k=512 query produces multi-kilobyte result frames.
+#[cfg(unix)]
+fn dense_world() -> Arc<World<VorTree>> {
+    let bounds = Aabb::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+    let pts = (0..1024)
+        .map(|i| {
+            Point::new(
+                (i % 32) as f64 * 3.0 + 1.0,
+                (i / 32) as f64 * 3.0 + 1.0 + 0.01 * (i % 5) as f64,
+            )
+        })
+        .collect();
+    Arc::new(World::new(
+        VorTree::build(pts, bounds.inflated(10.0)).unwrap(),
+    ))
+}
+
+/// Backpressure through the persistent-interest write path: a client
+/// with a floor-sized kernel receive buffer stops reading while ~150
+/// large (k=512, ≈2 KiB) results are pushed at it. The socket clogs,
+/// the reactor must buffer in its per-session [`insq_net::WriteBuf`]
+/// and arm `POLLOUT` (then disarm it once the drain completes — a
+/// stuck-armed arm would busy-wake, a never-armed one would stall the
+/// drain forever). When the client finally reads, its stream must be
+/// bit-identical to a well-behaved client on the same trajectory.
+#[cfg(unix)]
+#[test]
+fn stalled_reader_arms_pollout_and_drains_bit_identically() {
+    for kind in backend_kinds() {
+        stalled_reader_roundtrip(kind);
+    }
+}
+
+#[cfg(unix)]
+fn stalled_reader_roundtrip(readiness: ReadinessKind) {
+    const TICKS: usize = 150;
+    let world = dense_world();
+    let server: NetServer<Euclidean> = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&world),
+        NetServerConfig {
+            readiness,
+            // Lock the kernel send buffer small: the ~300 KiB backlog
+            // must surface in the reactor's WriteBuf, not be silently
+            // absorbed by sndbuf autotuning.
+            sndbuf: Some(4096),
+            ..NetServerConfig::with_min_clients(2)
+        },
+    )
+    .unwrap();
+
+    let mut smooth = NetClient::connect(server.local_addr()).unwrap();
+    let mut stalled = TcpStream::connect(server.local_addr()).unwrap();
+    stalled.set_nodelay(true).unwrap();
+    // Lock the stalled socket's receive buffer at the window already
+    // granted during the handshake (shrinking below it would make the
+    // kernel *drop* in-window segments, and the drain would then crawl
+    // on retransmission timers). The window now closes cleanly after
+    // ~128 KiB; the rest of the ~300 KiB backlog has nowhere to go but
+    // the reactor's WriteBuf.
+    sys::set_recv_buffer(sys::raw_fd(&stalled), 64 * 1024).unwrap();
+
+    let traj = |tick: usize| Point::new(10.0 + 0.4 * tick as f64, 20.0 + 0.35 * tick as f64);
+    let register = Message::Register {
+        space: SpaceKind::Euclidean,
+        k: 512,
+        rho: 1.6,
+        pos: WirePos::Point {
+            x: traj(0).x,
+            y: traj(0).y,
+        },
+    };
+    stalled.write_all(&register.encode_frame()).unwrap();
+    smooth.register::<Euclidean>(512, 1.6, traj(0)).unwrap();
+
+    // Lockstep drive under the Barrier policy: the smooth client's
+    // blocking next_result paces the ticks; the stalled client sends
+    // every position update but never reads a byte back.
+    let mut smooth_results: Vec<(u64, Vec<u32>)> = Vec::new();
+    for tick in 0..TICKS {
+        let upd = smooth.next_result().unwrap();
+        assert_eq!(upd.ids.len(), 512, "k at tick {tick}");
+        smooth_results.push((upd.epoch, upd.ids));
+        if tick + 1 < TICKS {
+            let p = traj(tick + 1);
+            let update = Message::PositionUpdate {
+                pos: WirePos::Point { x: p.x, y: p.y },
+            };
+            stalled.write_all(&update.encode_frame()).unwrap();
+            smooth.update::<Euclidean>(p).unwrap();
+        }
+    }
+
+    // The clog showed up as reactor-side buffering (POLLOUT was armed),
+    // far beyond what any smooth session ever holds.
+    assert!(
+        server.buffer_high_water() > 32 * 1024,
+        "expected the stalled session to buffer server-side, high water was {} bytes \
+         on the {readiness:?} backend",
+        server.buffer_high_water()
+    );
+
+    // Resume reading: the buffered backlog must drain completely and
+    // decode to the exact stream the smooth client saw (identical
+    // trajectory => identical kNN ids, tick for tick). Re-enlarge the
+    // receive buffer first — draining 300 KiB through a floor-sized
+    // window crawls on retransmission timers, which is TCP's problem,
+    // not the reactor's.
+    sys::set_recv_buffer(sys::raw_fd(&stalled), 1 << 20).unwrap();
+    use std::io::Read;
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut rx = FrameBuf::new();
+    let mut stalled_results: Vec<(u64, Vec<u32>)> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while stalled_results.len() < TICKS {
+        let n = stalled.read(&mut chunk).expect("drain stalled backlog");
+        assert!(n > 0, "server closed before the backlog drained");
+        rx.extend(&chunk[..n]);
+        while let Some((msg, _)) = rx.next_message().unwrap() {
+            if let Message::KnnResult { epoch, ids, .. } = msg {
+                stalled_results.push((epoch, ids));
+            }
+        }
+    }
+    assert_eq!(
+        stalled_results, smooth_results,
+        "stalled client's drained stream diverged on the {readiness:?} backend"
+    );
+    drop(stalled);
     server.shutdown();
 }
