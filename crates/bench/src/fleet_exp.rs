@@ -59,14 +59,40 @@ pub fn e_fleet(effort: Effort) -> String {
         let idx_v0 = Arc::new(Euclidean::build_index(&sc, &trajs, 0));
         let idx_v1 = Arc::new(Euclidean::build_index(&sc, &trajs, 1));
 
+        // Interleaved repeats, best-of per cell: one pass over the whole
+        // thread axis per repeat (not N back-to-back runs per cell), so a
+        // host that slows down over the sweep penalizes every thread
+        // count equally instead of biasing the speedup column; the
+        // minimum is the standard noise-robust estimator for a
+        // deterministic workload.
+        let reps = match effort {
+            Effort::Quick => 1,
+            Effort::Full => 3,
+        };
+        let mut meas: Vec<Vec<(FleetStats, f64)>> = vec![Vec::new(); threads.len()];
+        for _rep in 0..reps {
+            for (ti, &t) in threads.iter().enumerate() {
+                let (fleet, wall) = run_fleet::<Euclidean>(&sc, &trajs, &idx_v0, &idx_v1, t);
+                meas[ti].push((fleet.stats(), wall));
+            }
+        }
+
         let mut baseline: Option<(FleetStats, f64)> = None;
-        for &t in &threads {
-            let (fleet, wall) = run_fleet::<Euclidean>(&sc, &trajs, &idx_v0, &idx_v1, t);
-            let stats = fleet.stats();
+        for (ti, &t) in threads.iter().enumerate() {
+            let cell = &meas[ti];
+            let (best_stats, _) = cell
+                .iter()
+                .min_by(|a, b| a.0.elapsed.cmp(&b.0.elapsed))
+                .expect("reps >= 1");
+            let wall = cell.iter().map(|&(_, w)| w).fold(f64::INFINITY, f64::min);
+            let stats = best_stats.clone();
             let kticks = stats.total.ticks as f64 / wall / 1e3;
             let (speedup, identical) = match &baseline {
                 None => (1.0, true),
-                Some((base, base_wall)) => (base_wall / wall, base.total == stats.total),
+                Some((base, base_wall)) => (
+                    base_wall / wall,
+                    cell.iter().all(|(s, _)| s.total == base.total),
+                ),
             };
             out.push_str(&format!(
                 "{:<8} {:>8} {:>10.1} {:>8.2}x {:>10.2} {:>10.4} {:>11}\n",

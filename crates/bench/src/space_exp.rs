@@ -13,6 +13,7 @@ use insq_core::{Euclidean, InsConfig, MovingKnn, Network, Processor, WeightedEuc
 use insq_server::{FleetConfig, FleetEngine, FleetStats, QueryId, SpaceQuery, World};
 use insq_workload::{FleetScenario, SpaceWorkload};
 
+use crate::bench_json::{obj, snapshot_status, Json};
 use crate::Effort;
 
 /// Drives a whole [`FleetScenario`] through the fleet engine in space
@@ -79,8 +80,9 @@ pub fn run_single<S: SpaceWorkload>(
 }
 
 /// One `e_spaces` table row: fleet + single-query behaviour of space `S`
-/// under the shared scenario.
-fn space_row<S: SpaceWorkload>(name: &str, sc: &FleetScenario) -> String {
+/// under the shared scenario. Returns the text row plus its
+/// machine-readable snapshot record.
+fn space_row<S: SpaceWorkload>(name: &str, sc: &FleetScenario) -> (String, Json) {
     let fleet_state = S::make_fleet(sc);
     let idx_v0 = Arc::new(S::build_index(sc, &fleet_state, 0));
     let idx_v1 = Arc::new(S::build_index(sc, &fleet_state, 1));
@@ -104,17 +106,31 @@ fn space_row<S: SpaceWorkload>(name: &str, sc: &FleetScenario) -> String {
     }
 
     let (_, us_tick, mismatches) = run_single::<S>(sc, &fleet_state, &idx_v0);
-    format!(
+    let kticks = s1.total.ticks as f64 / wall_1t / 1e3;
+    let row = format!(
         "{:<10} {:>9.1} {:>10.2} {:>9.4} {:>10.2} {:>10} {:>7} {:>6}\n",
         name,
-        s1.total.ticks as f64 / wall_1t / 1e3,
+        kticks,
         s1.validations_per_tick(),
         s1.recompute_rate(),
         us_tick,
         if identical { "yes" } else { "NO" },
         if spot_ok { "ok" } else { "FAIL" },
         mismatches,
-    )
+    );
+    let json = obj([
+        ("space", name.into()),
+        ("clients", sc.clients.into()),
+        ("n", sc.n.into()),
+        ("kticks_per_s", kticks.into()),
+        ("validations_per_tick", s1.validations_per_tick().into()),
+        ("recompute_rate", s1.recompute_rate().into()),
+        ("us_per_tick", us_tick.into()),
+        ("identical_1_vs_2_threads", identical.into()),
+        ("brute_spot_ok", spot_ok.into()),
+        ("brute_mismatches", mismatches.into()),
+    ]);
+    (row, json)
 }
 
 /// E-spaces: the same fleet scenario through every registered space —
@@ -148,9 +164,15 @@ pub fn e_spaces(effort: Effort) -> String {
         "{:<10} {:>9} {:>10} {:>9} {:>10} {:>10} {:>7} {:>6}\n",
         "space", "kticks/s", "val/tick", "rec_rate", "us/query", "identical", "brute", "miss"
     ));
-    out.push_str(&space_row::<Euclidean>("euclidean", &sc));
-    out.push_str(&space_row::<WeightedEuclidean>("weighted", &sc));
-    out.push_str(&space_row::<Network>("network", &sc_net));
+    let mut runs: Vec<Json> = Vec::new();
+    for (row, json) in [
+        space_row::<Euclidean>("euclidean", &sc),
+        space_row::<WeightedEuclidean>("weighted", &sc),
+        space_row::<Network>("network", &sc_net),
+    ] {
+        out.push_str(&row);
+        runs.push(json);
+    }
     out.push_str(
         "\nexpected shape: every row validates cheaply and recomputes rarely; the\n\
          'identical' column asserts bit-identical aggregate counters at 1 vs 2\n\
@@ -159,5 +181,20 @@ pub fn e_spaces(effort: Effort) -> String {
          rides the entire stack — processor, world, fleet engine, workload,\n\
          experiments — with zero per-space driver code.\n",
     );
+    let snapshot = obj([
+        ("experiment", "e_spaces".into()),
+        (
+            "effort",
+            match effort {
+                Effort::Quick => "quick",
+                Effort::Full => "full",
+            }
+            .into(),
+        ),
+        ("k", sc.k.into()),
+        ("ticks", sc.ticks.into()),
+        ("runs", Json::Arr(runs)),
+    ]);
+    out.push_str(&snapshot_status("e_spaces", &snapshot));
     out
 }

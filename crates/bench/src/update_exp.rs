@@ -24,6 +24,7 @@ use insq_server::{FleetConfig, FleetEngine, InsFleetQuery, NetworkWorld, World};
 use insq_voronoi::SiteId;
 use insq_workload::{Distribution, FleetScenario};
 
+use crate::bench_json::{obj, snapshot_status, Json};
 use crate::Effort;
 
 /// A churn delta: removes `d` spread-out sites and adds `d` fresh points,
@@ -45,7 +46,7 @@ fn churn_delta(snapshot: &VorTree, d: usize, rng: &mut SplitMix64) -> SiteDelta 
     delta
 }
 
-fn euclidean_section(effort: Effort, out: &mut String) {
+fn euclidean_section(effort: Effort, out: &mut String, runs: &mut Vec<Json>) {
     let ns: Vec<usize> = effort.thin(&[2_000usize, 10_000, 20_000]);
     let reps = match effort {
         Effort::Quick => 4,
@@ -91,11 +92,19 @@ fn euclidean_section(effort: Effort, out: &mut String) {
                 rebuild_us,
                 rebuild_us / apply_us
             ));
+            runs.push(obj([
+                ("section", "euclidean_delta".into()),
+                ("n", n.into()),
+                ("delta", d.into()),
+                ("apply_us", apply_us.into()),
+                ("rebuild_us", rebuild_us.into()),
+                ("speedup", (rebuild_us / apply_us).into()),
+            ]));
         }
     }
 }
 
-fn network_section(effort: Effort, out: &mut String) {
+fn network_section(effort: Effort, out: &mut String, runs: &mut Vec<Json>) {
     let (cols, rows, sites_n) = match effort {
         Effort::Quick => (30u32, 30u32, 250usize),
         Effort::Full => (60, 60, 900),
@@ -160,10 +169,20 @@ fn network_section(effort: Effort, out: &mut String) {
             rebuild_us,
             rebuild_us / apply_us
         ));
+        runs.push(obj([
+            ("section", "network_delta".into()),
+            ("n", sites_n.into()),
+            ("delta", d.into()),
+            ("apply_us", apply_us.into()),
+            ("rebuild_us", rebuild_us.into()),
+            ("speedup", (rebuild_us / apply_us).into()),
+        ]));
     }
 }
 
-fn stream_section(effort: Effort, out: &mut String) {
+/// Returns the apply-mode fleet cost in us per query-tick (the
+/// experiment's headline `us_per_tick`).
+fn stream_section(effort: Effort, out: &mut String, runs: &mut Vec<Json>) -> f64 {
     let clients = match effort {
         Effort::Quick => 200usize,
         Effort::Full => 1_000,
@@ -189,6 +208,7 @@ fn stream_section(effort: Effort, out: &mut String) {
     let idx = Arc::new(VorTree::build(sc.points(0), sc.clip_window()).expect("valid data"));
     let trajs: Vec<Trajectory> = (0..clients).map(|c| sc.client_trajectory(c)).collect();
 
+    let mut apply_us_per_tick = 0.0;
     for mode in ["apply", "publish"] {
         let world = Arc::new(World::from_arc(Arc::clone(&idx)));
         let mut fleet: FleetEngine<VorTree, InsFleetQuery> =
@@ -226,22 +246,35 @@ fn stream_section(effort: Effort, out: &mut String) {
             .iter()
             .map(|d| d.as_secs_f64() * 1e6)
             .fold(0.0f64, f64::max);
+        let stats = fleet.stats();
+        let kticks = stats.total.ticks as f64 / wall / 1e3;
+        let us_per_tick = stats.elapsed.as_secs_f64() * 1e6 / stats.total.ticks.max(1) as f64;
+        if mode == "apply" {
+            apply_us_per_tick = us_per_tick;
+        }
         out.push_str(&format!(
             "{:<10} {:>12.1} {:>14.1} {:>14.1}\n",
-            mode,
-            fleet.stats().total.ticks as f64 / wall / 1e3,
-            mean,
-            max
+            mode, kticks, mean, max
         ));
+        runs.push(obj([
+            ("section", format!("stream_{mode}").as_str().into()),
+            ("clients", clients.into()),
+            ("kticks_per_s", kticks.into()),
+            ("us_per_tick", us_per_tick.into()),
+            ("mean_update_us", mean.into()),
+            ("max_update_us", max.into()),
+        ]));
     }
+    apply_us_per_tick
 }
 
 /// E-update: incremental index maintenance — delta epochs vs rebuilds.
 pub fn e_update(effort: Effort) -> String {
     let mut out = String::new();
-    euclidean_section(effort, &mut out);
-    network_section(effort, &mut out);
-    stream_section(effort, &mut out);
+    let mut runs: Vec<Json> = Vec::new();
+    euclidean_section(effort, &mut out, &mut runs);
+    network_section(effort, &mut out, &mut runs);
+    let us_per_tick = stream_section(effort, &mut out, &mut runs);
     out.push_str(
         "\nexpected shape: apply latency grows with delta size from an O(n) copy-on-write\n\
          floor and stays well under the O(n log n) rebuild (>= 5x for small deltas at\n\
@@ -249,5 +282,20 @@ pub fn e_update(effort: Effort) -> String {
          conformance suites prove bit-equality) but the apply mode's update stalls are\n\
          a fraction of the publish mode's.\n",
     );
+    let snapshot = obj([
+        ("experiment", "e_update".into()),
+        (
+            "effort",
+            match effort {
+                Effort::Quick => "quick",
+                Effort::Full => "full",
+            }
+            .into(),
+        ),
+        // Headline cost: the apply-mode fleet stream's us per query-tick.
+        ("us_per_tick", us_per_tick.into()),
+        ("runs", Json::Arr(runs)),
+    ]);
+    out.push_str(&snapshot_status("e_update", &snapshot));
     out
 }

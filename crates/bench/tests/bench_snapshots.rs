@@ -1,0 +1,63 @@
+//! Schema check for the committed benchmark snapshots: every
+//! `BENCH_*.json` at the repo root must parse as JSON, name its
+//! experiment, and carry a numeric `us_per_tick` — either top-level or
+//! in every element of its `runs` array — so downstream tooling can diff
+//! the per-tick cost across commits without per-experiment knowledge.
+
+use insq_bench::bench_json::{repo_root, Json};
+
+/// `us_per_tick` present and numeric, top-level or per run.
+fn has_us_per_tick(doc: &Json) -> bool {
+    if doc.get("us_per_tick").and_then(Json::as_f64).is_some() {
+        return true;
+    }
+    match doc.get("runs").and_then(Json::as_arr) {
+        Some(runs) if !runs.is_empty() => runs
+            .iter()
+            .all(|r| r.get("us_per_tick").and_then(Json::as_f64).is_some()),
+        _ => false,
+    }
+}
+
+#[test]
+fn committed_snapshots_parse_and_carry_us_per_tick() {
+    let root = repo_root();
+    let mut found: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&root).expect("repo root readable") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path())
+            .unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+        let doc =
+            Json::parse(&text).unwrap_or_else(|e| panic!("{name}: does not parse as JSON: {e}"));
+        let experiment = doc
+            .get("experiment")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{name}: missing string field \"experiment\""));
+        assert!(
+            name == format!("BENCH_{experiment}.json"),
+            "{name}: file name does not match experiment id {experiment:?}"
+        );
+        assert!(
+            has_us_per_tick(&doc),
+            "{name}: no numeric us_per_tick (top-level or in every runs[] element)"
+        );
+        found.push(name);
+    }
+    // The five snapshot-emitting experiments must all be committed.
+    for required in [
+        "BENCH_e_net.json",
+        "BENCH_e_fleet.json",
+        "BENCH_e_cluster.json",
+        "BENCH_e_update.json",
+        "BENCH_e_spaces.json",
+    ] {
+        assert!(
+            found.iter().any(|n| n == required),
+            "missing committed snapshot {required} (have: {found:?})"
+        );
+    }
+}

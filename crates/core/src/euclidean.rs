@@ -14,12 +14,12 @@
 use std::borrow::Borrow;
 
 use insq_geom::{Circle, ConvexPolygon, Point};
-use insq_index::VorTree;
+use insq_index::{VorTree, VorTreeScratch};
 use insq_voronoi::{order_k_cell, SiteId};
 
-use crate::influential::influential_neighbor_set;
+use crate::influential::influential_neighbor_set_into;
 use crate::processor::{MovingKnn, Processor};
-use crate::space::{Space, Validated};
+use crate::space::{Space, Verdict};
 
 /// The 2-D Euclidean plane under L2, indexed by a [`VorTree`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,7 +29,7 @@ impl Space for Euclidean {
     type Pos = Point;
     type SiteId = SiteId;
     type Index = VorTree;
-    type Scratch = ();
+    type Scratch = VorTreeScratch;
 
     const NAME: &'static str = "INS";
 
@@ -41,41 +41,48 @@ impl Space for Euclidean {
         id.idx()
     }
 
-    fn global_knn(index: &VorTree, pos: Point, m: usize) -> (Vec<(SiteId, f64)>, u64) {
-        let r = index.knn(pos, m);
-        let ops = r.len() as u64;
-        (r, ops)
-    }
-
-    fn influential(index: &VorTree, ids: &[SiteId]) -> Vec<SiteId> {
-        influential_neighbor_set(index.voronoi(), ids)
-    }
-
-    fn scoped_knn(
+    fn global_knn_into(
         index: &VorTree,
-        _scratch: &mut (),
+        scratch: &mut VorTreeScratch,
+        pos: Point,
+        m: usize,
+        out: &mut Vec<(SiteId, f64)>,
+    ) -> u64 {
+        index.knn_into(scratch, pos, m, out);
+        out.len() as u64
+    }
+
+    fn influential_into(index: &VorTree, ids: &[SiteId], out: &mut Vec<SiteId>) {
+        influential_neighbor_set_into(index.voronoi(), ids, out)
+    }
+
+    fn scoped_knn_into(
+        index: &VorTree,
+        _scratch: &mut VorTreeScratch,
         _scope: &[SiteId],
         held: &[SiteId],
         pos: Point,
         k: usize,
-    ) -> (Vec<(SiteId, f64)>, u64) {
-        rank_held(|s| index.point(s).distance_sq(pos), held, k)
+        out: &mut Vec<(SiteId, f64)>,
+    ) -> u64 {
+        rank_held_into(|s| index.dist_sq(s, pos), held, k, out)
     }
 
     fn brute_knn(index: &VorTree, pos: Point, k: usize) -> Vec<SiteId> {
-        index.voronoi().knn_brute(pos, k)
+        index.brute_knn(pos, k)
     }
 
-    fn validate(
+    fn validate_into(
         index: &VorTree,
-        _scratch: &mut (),
+        _scratch: &mut VorTreeScratch,
         _scope: &[SiteId],
         held: &[SiteId],
         current: &[(SiteId, f64)],
         pos: Point,
         k: usize,
-    ) -> (Validated<SiteId>, u64) {
-        scan_validate(|s| index.point(s).distance_sq(pos), held, current, k)
+        out: &mut Vec<(SiteId, f64)>,
+    ) -> (Verdict, u64) {
+        scan_validate_into(|s| index.dist_sq(s, pos), held, current, k, out)
     }
 }
 
@@ -84,20 +91,22 @@ impl Space for Euclidean {
 /// member (`r.delete`) is not farther than the nearest guard
 /// (`r.candidate`, ties valid). On invalidation the held objects are
 /// ranked into the candidate replacement. One distance evaluation per
-/// held object either way.
+/// held object either way; `out` receives the refreshed result
+/// (valid) or the candidate set (invalid).
 ///
 /// This is the same predicate as
 /// [`crate::influential::validate_by_distance`] (which reports the
 /// delete/candidate pair for observers and benches); the comparison
 /// semantics — squared distances, boundary ties valid — must stay in
-/// sync between the two. This variant skips materialising the guard
-/// set, keeping the fleet engine's valid-tick path allocation-free.
-pub(crate) fn scan_validate<F: Fn(SiteId) -> f64 + Copy>(
+/// sync between the two. This variant materialises nothing, keeping the
+/// fleet engine's valid-tick path allocation-free.
+pub(crate) fn scan_validate_into<F: Fn(SiteId) -> f64 + Copy>(
     dist_sq: F,
     held: &[SiteId],
     current: &[(SiteId, f64)],
     k: usize,
-) -> (Validated<SiteId>, u64) {
+    out: &mut Vec<(SiteId, f64)>,
+) -> (Verdict, u64) {
     let ops = held.len() as u64;
     let mut max_knn = f64::NEG_INFINITY;
     for &(s, _) in current {
@@ -110,40 +119,45 @@ pub(crate) fn scan_validate<F: Fn(SiteId) -> f64 + Copy>(
         }
     }
     if max_knn <= min_guard {
-        let mut refreshed: Vec<(SiteId, f64)> =
-            current.iter().map(|&(s, _)| (s, dist_sq(s))).collect();
-        refreshed.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        for r in &mut refreshed {
+        out.clear();
+        out.extend(current.iter().map(|&(s, _)| (s, dist_sq(s))));
+        // Total-order comparator, so the unstable (allocation-free)
+        // sort is deterministic.
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        for r in out.iter_mut() {
             r.1 = r.1.sqrt();
         }
-        (Validated::Valid(refreshed), ops)
+        (Verdict::Valid, ops)
     } else {
-        let (cand, rank_ops) = rank_held(dist_sq, held, k);
-        (Validated::Invalid(cand), ops + rank_ops)
+        let rank_ops = rank_held_into(dist_sq, held, k, out);
+        (Verdict::Invalid, ops + rank_ops)
     }
 }
 
 /// The §III-A scan shared by the (plain and weighted) Euclidean spaces:
 /// the top-k of the held objects under `dist_sq`, ascending by
-/// (distance, id), distances square-rooted on the way out. Op count =
-/// one distance evaluation per held object.
-pub(crate) fn rank_held<F: Fn(SiteId) -> f64>(
+/// (distance, id), distances square-rooted on the way out, written into
+/// `out` (cleared first). Op count = one distance evaluation per held
+/// object.
+pub(crate) fn rank_held_into<F: Fn(SiteId) -> f64>(
     dist_sq: F,
     held: &[SiteId],
     k: usize,
-) -> (Vec<(SiteId, f64)>, u64) {
+    out: &mut Vec<(SiteId, f64)>,
+) -> u64 {
     let ops = held.len() as u64;
-    let mut ranked: Vec<(SiteId, f64)> = held.iter().map(|&s| (s, dist_sq(s))).collect();
-    let k = k.min(ranked.len());
-    if ranked.len() > k && k > 0 {
-        ranked.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(k);
+    out.clear();
+    out.extend(held.iter().map(|&s| (s, dist_sq(s))));
+    let k = k.min(out.len());
+    if out.len() > k && k > 0 {
+        out.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out.truncate(k);
     }
-    ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-    for r in &mut ranked {
+    out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    for r in out.iter_mut() {
         r.1 = r.1.sqrt();
     }
-    (ranked, ops)
+    ops
 }
 
 /// The INS moving-kNN processor over a [`VorTree`] — the Euclidean

@@ -21,14 +21,22 @@ use insq_voronoi::{SiteId, Voronoi};
 ///
 /// `knn` need not be sorted; duplicates are tolerated.
 pub fn influential_neighbor_set(voronoi: &Voronoi, knn: &[SiteId]) -> Vec<SiteId> {
-    let mut ins: Vec<SiteId> = Vec::with_capacity(knn.len() * 6);
-    for &p in knn {
-        ins.extend_from_slice(voronoi.neighbors(p));
-    }
-    ins.sort_unstable();
-    ins.dedup();
-    ins.retain(|s| !knn.contains(s));
+    let mut ins = Vec::with_capacity(knn.len() * 6);
+    influential_neighbor_set_into(voronoi, knn, &mut ins);
     ins
+}
+
+/// Allocation-free [`influential_neighbor_set`]: writes `I(knn)` into
+/// `out` (cleared first). With `out` at capacity this touches no
+/// allocator — the per-tick construction path of the Euclidean spaces.
+pub fn influential_neighbor_set_into(voronoi: &Voronoi, knn: &[SiteId], out: &mut Vec<SiteId>) {
+    out.clear();
+    for &p in knn {
+        out.extend_from_slice(voronoi.neighbors(p));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out.retain(|s| !knn.contains(s));
 }
 
 /// Checks Definition 1 empirically at a query position: `knn` is closer to

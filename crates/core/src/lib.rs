@@ -43,12 +43,17 @@ pub mod weighted;
 
 pub use continuous::{knn_change_events, KnnEvent, MotionTrace};
 pub use euclidean::{Euclidean, InsProcessor};
-pub use influential::{influential_neighbor_set, validate_by_distance, Validation};
+pub use influential::{
+    influential_neighbor_set, influential_neighbor_set_into, validate_by_distance, Validation,
+};
 pub use metrics::{QueryStats, TickOutcome};
 pub use mis::{minimal_influential_set, mis_via_ins, mis_with_candidates};
-pub use network::{influential_neighbor_set_net, NetInsProcessor, Network};
+pub use network::{
+    influential_neighbor_set_net, influential_neighbor_set_net_into, NetInsProcessor, NetScratch,
+    Network,
+};
 pub use processor::{InsConfig, MovingKnn, Processor};
-pub use space::{DeltaIndex, Space, Validated};
+pub use space::{DeltaIndex, Space, Validated, Verdict};
 pub use weighted::{WInsProcessor, WeightedEuclidean};
 
 /// The network processor configuration — identical to [`InsConfig`] now

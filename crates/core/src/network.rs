@@ -21,10 +21,11 @@
 
 use std::borrow::Borrow;
 
-use insq_roadnet::ine::{network_knn, network_knn_with_stats};
-use insq_roadnet::subnetwork::restricted_knn;
+use insq_roadnet::ine::{network_knn, network_knn_into};
+use insq_roadnet::subnetwork::restricted_knn_into;
 use insq_roadnet::{
-    NetPosition, NetworkVoronoi, NetworkWorld, RoadNetwork, SiteIdx, SiteMask, SiteSet,
+    DijkstraScratch, NetPosition, NetworkVoronoi, NetworkWorld, RoadNetwork, SiteIdx, SiteMask,
+    SiteSet,
 };
 
 use crate::processor::Processor;
@@ -35,11 +36,23 @@ use crate::space::Space;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Network;
 
+/// Per-shard search scratch of the road-network space: the Theorem-2
+/// restriction mask plus the Dijkstra expansion state (distance slots
+/// and frontier heap). A default scratch is empty; backing storage
+/// appears on first use, sized to the bound network.
+#[derive(Debug, Clone, Default)]
+pub struct NetScratch {
+    /// Allowed-site mask of the restricted (Theorem-2) search.
+    pub mask: SiteMask,
+    /// Dijkstra distance slots + frontier heap.
+    pub dij: DijkstraScratch,
+}
+
 impl Space for Network {
     type Pos = NetPosition;
     type SiteId = SiteIdx;
     type Index = NetworkWorld;
-    type Scratch = SiteMask;
+    type Scratch = NetScratch;
 
     const NAME: &'static str = "INS-road";
     const IMPLICIT_FETCH: bool = true;
@@ -56,27 +69,43 @@ impl Space for Network {
         id.idx()
     }
 
-    fn global_knn(index: &NetworkWorld, pos: NetPosition, m: usize) -> (Vec<(SiteIdx, f64)>, u64) {
-        let (r, st) = network_knn_with_stats(&index.net, &index.sites, pos, m);
-        (r, st.settled as u64)
-    }
-
-    fn influential(index: &NetworkWorld, ids: &[SiteIdx]) -> Vec<SiteIdx> {
-        influential_neighbor_set_net(&index.nvd, ids)
-    }
-
-    fn scoped_knn(
+    fn global_knn_into(
         index: &NetworkWorld,
-        mask: &mut SiteMask,
+        scratch: &mut NetScratch,
+        pos: NetPosition,
+        m: usize,
+        out: &mut Vec<(SiteIdx, f64)>,
+    ) -> u64 {
+        let st = network_knn_into(&index.net, &index.sites, &mut scratch.dij, pos, m, out);
+        st.settled as u64
+    }
+
+    fn influential_into(index: &NetworkWorld, ids: &[SiteIdx], out: &mut Vec<SiteIdx>) {
+        influential_neighbor_set_net_into(&index.nvd, ids, out)
+    }
+
+    fn scoped_knn_into(
+        index: &NetworkWorld,
+        scratch: &mut NetScratch,
         scope: &[SiteIdx],
         _held: &[SiteIdx],
         pos: NetPosition,
         k: usize,
-    ) -> (Vec<(SiteIdx, f64)>, u64) {
-        mask.resize(index.sites.len());
-        mask.set(scope.iter().copied());
-        let (res, st) = restricted_knn(&index.net, &index.sites, &index.nvd, mask, pos, k);
-        (res, st.settled as u64)
+        out: &mut Vec<(SiteIdx, f64)>,
+    ) -> u64 {
+        scratch.mask.resize(index.sites.len());
+        scratch.mask.set(scope.iter().copied());
+        let st = restricted_knn_into(
+            &index.net,
+            &index.sites,
+            &index.nvd,
+            &scratch.mask,
+            &mut scratch.dij,
+            pos,
+            k,
+            out,
+        );
+        st.settled as u64
     }
 
     fn brute_knn(index: &NetworkWorld, pos: NetPosition, k: usize) -> Vec<SiteIdx> {
@@ -121,14 +150,25 @@ impl<B: Borrow<NetworkWorld>> Processor<Network, B> {
 /// the kNN members, minus the members (Definition 4 on network Voronoi
 /// cells).
 pub fn influential_neighbor_set_net(nvd: &NetworkVoronoi, knn: &[SiteIdx]) -> Vec<SiteIdx> {
-    let mut ins: Vec<SiteIdx> = Vec::with_capacity(knn.len() * 4);
-    for &s in knn {
-        ins.extend_from_slice(nvd.neighbors(s));
-    }
-    ins.sort_unstable();
-    ins.dedup();
-    ins.retain(|s| !knn.contains(s));
+    let mut ins = Vec::with_capacity(knn.len() * 4);
+    influential_neighbor_set_net_into(nvd, knn, &mut ins);
     ins
+}
+
+/// Allocation-free [`influential_neighbor_set_net`]: writes `I(knn)`
+/// into `out` (cleared first).
+pub fn influential_neighbor_set_net_into(
+    nvd: &NetworkVoronoi,
+    knn: &[SiteIdx],
+    out: &mut Vec<SiteIdx>,
+) {
+    out.clear();
+    for &s in knn {
+        out.extend_from_slice(nvd.neighbors(s));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out.retain(|s| !knn.contains(s));
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ use std::borrow::Borrow;
 use std::marker::PhantomData;
 
 use crate::metrics::{QueryStats, TickOutcome};
-use crate::space::{Space, Validated};
+use crate::space::{Space, Verdict};
 use crate::CoreError;
 
 /// A continuous kNN processor driven by position updates.
@@ -138,9 +138,25 @@ pub struct Processor<S: Space, B: Borrow<S::Index>> {
     /// tests.
     cached: Vec<bool>,
     cached_list: Vec<S::SiteId>,
-    /// Reusable probe scratch (see [`Space::Scratch`]) so hot-path
-    /// validation allocates nothing per tick.
+    /// Own search scratch, used only by the standalone
+    /// [`MovingKnn::tick`] path. Empty (no backing storage) until that
+    /// path runs — fleet engines drive [`Processor::tick_with`] with a
+    /// shard-shared scratch instead, so thousands of queries share a
+    /// handful of O(index-size) scratch arenas.
     scratch: S::Scratch,
+    /// Reusable result buffers: every per-tick transient of the INS
+    /// protocol lives in one of these, so in steady state (capacities
+    /// grown to the working set) a tick performs zero heap allocations.
+    /// Buffers are `mem::take`n around calls that also need `&mut self`
+    /// (a swap with an empty vec — never an allocation) and restored
+    /// afterwards, preserving their capacity.
+    val_buf: Vec<(S::SiteId, f64)>,
+    probe_buf: Vec<(S::SiteId, f64)>,
+    ids_buf: Vec<S::SiteId>,
+    ins_buf: Vec<S::SiteId>,
+    missing_buf: Vec<S::SiteId>,
+    scope2_buf: Vec<S::SiteId>,
+    extended_buf: Vec<S::SiteId>,
     last_pos: Option<S::Pos>,
     stats: QueryStats,
     initialized: bool,
@@ -174,6 +190,13 @@ impl<S: Space, B: Borrow<S::Index>> Processor<S, B> {
             cached,
             cached_list: Vec::new(),
             scratch: S::Scratch::default(),
+            val_buf: Vec::new(),
+            probe_buf: Vec::new(),
+            ids_buf: Vec::new(),
+            ins_buf: Vec::new(),
+            missing_buf: Vec::new(),
+            scope2_buf: Vec::new(),
+            extended_buf: Vec::new(),
             last_pos: None,
             stats: QueryStats::default(),
             initialized: false,
@@ -303,48 +326,54 @@ impl<S: Space, B: Borrow<S::Index>> Processor<S, B> {
         self.stats.comm_objects += newly;
     }
 
-    /// `kNN ∪ I(kNN)` in stable order (kNN first), deduplicated.
-    fn make_scope(ids: &[S::SiteId], ins: &[S::SiteId]) -> Vec<S::SiteId> {
-        let mut scope = Vec::with_capacity(ids.len() + ins.len());
-        scope.extend_from_slice(ids);
-        for &s in ins {
-            if !ids.contains(&s) {
-                scope.push(s);
-            }
-        }
-        scope
-    }
-
     /// Full recomputation (update case (iii) / initial computation):
     /// retrieve `R` and its cached influential set, hold both, adopt the
-    /// top-k of `R`.
-    fn recompute(&mut self, pos: S::Pos) {
+    /// top-k of `R`. Allocation-free in steady state: the probe writes
+    /// into reusable buffers and the cache refill stays within capacity.
+    fn recompute(&mut self, scratch: &mut S::Scratch, pos: S::Pos) {
         let m = self.cfg.prefetch_count().min(S::num_sites(self.index()));
-        let (r, ops) = S::global_knn(self.index.borrow(), pos, m);
+        let mut r = std::mem::take(&mut self.probe_buf);
+        let ops = S::global_knn_into(self.index.borrow(), scratch, pos, m, &mut r);
         self.stats.search_ops += ops;
-        let r_ids: Vec<S::SiteId> = r.iter().map(|&(s, _)| s).collect();
+        let mut r_ids = std::mem::take(&mut self.ids_buf);
+        r_ids.clear();
+        r_ids.extend(r.iter().map(|&(s, _)| s));
 
         // A rebind may have installed an index with fewer than k objects;
         // degrade to all of them instead of panicking mid-fleet.
-        self.knn = r[..self.cfg.k.min(r.len())].to_vec();
+        self.knn.clear();
+        self.knn.extend_from_slice(&r[..self.cfg.k.min(r.len())]);
 
         // Cache and scope policy (see `Space::SCOPED_VALIDATION`):
         // scope-probing spaces hold `R ∪ I(kNN)` and maintain the
         // probe's scope; scan-validating spaces follow the paper's §III
         // protocol (`R ∪ I(R)`) and skip the scope, which their probes
         // never read. Only genuinely new objects cost communication.
+        let mut ins = std::mem::take(&mut self.ins_buf);
         if S::SCOPED_VALIDATION {
-            let knn_ids: Vec<S::SiteId> = self.knn.iter().map(|&(s, _)| s).collect();
-            let ins_knn = S::influential(self.index.borrow(), &knn_ids);
-            self.stats.construction_ops += (knn_ids.len() + ins_knn.len()) as u64;
-            self.reset_cache_to(r_ids.iter().copied().chain(ins_knn.iter().copied()));
-            self.scope = Self::make_scope(&knn_ids, &ins_knn);
+            // `r` is sorted ascending and the kNN is its prefix, so the
+            // kNN ids are exactly the first `knn.len()` entries of
+            // `r_ids`.
+            let split = self.knn.len();
+            S::influential_into(self.index.borrow(), &r_ids[..split], &mut ins);
+            self.stats.construction_ops += (split + ins.len()) as u64;
+            self.reset_cache_to(r_ids.iter().copied().chain(ins.iter().copied()));
+            self.scope.clear();
+            self.scope.extend_from_slice(&r_ids[..split]);
+            for &s in &ins {
+                if !r_ids[..split].contains(&s) {
+                    self.scope.push(s);
+                }
+            }
         } else {
-            let ins_r = S::influential(self.index.borrow(), &r_ids);
-            self.stats.construction_ops += (r_ids.len() + ins_r.len()) as u64;
-            self.reset_cache_to(r_ids.iter().copied().chain(ins_r.iter().copied()));
+            S::influential_into(self.index.borrow(), &r_ids, &mut ins);
+            self.stats.construction_ops += (r_ids.len() + ins.len()) as u64;
+            self.reset_cache_to(r_ids.iter().copied().chain(ins.iter().copied()));
             self.scope.clear();
         }
+        self.probe_buf = r;
+        self.ids_buf = r_ids;
+        self.ins_buf = ins;
         self.last_pos = Some(pos);
     }
 
@@ -357,29 +386,48 @@ impl<S: Space, B: Borrow<S::Index>> Processor<S, B> {
     /// a probe of `cand ∪ I(cand)` returns exactly `cand` (the §III-A
     /// scan / Theorem 2) — so the predicate holding certifies
     /// `cand = NNk(q)` globally.
-    fn try_adopt(&mut self, pos: S::Pos, cand: Vec<(S::SiteId, f64)>) -> Option<TickOutcome> {
+    fn try_adopt(
+        &mut self,
+        scratch: &mut S::Scratch,
+        pos: S::Pos,
+        cand: &[(S::SiteId, f64)],
+    ) -> Option<TickOutcome> {
         if cand.len() < self.cfg.k {
             return None;
         }
-        let cand_ids: Vec<S::SiteId> = cand.iter().map(|&(s, _)| s).collect();
-        let ins = S::influential(self.index.borrow(), &cand_ids);
+        let mut cand_ids = std::mem::take(&mut self.ids_buf);
+        cand_ids.clear();
+        cand_ids.extend(cand.iter().map(|&(s, _)| s));
+        let mut ins = std::mem::take(&mut self.ins_buf);
+        S::influential_into(self.index.borrow(), &cand_ids, &mut ins);
         self.stats.construction_ops += (cand_ids.len() + ins.len()) as u64;
 
-        let missing: Vec<S::SiteId> = cand_ids
-            .iter()
-            .chain(ins.iter())
-            .copied()
-            .filter(|&s| !self.is_cached(s))
-            .collect();
+        let mut missing = std::mem::take(&mut self.missing_buf);
+        missing.clear();
+        for &s in cand_ids.iter().chain(ins.iter()) {
+            if !self.cached[S::ordinal(s)] {
+                missing.push(s);
+            }
+        }
+        // Restores the buffers on every exit path so their capacity
+        // survives for the next tick.
+        macro_rules! bail {
+            () => {{
+                self.ids_buf = cand_ids;
+                self.ins_buf = ins;
+                self.missing_buf = missing;
+                return None;
+            }};
+        }
         let fetch_allowed = S::IMPLICIT_FETCH || self.cfg.incremental_fetch;
         if !missing.is_empty() && !fetch_allowed {
             // Paper protocol: local updates use held objects only;
             // anything else is a full recomputation (case (iii)).
-            return None;
+            bail!();
         }
         // A candidate member the client did not hold means the update
         // semantically was a (partial) recomputation, not a local repair.
-        let was_local = cand_ids.iter().all(|&s| self.is_cached(s));
+        let was_local = cand_ids.iter().all(|&s| self.cached[S::ordinal(s)]);
 
         // Certification probe on the candidate's own neighborhood,
         // BEFORE any fetch — a candidate that fails certification must
@@ -391,31 +439,47 @@ impl<S: Space, B: Borrow<S::Index>> Processor<S, B> {
         // invariant explicit and to account the O(k + |IS|) cost of the
         // update cases; on road networks it is the Theorem-2 restricted
         // search over the candidate's cells and genuinely decides.
-        let scope2 = Self::make_scope(&cand_ids, &ins);
-        let (res, ops) = if missing.is_empty() {
-            S::scoped_knn(
+        let mut scope2 = std::mem::take(&mut self.scope2_buf);
+        scope2.clear();
+        scope2.extend_from_slice(&cand_ids);
+        for &s in &ins {
+            if !cand_ids.contains(&s) {
+                scope2.push(s);
+            }
+        }
+        let mut res = std::mem::take(&mut self.probe_buf);
+        let ops = if missing.is_empty() {
+            S::scoped_knn_into(
                 self.index.borrow(),
-                &mut self.scratch,
+                scratch,
                 &scope2,
                 &self.cached_list,
                 pos,
                 self.cfg.k,
+                &mut res,
             )
         } else {
-            let mut extended = self.cached_list.clone();
+            let mut extended = std::mem::take(&mut self.extended_buf);
+            extended.clear();
+            extended.extend_from_slice(&self.cached_list);
             extended.extend_from_slice(&missing);
-            S::scoped_knn(
+            let ops = S::scoped_knn_into(
                 self.index.borrow(),
-                &mut self.scratch,
+                scratch,
                 &scope2,
                 &extended,
                 pos,
                 self.cfg.k,
-            )
+                &mut res,
+            );
+            self.extended_buf = extended;
+            ops
         };
         self.stats.search_ops += ops;
         if !same_id_set::<S>(&res, &cand_ids) {
-            return None;
+            self.scope2_buf = scope2;
+            self.probe_buf = res;
+            bail!();
         }
         self.fetch(&missing);
 
@@ -431,9 +495,14 @@ impl<S: Space, B: Borrow<S::Index>> Processor<S, B> {
             TickOutcome::LocalRerank
         };
         if S::SCOPED_VALIDATION {
-            self.scope = scope2;
+            std::mem::swap(&mut self.scope, &mut scope2);
         }
-        self.knn = res;
+        std::mem::swap(&mut self.knn, &mut res);
+        self.ids_buf = cand_ids;
+        self.ins_buf = ins;
+        self.missing_buf = missing;
+        self.scope2_buf = scope2;
+        self.probe_buf = res;
         Some(outcome)
     }
 }
@@ -443,14 +512,18 @@ fn same_id_set<S: Space>(cand: &[(S::SiteId, f64)], ids: &[S::SiteId]) -> bool {
     cand.len() == ids.len() && cand.iter().all(|&(s, _)| ids.contains(&s))
 }
 
-impl<S: Space, B: Borrow<S::Index>> MovingKnn<S::Pos, S::SiteId> for Processor<S, B> {
-    fn name(&self) -> &'static str {
-        S::NAME
-    }
-
-    fn tick(&mut self, pos: S::Pos) -> TickOutcome {
+impl<S: Space, B: Borrow<S::Index>> Processor<S, B> {
+    /// Advances the query to `pos` using a caller-provided search
+    /// scratch — the fleet hot path. One scratch (sized O(index), not
+    /// O(k)) serves any number of processors sequentially, so a sharded
+    /// engine keeps one per worker instead of one per query. In steady
+    /// state the whole call performs zero heap allocations.
+    ///
+    /// [`MovingKnn::tick`] is the standalone equivalent driving the
+    /// processor's own scratch.
+    pub fn tick_with(&mut self, scratch: &mut S::Scratch, pos: S::Pos) -> TickOutcome {
         if !self.initialized {
-            self.recompute(pos);
+            self.recompute(scratch, pos);
             self.initialized = true;
             let outcome = TickOutcome::Recompute;
             self.stats.record(outcome);
@@ -459,34 +532,54 @@ impl<S: Space, B: Borrow<S::Index>> MovingKnn<S::Pos, S::SiteId> for Processor<S
         self.last_pos = Some(pos);
 
         // Validation of the certified neighborhood (§III-A scan /
-        // Theorem 2 restricted search).
-        let (verdict, ops) = S::validate(
+        // Theorem 2 restricted search). The probe writes into the
+        // reusable `val_buf`, taken locally so `try_adopt` can borrow
+        // `self` mutably alongside it.
+        let mut val = std::mem::take(&mut self.val_buf);
+        let (verdict, ops) = S::validate_into(
             self.index.borrow(),
-            &mut self.scratch,
+            scratch,
             &self.scope,
             &self.cached_list,
             &self.knn,
             pos,
             self.cfg.k,
+            &mut val,
         );
         self.stats.validation_ops += ops;
         let outcome = match verdict {
-            Validated::Valid(refreshed) => {
+            Verdict::Valid => {
                 // Refresh stored distances for observers.
-                self.knn = refreshed;
+                std::mem::swap(&mut self.knn, &mut val);
                 TickOutcome::Valid
             }
             // The probe's result is the natural candidate (the first
             // object to displace a kNN member is an INS member).
-            Validated::Invalid(cand) => match self.try_adopt(pos, cand) {
+            Verdict::Invalid => match self.try_adopt(scratch, pos, &val) {
                 Some(outcome) => outcome,
                 None => {
-                    self.recompute(pos);
+                    self.recompute(scratch, pos);
                     TickOutcome::Recompute
                 }
             },
         };
+        self.val_buf = val;
         self.stats.record(outcome);
+        outcome
+    }
+}
+
+impl<S: Space, B: Borrow<S::Index>> MovingKnn<S::Pos, S::SiteId> for Processor<S, B> {
+    fn name(&self) -> &'static str {
+        S::NAME
+    }
+
+    fn tick(&mut self, pos: S::Pos) -> TickOutcome {
+        // The own scratch is swapped out for the duration of the tick
+        // (a pointer swap with an empty default, not an allocation).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let outcome = self.tick_with(&mut scratch, pos);
+        self.scratch = scratch;
         outcome
     }
 

@@ -46,11 +46,14 @@ pub trait Space: Sized + Copy + Send + Sync + 'static {
     type SiteId: Copy + Eq + Ord + Debug + Send + Sync + 'static;
     /// The server-side index snapshot queries run against.
     type Index: Send + Sync;
-    /// Reusable per-query scratch state for the validation probe, owned
-    /// by the processor and threaded through [`Space::validate`] /
-    /// [`Space::scoped_knn`] so hot-path probes allocate nothing
-    /// per tick (`()` for Euclidean spaces; a reusable
-    /// `insq_roadnet::SiteMask` on road networks).
+    /// Reusable scratch holding every per-query search transient —
+    /// frontier heaps, generation-stamped visited marks and distance
+    /// slots, the restricted-search site mask — threaded through all
+    /// `*_into` probes so the hot tick path allocates nothing. A default
+    /// scratch is empty (backing storage appears on first use and is
+    /// sized to the index), so it can be shared per worker shard rather
+    /// than per query: `insq_index::VorTreeScratch` for the Euclidean
+    /// spaces, [`crate::network::NetScratch`] on road networks.
     type Scratch: Default + Clone + Debug + Send + Sync;
 
     /// Short human-readable method name ("INS", "INS-road", …).
@@ -92,26 +95,111 @@ pub trait Space: Sized + Copy + Send + Sync + 'static {
     fn ordinal(id: Self::SiteId) -> usize;
 
     /// Global kNN probe — the initial computation / update case (iii)
-    /// search. Returns the `m` nearest sites ascending by distance (ties
-    /// by id) together with the elementary-operation count (index node
-    /// inspections, settled vertices, …).
-    fn global_knn(index: &Self::Index, pos: Self::Pos, m: usize)
-        -> (Vec<(Self::SiteId, f64)>, u64);
+    /// search. Writes the `m` nearest sites ascending by distance (ties
+    /// by id) into `out` (cleared first) and returns the
+    /// elementary-operation count (index node inspections, settled
+    /// vertices, …). All per-query transients live in `scratch`, so in
+    /// steady state this touches no allocator.
+    fn global_knn_into(
+        index: &Self::Index,
+        scratch: &mut Self::Scratch,
+        pos: Self::Pos,
+        m: usize,
+        out: &mut Vec<(Self::SiteId, f64)>,
+    ) -> u64;
 
     /// The influential neighbor set `I(ids)` (Definition 4): the union of
     /// the Voronoi neighbor sets of `ids`, minus `ids`, sorted and
-    /// deduplicated.
-    fn influential(index: &Self::Index, ids: &[Self::SiteId]) -> Vec<Self::SiteId>;
+    /// deduplicated, written into `out` (cleared first).
+    fn influential_into(index: &Self::Index, ids: &[Self::SiteId], out: &mut Vec<Self::SiteId>);
 
     /// The validation/certification probe: the best `k` candidates
-    /// visible from the certified neighborhood of the current result.
+    /// visible from the certified neighborhood of the current result,
+    /// written into `out` (cleared first).
     ///
     /// `scope` is the result set united with its influential neighbor
     /// set; `held` is every object the client holds. Euclidean spaces
     /// re-rank `held` by distance (the §III-A scan); road networks run
     /// the Theorem-2 restricted expansion over the Voronoi cells of
-    /// `scope`. Returns candidates ascending by distance (ties by id)
-    /// and the operation count.
+    /// `scope`. Candidates come out ascending by distance (ties by id);
+    /// the return value is the operation count.
+    fn scoped_knn_into(
+        index: &Self::Index,
+        scratch: &mut Self::Scratch,
+        scope: &[Self::SiteId],
+        held: &[Self::SiteId],
+        pos: Self::Pos,
+        k: usize,
+        out: &mut Vec<(Self::SiteId, f64)>,
+    ) -> u64;
+
+    /// Brute-force kNN — the conformance reference every processor
+    /// answer is checked against in the cross-space test suites. Not a
+    /// hot path; allocates freely.
+    fn brute_knn(index: &Self::Index, pos: Self::Pos, k: usize) -> Vec<Self::SiteId>;
+
+    /// The per-tick validation step (§III-A / Theorem 2): decides
+    /// whether `current` is still certified at `pos`. On
+    /// [`Verdict::Valid`], `out` holds the current result with distances
+    /// refreshed at the new position; on [`Verdict::Invalid`], the
+    /// probe's candidate replacement set. Returns the verdict and the
+    /// elementary-operation count.
+    ///
+    /// The default runs [`Space::scoped_knn_into`] and set-compares —
+    /// exactly right for road networks, where the restricted expansion
+    /// both validates and yields the candidate. Euclidean spaces
+    /// override it with the cheaper O(k + |IS|) distance scan (farthest
+    /// current member vs nearest guard, ties valid) and fall back to the
+    /// ranked probe only on invalidation.
+    #[allow(clippy::too_many_arguments)]
+    fn validate_into(
+        index: &Self::Index,
+        scratch: &mut Self::Scratch,
+        scope: &[Self::SiteId],
+        held: &[Self::SiteId],
+        current: &[(Self::SiteId, f64)],
+        pos: Self::Pos,
+        k: usize,
+        out: &mut Vec<(Self::SiteId, f64)>,
+    ) -> (Verdict, u64) {
+        let ops = Self::scoped_knn_into(index, scratch, scope, held, pos, k, out);
+        let same = out.len() == current.len()
+            && out
+                .iter()
+                .all(|&(s, _)| current.iter().any(|&(c, _)| c == s));
+        if same {
+            (Verdict::Valid, ops)
+        } else {
+            (Verdict::Invalid, ops)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocating conveniences over the `*_into` primitives — for tests,
+    // oracles and one-shot callers. The processor hot path never uses
+    // these.
+    // ------------------------------------------------------------------
+
+    /// Allocating [`Space::global_knn_into`] with a throwaway scratch.
+    fn global_knn(
+        index: &Self::Index,
+        pos: Self::Pos,
+        m: usize,
+    ) -> (Vec<(Self::SiteId, f64)>, u64) {
+        let mut scratch = Self::Scratch::default();
+        let mut out = Vec::with_capacity(m);
+        let ops = Self::global_knn_into(index, &mut scratch, pos, m, &mut out);
+        (out, ops)
+    }
+
+    /// Allocating [`Space::influential_into`].
+    fn influential(index: &Self::Index, ids: &[Self::SiteId]) -> Vec<Self::SiteId> {
+        let mut out = Vec::new();
+        Self::influential_into(index, ids, &mut out);
+        out
+    }
+
+    /// Allocating [`Space::scoped_knn_into`].
     fn scoped_knn(
         index: &Self::Index,
         scratch: &mut Self::Scratch,
@@ -119,23 +207,15 @@ pub trait Space: Sized + Copy + Send + Sync + 'static {
         held: &[Self::SiteId],
         pos: Self::Pos,
         k: usize,
-    ) -> (Vec<(Self::SiteId, f64)>, u64);
+    ) -> (Vec<(Self::SiteId, f64)>, u64) {
+        let mut out = Vec::with_capacity(k);
+        let ops = Self::scoped_knn_into(index, scratch, scope, held, pos, k, &mut out);
+        (out, ops)
+    }
 
-    /// Brute-force kNN — the conformance reference every processor
-    /// answer is checked against in the cross-space test suites.
-    fn brute_knn(index: &Self::Index, pos: Self::Pos, k: usize) -> Vec<Self::SiteId>;
-
-    /// The per-tick validation step (§III-A / Theorem 2): decides
-    /// whether `current` is still certified at `pos` and, if not,
-    /// produces the probe's candidate replacement. Returns the verdict
-    /// and the elementary-operation count.
-    ///
-    /// The default runs [`Space::scoped_knn`] and set-compares — exactly
-    /// right for road networks, where the restricted expansion both
-    /// validates and yields the candidate. Euclidean spaces override it
-    /// with the cheaper O(k + |IS|) distance scan (farthest current
-    /// member vs nearest guard, ties valid) and fall back to the ranked
-    /// probe only on invalidation.
+    /// Allocating [`Space::validate_into`], returning the verdict with
+    /// its payload.
+    #[allow(clippy::too_many_arguments)]
     fn validate(
         index: &Self::Index,
         scratch: &mut Self::Scratch,
@@ -145,20 +225,29 @@ pub trait Space: Sized + Copy + Send + Sync + 'static {
         pos: Self::Pos,
         k: usize,
     ) -> (Validated<Self::SiteId>, u64) {
-        let (res, ops) = Self::scoped_knn(index, scratch, scope, held, pos, k);
-        let same = res.len() == current.len()
-            && res
-                .iter()
-                .all(|&(s, _)| current.iter().any(|&(c, _)| c == s));
-        if same {
-            (Validated::Valid(res), ops)
-        } else {
-            (Validated::Invalid(res), ops)
+        let mut out = Vec::with_capacity(k);
+        let (verdict, ops) =
+            Self::validate_into(index, scratch, scope, held, current, pos, k, &mut out);
+        match verdict {
+            Verdict::Valid => (Validated::Valid(out), ops),
+            Verdict::Invalid => (Validated::Invalid(out), ops),
         }
     }
 }
 
-/// Outcome of [`Space::validate`].
+/// Outcome of [`Space::validate_into`] — the payload stays in the
+/// caller's `out` buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Still certified: `out` holds the current result with distances
+    /// refreshed at the new position.
+    Valid,
+    /// No longer certified: `out` holds the probe's candidate
+    /// replacement set (to be certified by the update cases of §III-B).
+    Invalid,
+}
+
+/// Outcome of [`Space::validate`] (the allocating convenience).
 #[derive(Debug, Clone)]
 pub enum Validated<Id> {
     /// Still certified: the current result with distances refreshed at

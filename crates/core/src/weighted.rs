@@ -16,13 +16,13 @@
 //! special-cased for it anywhere.
 
 use insq_geom::Point;
-use insq_index::WeightedVorTree;
+use insq_index::{VorTreeScratch, WeightedVorTree};
 use insq_voronoi::SiteId;
 
-use crate::euclidean::rank_held;
-use crate::influential::influential_neighbor_set;
+use crate::euclidean::rank_held_into;
+use crate::influential::influential_neighbor_set_into;
 use crate::processor::Processor;
-use crate::space::Space;
+use crate::space::{Space, Verdict};
 
 /// The 2-D plane under per-axis scaled L2 distance, indexed by a
 /// [`WeightedVorTree`].
@@ -33,7 +33,7 @@ impl Space for WeightedEuclidean {
     type Pos = Point;
     type SiteId = SiteId;
     type Index = WeightedVorTree;
-    type Scratch = ();
+    type Scratch = VorTreeScratch;
 
     const NAME: &'static str = "INS-w";
 
@@ -45,43 +45,50 @@ impl Space for WeightedEuclidean {
         id.idx()
     }
 
-    fn global_knn(index: &WeightedVorTree, pos: Point, m: usize) -> (Vec<(SiteId, f64)>, u64) {
-        let r = index.knn(pos, m);
-        let ops = r.len() as u64;
-        (r, ops)
-    }
-
-    fn influential(index: &WeightedVorTree, ids: &[SiteId]) -> Vec<SiteId> {
-        influential_neighbor_set(index.voronoi(), ids)
-    }
-
-    fn scoped_knn(
+    fn global_knn_into(
         index: &WeightedVorTree,
-        _scratch: &mut (),
+        scratch: &mut VorTreeScratch,
+        pos: Point,
+        m: usize,
+        out: &mut Vec<(SiteId, f64)>,
+    ) -> u64 {
+        index.knn_into(scratch, pos, m, out);
+        out.len() as u64
+    }
+
+    fn influential_into(index: &WeightedVorTree, ids: &[SiteId], out: &mut Vec<SiteId>) {
+        influential_neighbor_set_into(index.voronoi(), ids, out)
+    }
+
+    fn scoped_knn_into(
+        index: &WeightedVorTree,
+        _scratch: &mut VorTreeScratch,
         _scope: &[SiteId],
         held: &[SiteId],
         pos: Point,
         k: usize,
-    ) -> (Vec<(SiteId, f64)>, u64) {
+        out: &mut Vec<(SiteId, f64)>,
+    ) -> u64 {
         let q = index.weights().scale(pos);
-        rank_held(|s| index.tree().point(s).distance_sq(q), held, k)
+        rank_held_into(|s| index.tree().dist_sq(s, q), held, k, out)
     }
 
     fn brute_knn(index: &WeightedVorTree, pos: Point, k: usize) -> Vec<SiteId> {
         index.knn_brute(pos, k)
     }
 
-    fn validate(
+    fn validate_into(
         index: &WeightedVorTree,
-        _scratch: &mut (),
+        _scratch: &mut VorTreeScratch,
         _scope: &[SiteId],
         held: &[SiteId],
         current: &[(SiteId, f64)],
         pos: Point,
         k: usize,
-    ) -> (crate::space::Validated<SiteId>, u64) {
+        out: &mut Vec<(SiteId, f64)>,
+    ) -> (Verdict, u64) {
         let q = index.weights().scale(pos);
-        crate::euclidean::scan_validate(|s| index.tree().point(s).distance_sq(q), held, current, k)
+        crate::euclidean::scan_validate_into(|s| index.tree().dist_sq(s, q), held, current, k, out)
     }
 }
 

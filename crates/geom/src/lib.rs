@@ -36,6 +36,7 @@ pub mod hull;
 pub mod point;
 pub mod polygon;
 pub mod predicates;
+pub mod scratch;
 pub mod segment;
 pub mod trajectory;
 
@@ -46,6 +47,7 @@ pub use hull::{convex_hull, hull_contains};
 pub use point::{Point, Vector};
 pub use polygon::ConvexPolygon;
 pub use predicates::{incircle, orient2d, Orientation};
+pub use scratch::{DistEntry, DistSlots, GenMarks};
 pub use segment::Segment;
 pub use trajectory::Trajectory;
 

@@ -25,6 +25,6 @@ pub mod vortree;
 pub mod weighted;
 
 pub use delta::SiteDelta;
-pub use rtree::{Entry, RTree};
-pub use vortree::VorTree;
+pub use rtree::{Entry, RTree, RTreeScratch};
+pub use vortree::{VorTree, VorTreeScratch};
 pub use weighted::{AxisWeights, WeightedVorTree};

@@ -458,13 +458,30 @@ impl RTree {
 
     /// [`RTree::knn`] plus search-effort statistics.
     pub fn knn_with_stats(&self, q: Point, k: usize) -> (Vec<(Entry, f64)>, KnnStats) {
-        let mut stats = KnnStats::default();
+        let mut scratch = RTreeScratch::default();
         let mut result = Vec::with_capacity(k);
+        let stats = self.knn_into(&mut scratch, q, k, &mut result);
+        (result, stats)
+    }
+
+    /// Allocation-free [`RTree::knn_with_stats`]: the best-first frontier
+    /// lives in `scratch` (reused across calls) and results are written
+    /// into `out` (cleared first). Bit-identical to the allocating form.
+    pub fn knn_into(
+        &self,
+        scratch: &mut RTreeScratch,
+        q: Point,
+        k: usize,
+        out: &mut Vec<(Entry, f64)>,
+    ) -> KnnStats {
+        out.clear();
+        let mut stats = KnnStats::default();
         if k == 0 || self.size == 0 {
-            return (result, stats);
+            return stats;
         }
         // Best-first search over MINDIST lower bounds.
-        let mut heap: BinaryHeap<QueueItem> = BinaryHeap::new();
+        let heap = &mut scratch.heap;
+        heap.clear();
         heap.push(QueueItem {
             dist_sq: self.nodes[self.root as usize].bbox.min_dist_sq(q),
             tie: 0,
@@ -497,19 +514,30 @@ impl RTree {
                     }
                 }
                 ItemKind::Entry(e) => {
-                    result.push((e, item.dist_sq.sqrt()));
-                    if result.len() == k {
+                    out.push((e, item.dist_sq.sqrt()));
+                    if out.len() == k {
                         break;
                     }
                 }
             }
         }
-        (result, stats)
+        stats
     }
 
     /// The nearest entry to `q`, if any.
     pub fn nearest(&self, q: Point) -> Option<(Entry, f64)> {
         self.knn(q, 1).pop()
+    }
+
+    /// Allocation-free [`RTree::nearest`]: reuses `scratch` for both the
+    /// frontier heap and the one-element result buffer.
+    pub fn nearest_with(&self, scratch: &mut RTreeScratch, q: Point) -> Option<(Entry, f64)> {
+        let mut buf = std::mem::take(&mut scratch.nearest_buf);
+        self.knn_into(scratch, q, 1, &mut buf);
+        let hit = buf.pop();
+        buf.clear();
+        scratch.nearest_buf = buf;
+        hit
     }
 
     /// Iterates over all entries (arbitrary order).
@@ -650,6 +678,17 @@ fn pick_next(rest: &[usize], boxes: &[Aabb], bbox_a: &Aabb, bbox_b: &Aabb) -> Op
         }
     }
     Some(best_pos)
+}
+
+/// Reusable per-query state for the best-first kNN descent
+/// ([`RTree::knn_into`] / [`RTree::nearest_with`]).
+///
+/// Holding one of these per worker (not per call) makes repeated kNN
+/// probes allocation-free once the heap has grown to its working size.
+#[derive(Debug, Clone, Default)]
+pub struct RTreeScratch {
+    heap: BinaryHeap<QueueItem>,
+    nearest_buf: Vec<(Entry, f64)>,
 }
 
 // Priority-queue plumbing: min-heap on squared distance with id tie-breaks.

@@ -12,17 +12,40 @@
 //! * the neighbor lists retrieved along the way are exactly what the INS
 //!   construction `I(R) = ⋃ N_O(p) \ R` needs, with no extra I/O.
 
-use insq_geom::{Aabb, Point};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use insq_geom::{Aabb, DistEntry, GenMarks, Point};
 use insq_voronoi::{SiteId, Voronoi, VoronoiError};
 
 use crate::delta::SiteDelta;
-use crate::rtree::{Entry, RTree};
+use crate::rtree::{Entry, RTree, RTreeScratch};
 
 /// An R-tree over Voronoi sites, bundled with the diagram it indexes.
+///
+/// Site coordinates are additionally mirrored into struct-of-arrays
+/// lanes (`xs` / `ys`), so the §III-A validation scan and
+/// [`VorTree::brute_knn`] run as batched distance kernels over two flat
+/// `f64` arrays instead of chasing `Point` structs — same arithmetic,
+/// same results, autovectorizable layout.
 #[derive(Debug, Clone)]
 pub struct VorTree {
     rtree: RTree,
     voronoi: Voronoi,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+/// Reusable per-query scratch for [`VorTree::knn_into`]: the best-first
+/// R-tree descent state, the Voronoi-expansion frontier heap, and the
+/// generation-stamped visited marks. One scratch per worker makes
+/// steady-state kNN recomputes allocation-free; reuse is bit-identical
+/// to a fresh scratch per call (see the scratch-pollution suite).
+#[derive(Debug, Clone, Default)]
+pub struct VorTreeScratch {
+    rtree: RTreeScratch,
+    frontier: BinaryHeap<Reverse<DistEntry<SiteId>>>,
+    marks: GenMarks,
 }
 
 impl VorTree {
@@ -33,8 +56,10 @@ impl VorTree {
         Ok(Self::from_voronoi(voronoi))
     }
 
-    /// Wraps an existing Voronoi diagram.
-    pub fn from_voronoi(voronoi: Voronoi) -> VorTree {
+    /// Wraps an existing Voronoi diagram (freezing its neighbor lists —
+    /// a published index starts immutable).
+    pub fn from_voronoi(mut voronoi: Voronoi) -> VorTree {
+        voronoi.freeze();
         let entries: Vec<Entry> = voronoi
             .points()
             .iter()
@@ -44,9 +69,13 @@ impl VorTree {
                 id: i as u32,
             })
             .collect();
+        let xs: Vec<f64> = voronoi.points().iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = voronoi.points().iter().map(|p| p.y).collect();
         VorTree {
             rtree: RTree::bulk_load(entries),
             voronoi,
+            xs,
+            ys,
         }
     }
 
@@ -80,6 +109,22 @@ impl VorTree {
         self.voronoi.point(s)
     }
 
+    /// Squared distance from site `s` to `q`, read from the SoA
+    /// coordinate lanes — bit-identical to
+    /// `self.point(s).distance_sq(q)` (same operand order), without the
+    /// strided `Point` load.
+    #[inline]
+    pub fn dist_sq(&self, s: SiteId, q: Point) -> f64 {
+        self.dist_sq_idx(s.idx(), q)
+    }
+
+    #[inline]
+    fn dist_sq_idx(&self, i: usize, q: Point) -> f64 {
+        let dx = self.xs[i] - q.x;
+        let dy = self.ys[i] - q.y;
+        dx * dx + dy * dy
+    }
+
     /// Inserts a new site, patching the diagram and the R-tree locally
     /// (the R-tree's nearest-site probe doubles as the point-location
     /// hint, so the Delaunay walk is O(1)). Returns the new site's id,
@@ -88,6 +133,8 @@ impl VorTree {
         let hint = self.rtree.nearest(p).map(|(e, _)| SiteId(e.id));
         let id = self.voronoi.insert_site(p, hint)?;
         self.rtree.insert(p, id.0);
+        self.xs.push(p.x);
+        self.ys.push(p.y);
         Ok(id)
     }
 
@@ -103,6 +150,9 @@ impl VorTree {
         }
         let p = self.voronoi.point(s);
         let moved = self.voronoi.remove_site(s)?;
+        // Mirror the diagram's swap-remove in the SoA lanes.
+        self.xs.swap_remove(s.idx());
+        self.ys.swap_remove(s.idx());
         let found = self.rtree.remove(p, s.0);
         debug_assert!(found, "R-tree entry for a live site");
         if let Some(old) = moved {
@@ -121,15 +171,28 @@ impl VorTree {
     /// (like `insq_server::World::apply`) patch a clone and publish only
     /// on success.
     pub fn apply(&mut self, delta: &SiteDelta) -> Result<(), VoronoiError> {
-        let mut removed = delta.removed.clone();
-        removed.sort_unstable();
-        removed.dedup();
+        // Deltas are almost always already sorted and deduplicated; only
+        // clone when they actually need normalising.
+        let needs_normalising = delta.removed.windows(2).any(|w| w[0] >= w[1]);
+        let normalised;
+        let removed: &[SiteId] = if needs_normalising {
+            let mut r = delta.removed.clone();
+            r.sort_unstable();
+            r.dedup();
+            normalised = r;
+            &normalised
+        } else {
+            &delta.removed
+        };
         for &s in removed.iter().rev() {
             self.remove_site(s)?;
         }
         for &p in &delta.added {
             self.insert_site(p)?;
         }
+        // The patched diagram is about to be published as an immutable
+        // epoch snapshot: re-freeze the neighbor lists into CSR.
+        self.voronoi.freeze();
         Ok(())
     }
 
@@ -139,61 +202,76 @@ impl VorTree {
     ///
     /// Ties are broken by site id, matching [`RTree::knn`].
     pub fn knn(&self, q: Point, k: usize) -> Vec<(SiteId, f64)> {
-        let mut result: Vec<(SiteId, f64)> = Vec::with_capacity(k);
+        let mut scratch = VorTreeScratch::default();
+        let mut result = Vec::with_capacity(k);
+        self.knn_into(&mut scratch, q, k, &mut result);
+        result
+    }
+
+    /// Allocation-free [`VorTree::knn`]: all per-query transients (the
+    /// R-tree descent heap, the expansion frontier, the visited marks)
+    /// live in `scratch`, and results are written into `out` (cleared
+    /// first). Bit-identical to the allocating form.
+    pub fn knn_into(
+        &self,
+        scratch: &mut VorTreeScratch,
+        q: Point,
+        k: usize,
+        out: &mut Vec<(SiteId, f64)>,
+    ) {
+        out.clear();
         if k == 0 || self.voronoi.is_empty() {
-            return result;
+            return;
         }
-        let (first, first_dist) = match self.rtree.nearest(q) {
+        let (first, first_dist) = match self.rtree.nearest_with(&mut scratch.rtree, q) {
             Some((e, d)) => (SiteId(e.id), d),
-            None => return result,
+            None => return,
         };
 
-        // Min-heap of frontier sites keyed by distance (ties by id).
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapSite>> =
-            std::collections::BinaryHeap::new();
-        let mut enqueued = vec![false; self.voronoi.len()];
-        heap.push(std::cmp::Reverse(HeapSite {
+        // Min-heap of frontier sites keyed by distance (ties by id);
+        // the generation-stamped marks replace a `vec![false; n]`.
+        let heap = &mut scratch.frontier;
+        heap.clear();
+        let marks = &mut scratch.marks;
+        marks.begin(self.voronoi.len());
+        heap.push(Reverse(DistEntry {
             dist: first_dist,
-            site: first,
+            id: first,
         }));
-        enqueued[first.idx()] = true;
+        marks.mark(first.idx());
 
-        while let Some(std::cmp::Reverse(HeapSite { dist, site })) = heap.pop() {
-            result.push((site, dist));
-            if result.len() == k {
+        while let Some(Reverse(DistEntry { dist, id: site })) = heap.pop() {
+            out.push((site, dist));
+            if out.len() == k {
                 break;
             }
             for &nb in self.voronoi.neighbors(site) {
-                if !enqueued[nb.idx()] {
-                    enqueued[nb.idx()] = true;
-                    heap.push(std::cmp::Reverse(HeapSite {
-                        dist: self.voronoi.point(nb).distance(q),
-                        site: nb,
+                if marks.mark(nb.idx()) {
+                    heap.push(Reverse(DistEntry {
+                        dist: self.dist_sq_idx(nb.idx(), q).sqrt(),
+                        id: nb,
                     }));
                 }
             }
         }
-        result
     }
-}
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapSite {
-    dist: f64,
-    site: SiteId,
-}
-
-impl Eq for HeapSite {}
-impl PartialOrd for HeapSite {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapSite {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.dist
-            .total_cmp(&other.dist)
-            .then_with(|| self.site.cmp(&other.site))
+    /// Brute-force k nearest site ids, ascending by `(distance, id)` —
+    /// one batched pass over the SoA coordinate lanes. Matches
+    /// [`Voronoi::knn_brute`] exactly (its stable sort on ascending ids
+    /// resolves ties by id, which `(distance, id)` reproduces).
+    pub fn brute_knn(&self, q: Point, k: usize) -> Vec<SiteId> {
+        let n = self.len();
+        let mut scored: Vec<(f64, u32)> =
+            (0..n).map(|i| (self.dist_sq_idx(i, q), i as u32)).collect();
+        let cmp = |a: &(f64, u32), b: &(f64, u32)| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1));
+        if k > 0 && scored.len() > k {
+            scored.select_nth_unstable_by(k - 1, cmp);
+            scored.truncate(k);
+        }
+        scored.sort_unstable_by(cmp);
+        scored.truncate(k);
+        scored.into_iter().map(|(_, i)| SiteId(i)).collect()
     }
 }
 
@@ -260,6 +338,54 @@ mod tests {
         let tree = build_random(10, 8);
         let res = tree.knn(Point::new(50.0, 50.0), 50);
         assert_eq!(res.len(), 10, "expansion reaches every site");
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh() {
+        let tree = build_random(250, 99);
+        let mut scratch = VorTreeScratch::default();
+        let mut out = Vec::new();
+        let mut next = lcg(42);
+        for i in 0..120 {
+            let q = Point::new(next() * 100.0, next() * 100.0);
+            let k = 1 + (i % 9);
+            tree.knn_into(&mut scratch, q, k, &mut out);
+            assert_eq!(out, tree.knn(q, k), "k={k} q={q:?}");
+        }
+    }
+
+    #[test]
+    fn brute_knn_matches_diagram_oracle() {
+        let tree = build_random(180, 7);
+        let mut next = lcg(13);
+        for _ in 0..60 {
+            let q = Point::new(next() * 120.0 - 10.0, next() * 120.0 - 10.0);
+            for k in [0usize, 1, 5, 180] {
+                assert_eq!(tree.brute_knn(q, k), tree.voronoi().knn_brute(q, k));
+            }
+        }
+    }
+
+    #[test]
+    fn soa_lanes_track_updates() {
+        let mut tree = build_random(40, 3);
+        let mut next = lcg(77);
+        for step in 0..30 {
+            if tree.len() <= 5 || next() < 0.6 {
+                tree.insert_site(Point::new(next() * 100.0, next() * 100.0))
+                    .unwrap();
+            } else {
+                let s = SiteId((next() * tree.len() as f64) as u32);
+                tree.remove_site(s).unwrap();
+            }
+            if step % 7 == 0 {
+                for i in 0..tree.len() as u32 {
+                    let p = tree.point(SiteId(i));
+                    let q = Point::new(1.25, -3.5);
+                    assert_eq!(tree.dist_sq(SiteId(i), q), p.distance_sq(q));
+                }
+            }
+        }
     }
 
     #[test]

@@ -143,9 +143,23 @@ impl WeightedVorTree {
         self.tree.knn(self.weights.scale(q), k)
     }
 
-    /// Brute-force weighted kNN — the conformance reference.
+    /// Allocation-free [`WeightedVorTree::knn`]: same scratch contract
+    /// as [`VorTree::knn_into`].
+    pub fn knn_into(
+        &self,
+        scratch: &mut crate::vortree::VorTreeScratch,
+        q: Point,
+        k: usize,
+        out: &mut Vec<(SiteId, f64)>,
+    ) {
+        self.tree.knn_into(scratch, self.weights.scale(q), k, out)
+    }
+
+    /// Brute-force weighted kNN — the conformance reference (the batched
+    /// SoA kernel of [`VorTree::brute_knn`], which matches
+    /// `Voronoi::knn_brute` exactly).
     pub fn knn_brute(&self, q: Point, k: usize) -> Vec<SiteId> {
-        self.tree.voronoi().knn_brute(self.weights.scale(q), k)
+        self.tree.brute_knn(self.weights.scale(q), k)
     }
 
     /// Applies a batched [`SiteDelta`] (insertions in original

@@ -1,0 +1,145 @@
+//! # insq-memprobe
+//!
+//! A counting [`GlobalAlloc`] wrapper over the [`System`] allocator, plus
+//! (in `tests/alloc_guard.rs`) the allocation-guard suite that pins the
+//! central performance claim of the scratch-arena refactor: **a
+//! steady-state tick allocates nothing** — not on the §III-A / Theorem-2
+//! validation path, not on a full kNN recomputation, in any space, and
+//! not in the fleet engine's per-tick machinery around the queries.
+//!
+//! The probe counts *allocation events* (`alloc`, `alloc_zeroed`,
+//! `realloc`) rather than net bytes: a transient `Vec` that is allocated
+//! and freed inside one tick nets out to zero bytes but is exactly the
+//! per-tick churn the scratch arenas exist to eliminate.
+//!
+//! This is the one crate in the workspace allowed to write `unsafe`
+//! (implementing `GlobalAlloc` requires it); everything else builds under
+//! `unsafe_code = "forbid"`.
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-backed allocator that counts every allocation event.
+///
+/// Install it as the global allocator of a test binary and measure
+/// deltas around the region under scrutiny:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static PROBE: CountingAlloc = CountingAlloc::new();
+///
+/// let before = PROBE.events();
+/// hot_path();
+/// assert_eq!(PROBE.events() - before, 0);
+/// ```
+///
+/// Counters are updated with relaxed atomics: cheap, and exact as long
+/// as no *other* thread allocates inside the measured window (the guard
+/// suite runs its measured regions single-threaded for this reason).
+#[derive(Debug)]
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+    reallocs: AtomicU64,
+    deallocs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A new probe with all counters at zero (`const`, so it can back a
+    /// `#[global_allocator]` static).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+            reallocs: AtomicU64::new(0),
+            deallocs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total allocation events so far: `alloc` + `alloc_zeroed` calls
+    /// plus `realloc` calls. The number a zero-allocation hot path must
+    /// hold constant.
+    pub fn events(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed) + self.reallocs.load(Ordering::Relaxed)
+    }
+
+    /// Fresh allocations (`alloc` + `alloc_zeroed`) so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// `realloc` calls so far (a growing `Vec` shows up here).
+    pub fn reallocations(&self) -> u64 {
+        self.reallocs.load(Ordering::Relaxed)
+    }
+
+    /// `dealloc` calls so far.
+    pub fn deallocations(&self) -> u64 {
+        self.deallocs.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested across all allocation events.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> CountingAlloc {
+        CountingAlloc::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.reallocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocs.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // No #[global_allocator] here — unit tests only exercise the counter
+    // arithmetic through direct GlobalAlloc calls.
+    #[test]
+    fn counts_events_and_bytes() {
+        let probe = CountingAlloc::new();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = probe.alloc(layout);
+            assert!(!p.is_null());
+            let p = probe.realloc(p, layout, 128);
+            assert!(!p.is_null());
+            probe.dealloc(p, Layout::from_size_align(128, 8).unwrap());
+        }
+        assert_eq!(probe.allocations(), 1);
+        assert_eq!(probe.reallocations(), 1);
+        assert_eq!(probe.events(), 2);
+        assert_eq!(probe.deallocations(), 1);
+        assert_eq!(probe.bytes(), 64 + 128);
+    }
+}

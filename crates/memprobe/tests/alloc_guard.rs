@@ -1,0 +1,207 @@
+//! The allocation guard: proves the steady-state tick hot path performs
+//! **zero heap allocations** — valid ticks *and* full kNN recomputations
+//! — in all three spaces, standalone and under the fleet engine.
+//!
+//! Method: every scenario runs the same deterministic position sequence
+//! twice. Pass 1 is the warm-up — scratch arenas and result buffers grow
+//! to their steady-state capacities (the two warm-up laps also cover the
+//! lap-boundary jump, whose recomputation the counted lap repeats). Pass
+//! 2 replays the identical sequence under the counting allocator and
+//! must report **zero allocation events** (`alloc`/`alloc_zeroed`/
+//! `realloc`) — not merely zero net bytes, so a transient per-tick `Vec`
+//! cannot hide by being freed before the end of the window.
+//!
+//! Everything runs inside ONE `#[test]` so no concurrent test thread can
+//! allocate inside a measured window.
+
+use std::sync::Arc;
+
+use insq_core::{InsConfig, InsProcessor, MovingKnn, NetInsProcessor, WInsProcessor};
+use insq_geom::{Aabb, Point};
+use insq_index::{AxisWeights, VorTree, WeightedVorTree};
+use insq_memprobe::CountingAlloc;
+use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
+use insq_roadnet::{NetPosition, NetTrajectory, NetworkWorld, SiteSet};
+use insq_server::{FleetConfig, FleetEngine, InsFleetQuery, World};
+
+#[global_allocator]
+static PROBE: CountingAlloc = CountingAlloc::new();
+
+/// Allocation events inside `f`.
+fn events_during<F: FnOnce()>(f: F) -> u64 {
+    let before = PROBE.events();
+    f();
+    PROBE.events() - before
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+}
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut next = lcg(seed);
+    (0..n)
+        .map(|_| Point::new(next() * 100.0, next() * 100.0))
+        .collect()
+}
+
+/// A deterministic random walk of `steps` positions: long enough legs to
+/// force steady-state recomputations, short enough steps that most ticks
+/// validate — both hot paths get exercised.
+fn walk(steps: usize, seed: u64) -> Vec<Point> {
+    let mut next = lcg(seed);
+    let mut pos = Point::new(50.0, 50.0);
+    let mut target = Point::new(next() * 100.0, next() * 100.0);
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        if pos.distance(target) < 2.0 {
+            target = Point::new(next() * 100.0, next() * 100.0);
+        }
+        let dir = (target - pos)
+            .normalized()
+            .unwrap_or(insq_geom::Vector::ZERO);
+        pos += dir * 1.5;
+        out.push(pos);
+    }
+    out
+}
+
+const BOUNDS: (f64, f64, f64, f64) = (-10.0, -10.0, 110.0, 110.0);
+
+fn bounds() -> Aabb {
+    Aabb::new(
+        Point::new(BOUNDS.0, BOUNDS.1),
+        Point::new(BOUNDS.2, BOUNDS.3),
+    )
+}
+
+#[test]
+fn steady_state_ticks_allocate_nothing() {
+    // ------------------------------------------------ Euclidean (§III)
+    let tree = VorTree::build(random_points(400, 42), bounds()).unwrap();
+    let path = walk(300, 7);
+    let mut p = InsProcessor::new(&tree, InsConfig::new(5, 1.6)).unwrap();
+    for _ in 0..2 {
+        for &q in &path {
+            p.tick(q);
+        }
+    }
+    let recomp_before = p.stats().recomputations;
+    let events = events_during(|| {
+        for &q in &path {
+            p.tick(q);
+        }
+    });
+    assert!(
+        p.stats().recomputations > recomp_before,
+        "counted lap must exercise steady-state recomputations"
+    );
+    assert_eq!(events, 0, "Euclidean tick path allocated");
+
+    // ------------------------------------------- weighted Euclidean
+    let wtree = WeightedVorTree::build(
+        random_points(300, 9),
+        bounds(),
+        AxisWeights::new(1.0, 2.5).unwrap(),
+    )
+    .unwrap();
+    let mut wp = WInsProcessor::new(&wtree, InsConfig::new(4, 1.6)).unwrap();
+    for _ in 0..2 {
+        for &q in &path {
+            wp.tick(q);
+        }
+    }
+    let recomp_before = wp.stats().recomputations;
+    let events = events_during(|| {
+        for &q in &path {
+            wp.tick(q);
+        }
+    });
+    assert!(wp.stats().recomputations > recomp_before);
+    assert_eq!(events, 0, "weighted-Euclidean tick path allocated");
+
+    // ------------------------------------------- road network (§IV)
+    let net = Arc::new(
+        grid_network(
+            &GridConfig {
+                cols: 12,
+                rows: 12,
+                ..GridConfig::default()
+            },
+            3,
+        )
+        .unwrap(),
+    );
+    let sv = random_site_vertices(&net, 30, 3).unwrap();
+    let sites = SiteSet::new(&net, sv).unwrap();
+    let world = NetworkWorld::build(Arc::clone(&net), sites);
+    let tour = NetTrajectory::random_tour(&net, 8, 5).unwrap();
+    let steps = 250;
+    let net_path: Vec<NetPosition> = (0..=steps)
+        .map(|i| tour.position(&net, tour.length() * i as f64 / steps as f64))
+        .collect();
+    let mut np = NetInsProcessor::new(&world, InsConfig::new(4, 1.6)).unwrap();
+    for _ in 0..2 {
+        for &q in &net_path {
+            np.tick(q);
+        }
+    }
+    let recomp_before = np.stats().recomputations;
+    let events = events_during(|| {
+        for &q in &net_path {
+            np.tick(q);
+        }
+    });
+    assert!(np.stats().recomputations > recomp_before);
+    assert_eq!(events, 0, "road-network tick path allocated");
+
+    // ------------------------------- fleet engine (single worker lane)
+    // The engine's own per-tick machinery — position feed, per-shard
+    // summaries, shard-persistent scratch — must be allocation-free too.
+    let tree = Arc::new(World::new(
+        VorTree::build(random_points(400, 42), bounds()).unwrap(),
+    ));
+    let mut fleet: FleetEngine<VorTree, InsFleetQuery> = FleetEngine::new(
+        Arc::clone(&tree),
+        FleetConfig {
+            shards: 8,
+            threads: 1,
+        },
+    );
+    let n_queries = 32;
+    for _ in 0..n_queries {
+        fleet.register(InsFleetQuery::new(&tree, InsConfig::new(5, 1.6)).unwrap());
+    }
+    // One offset point per query; every query replays the shared walk
+    // translated by its offset.
+    let offsets = random_points(n_queries, 11);
+    let feed = |t: usize| {
+        let path = &path;
+        let offsets = &offsets;
+        move |id: insq_server::QueryId| {
+            let o = offsets[id.index()];
+            let q = path[t];
+            Point::new(
+                (q.x + o.x * 0.1).min(BOUNDS.2),
+                (q.y + o.y * 0.1).min(BOUNDS.3),
+            )
+        }
+    };
+    for _ in 0..2 {
+        for t in 0..path.len() {
+            fleet.tick_all(feed(t));
+        }
+    }
+    let events = events_during(|| {
+        for t in 0..path.len() {
+            fleet.tick_all(feed(t));
+        }
+    });
+    assert_eq!(events, 0, "fleet tick_all path allocated");
+}

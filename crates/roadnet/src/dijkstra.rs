@@ -8,30 +8,10 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use insq_geom::DistEntry;
+
 use crate::graph::{RoadNetwork, VertexId};
 use crate::position::NetPosition;
-
-/// A heap entry: distance plus vertex, ordered by distance (ties by vertex
-/// id for determinism).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    vertex: VertexId,
-}
-
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.dist
-            .total_cmp(&other.dist)
-            .then_with(|| self.vertex.cmp(&other.vertex))
-    }
-}
 
 /// Distances from a single source vertex to every vertex.
 pub fn distances_from_vertex(net: &RoadNetwork, source: VertexId) -> Vec<f64> {
@@ -47,14 +27,14 @@ pub fn distances_from_position(net: &RoadNetwork, pos: NetPosition) -> Vec<f64> 
 pub fn distances_from_seeds(net: &RoadNetwork, seeds: &[(VertexId, f64)]) -> Vec<f64> {
     let n = net.num_vertices();
     let mut dist = vec![f64::INFINITY; n];
-    let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<DistEntry<VertexId>>> = BinaryHeap::new();
     for &(v, d) in seeds {
         if d < dist[v.idx()] {
             dist[v.idx()] = d;
-            heap.push(Reverse(HeapEntry { dist: d, vertex: v }));
+            heap.push(Reverse(DistEntry { dist: d, id: v }));
         }
     }
-    while let Some(Reverse(HeapEntry { dist: d, vertex: u })) = heap.pop() {
+    while let Some(Reverse(DistEntry { dist: d, id: u })) = heap.pop() {
         if d > dist[u.idx()] {
             continue; // stale
         }
@@ -62,10 +42,7 @@ pub fn distances_from_seeds(net: &RoadNetwork, seeds: &[(VertexId, f64)]) -> Vec
             let nd = d + net.edge(e).len;
             if nd < dist[w.idx()] {
                 dist[w.idx()] = nd;
-                heap.push(Reverse(HeapEntry {
-                    dist: nd,
-                    vertex: w,
-                }));
+                heap.push(Reverse(DistEntry { dist: nd, id: w }));
             }
         }
     }
@@ -107,13 +84,13 @@ pub fn shortest_path(net: &RoadNetwork, from: VertexId, to: VertexId) -> (f64, V
     let n = net.num_vertices();
     let mut dist = vec![f64::INFINITY; n];
     let mut parent: Vec<VertexId> = vec![VertexId(u32::MAX); n];
-    let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<DistEntry<VertexId>>> = BinaryHeap::new();
     dist[from.idx()] = 0.0;
-    heap.push(Reverse(HeapEntry {
+    heap.push(Reverse(DistEntry {
         dist: 0.0,
-        vertex: from,
+        id: from,
     }));
-    while let Some(Reverse(HeapEntry { dist: d, vertex: u })) = heap.pop() {
+    while let Some(Reverse(DistEntry { dist: d, id: u })) = heap.pop() {
         if d > dist[u.idx()] {
             continue;
         }
@@ -125,10 +102,7 @@ pub fn shortest_path(net: &RoadNetwork, from: VertexId, to: VertexId) -> (f64, V
             if nd < dist[w.idx()] {
                 dist[w.idx()] = nd;
                 parent[w.idx()] = u;
-                heap.push(Reverse(HeapEntry {
-                    dist: nd,
-                    vertex: w,
-                }));
+                heap.push(Reverse(DistEntry { dist: nd, id: w }));
             }
         }
     }
@@ -153,22 +127,16 @@ pub fn multi_source(net: &RoadNetwork, sources: &[VertexId]) -> (Vec<f64>, Vec<u
     let n = net.num_vertices();
     let mut dist = vec![f64::INFINITY; n];
     let mut owner = vec![u32::MAX; n];
-    let mut heap: BinaryHeap<Reverse<(HeapEntry, u32)>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<(DistEntry<VertexId>, u32)>> = BinaryHeap::new();
     for (i, &v) in sources.iter().enumerate() {
         // With duplicate source vertices the first listed wins.
         if dist[v.idx()] > 0.0 || owner[v.idx()] == u32::MAX {
             dist[v.idx()] = 0.0;
             owner[v.idx()] = i as u32;
-            heap.push(Reverse((
-                HeapEntry {
-                    dist: 0.0,
-                    vertex: v,
-                },
-                i as u32,
-            )));
+            heap.push(Reverse((DistEntry { dist: 0.0, id: v }, i as u32)));
         }
     }
-    while let Some(Reverse((HeapEntry { dist: d, vertex: u }, label))) = heap.pop() {
+    while let Some(Reverse((DistEntry { dist: d, id: u }, label))) = heap.pop() {
         if d > dist[u.idx()] || owner[u.idx()] != label {
             continue;
         }
@@ -177,13 +145,7 @@ pub fn multi_source(net: &RoadNetwork, sources: &[VertexId]) -> (Vec<f64>, Vec<u
             if nd < dist[w.idx()] {
                 dist[w.idx()] = nd;
                 owner[w.idx()] = label;
-                heap.push(Reverse((
-                    HeapEntry {
-                        dist: nd,
-                        vertex: w,
-                    },
-                    label,
-                )));
+                heap.push(Reverse((DistEntry { dist: nd, id: w }, label)));
             }
         }
     }
@@ -198,17 +160,11 @@ pub fn multi_source(net: &RoadNetwork, sources: &[VertexId]) -> (Vec<f64>, Vec<u
 pub fn k_label_dijkstra(net: &RoadNetwork, sources: &[VertexId], k: usize) -> Vec<Vec<(u32, f64)>> {
     let n = net.num_vertices();
     let mut labels: Vec<Vec<(u32, f64)>> = vec![Vec::with_capacity(k); n];
-    let mut heap: BinaryHeap<Reverse<(HeapEntry, u32)>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<(DistEntry<VertexId>, u32)>> = BinaryHeap::new();
     for (i, &v) in sources.iter().enumerate() {
-        heap.push(Reverse((
-            HeapEntry {
-                dist: 0.0,
-                vertex: v,
-            },
-            i as u32,
-        )));
+        heap.push(Reverse((DistEntry { dist: 0.0, id: v }, i as u32)));
     }
-    while let Some(Reverse((HeapEntry { dist: d, vertex: u }, label))) = heap.pop() {
+    while let Some(Reverse((DistEntry { dist: d, id: u }, label))) = heap.pop() {
         let lab = &mut labels[u.idx()];
         if lab.len() >= k || lab.iter().any(|&(s, _)| s == label) {
             continue;
@@ -218,13 +174,7 @@ pub fn k_label_dijkstra(net: &RoadNetwork, sources: &[VertexId], k: usize) -> Ve
             let nd = d + net.edge(e).len;
             let wl = &labels[w.idx()];
             if wl.len() < k && !wl.iter().any(|&(s, _)| s == label) {
-                heap.push(Reverse((
-                    HeapEntry {
-                        dist: nd,
-                        vertex: w,
-                    },
-                    label,
-                )));
+                heap.push(Reverse((DistEntry { dist: nd, id: w }, label)));
             }
         }
     }

@@ -8,10 +8,12 @@
 //! MkNN processor in this system.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-use crate::graph::{RoadNetwork, VertexId};
+use insq_geom::DistEntry;
+
+use crate::graph::RoadNetwork;
 use crate::position::NetPosition;
+use crate::scratch::DijkstraScratch;
 use crate::sites::{SiteIdx, SiteSet};
 
 /// Statistics of one INE run, used by the benchmark harness to report
@@ -42,45 +44,65 @@ pub fn network_knn_with_stats(
     pos: NetPosition,
     k: usize,
 ) -> (Vec<(SiteIdx, f64)>, IneStats) {
+    let mut scratch = DijkstraScratch::new();
+    let mut result = Vec::with_capacity(k);
+    let stats = network_knn_into(net, sites, &mut scratch, pos, k, &mut result);
+    (result, stats)
+}
+
+/// Allocation-free [`network_knn_with_stats`]: the expansion runs
+/// entirely inside `scratch` and the result lands in `out` (cleared
+/// first). In steady state — same network across calls, `out` at
+/// capacity — this touches no allocator; it is the per-tick recompute
+/// path of the road-network processors.
+pub fn network_knn_into(
+    net: &RoadNetwork,
+    sites: &SiteSet,
+    scratch: &mut DijkstraScratch,
+    pos: NetPosition,
+    k: usize,
+    out: &mut Vec<(SiteIdx, f64)>,
+) -> IneStats {
     let mut stats = IneStats::default();
-    let mut result: Vec<(SiteIdx, f64)> = Vec::with_capacity(k);
+    out.clear();
     if k == 0 {
-        return (result, stats);
+        return stats;
     }
-    let n = net.num_vertices();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut heap: BinaryHeap<Reverse<(FloatOrd, VertexId)>> = BinaryHeap::new();
-    for (v, d) in pos.seeds(net) {
-        if d < dist[v.idx()] {
-            dist[v.idx()] = d;
-            heap.push(Reverse((FloatOrd(d), v)));
+    scratch.begin(net.num_vertices());
+    let (seeds, num_seeds) = pos.seed_array(net);
+    for &(v, d) in &seeds[..num_seeds] {
+        if d < scratch.dist.get(v.idx()) {
+            scratch.dist.set(v.idx(), d);
+            scratch.heap.push(Reverse(DistEntry { dist: d, id: v }));
             stats.pushes += 1;
         }
     }
-    while let Some(Reverse((FloatOrd(d), u))) = heap.pop() {
-        if d > dist[u.idx()] {
+    while let Some(Reverse(DistEntry { dist: d, id: u })) = scratch.heap.pop() {
+        if d > scratch.dist.get(u.idx()) {
             continue;
         }
         stats.settled += 1;
         if let Some(s) = sites.site_at(u) {
-            result.push((s, d));
-            if result.len() == k {
+            out.push((s, d));
+            if out.len() == k {
                 break;
             }
         }
         for &(w, e) in net.neighbors(u) {
             let nd = d + net.edge(e).len;
-            if nd < dist[w.idx()] {
-                dist[w.idx()] = nd;
-                heap.push(Reverse((FloatOrd(nd), w)));
+            if nd < scratch.dist.get(w.idx()) {
+                scratch.dist.set(w.idx(), nd);
+                scratch.heap.push(Reverse(DistEntry { dist: nd, id: w }));
                 stats.pushes += 1;
             }
         }
     }
     // Equal-distance sites may settle in vertex order; normalise ties to
-    // ascending site index for deterministic output.
-    result.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-    (result, stats)
+    // ascending site index for deterministic output. The comparator is a
+    // total order, so the unstable sort is deterministic (and, unlike the
+    // stable one, allocation-free).
+    out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    stats
 }
 
 /// Distances from `pos` to *every* site (one full Dijkstra) — the
@@ -90,25 +112,10 @@ pub fn all_site_distances(net: &RoadNetwork, sites: &SiteSet, pos: NetPosition) 
     sites.vertices().iter().map(|&v| dist[v.idx()]).collect()
 }
 
-/// Total-order wrapper for f64 heap keys.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct FloatOrd(f64);
-impl Eq for FloatOrd {}
-impl PartialOrd for FloatOrd {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for FloatOrd {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::EdgeRec;
+    use crate::graph::{EdgeRec, VertexId};
     use insq_geom::Point;
 
     fn edge(u: u32, v: u32, len: f64) -> EdgeRec {
@@ -208,6 +215,30 @@ mod tests {
     fn k_zero() {
         let (net, sites) = grid();
         assert!(network_knn(&net, &sites, NetPosition::Vertex(VertexId(0)), 0).is_empty());
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh() {
+        let (net, sites) = grid();
+        let mut scratch = DijkstraScratch::new();
+        let mut out = Vec::new();
+        // Interleave vertex and edge queries with varying k through ONE
+        // scratch; every answer must be bit-identical to a fresh run.
+        for round in 0..3 {
+            for v in 0..net.num_vertices() as u32 {
+                let pos = NetPosition::Vertex(VertexId(v));
+                let k = 1 + ((v as usize + round) % 9);
+                let stats = network_knn_into(&net, &sites, &mut scratch, pos, k, &mut out);
+                let (want, want_stats) = network_knn_with_stats(&net, &sites, pos, k);
+                assert_eq!(out, want, "v={v} k={k} round={round}");
+                assert_eq!(stats, want_stats);
+            }
+            for e in 0..net.num_edges() as u32 {
+                let pos = NetPosition::on_edge(&net, crate::graph::EdgeId(e), 0.4).unwrap();
+                network_knn_into(&net, &sites, &mut scratch, pos, 3, &mut out);
+                assert_eq!(out, network_knn(&net, &sites, pos, 3), "e={e}");
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod ine;
 pub mod nvd;
 pub mod order_k;
 pub mod position;
+pub mod scratch;
 pub mod sites;
 pub mod subnetwork;
 pub mod trajectory;
@@ -36,6 +37,7 @@ pub mod world;
 pub use graph::{EdgeId, EdgeRec, RoadNetwork, VertexId};
 pub use nvd::{BorderPoint, EdgeFragment, EdgeOwnership, NetworkVoronoi};
 pub use position::NetPosition;
+pub use scratch::DijkstraScratch;
 pub use sites::{NetSiteDelta, SiteIdx, SiteSet};
 pub use subnetwork::SiteMask;
 pub use trajectory::NetTrajectory;

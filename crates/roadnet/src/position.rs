@@ -67,11 +67,20 @@ impl NetPosition {
     /// distance)` pairs. A vertex position seeds itself at 0; an edge
     /// position seeds both endpoints with the partial edge lengths.
     pub fn seeds(&self, net: &RoadNetwork) -> Vec<(VertexId, f64)> {
+        let (arr, n) = self.seed_array(net);
+        arr[..n].to_vec()
+    }
+
+    /// Allocation-free [`NetPosition::seeds`]: writes the seeds into a
+    /// fixed-size array and returns how many are valid (1 for a vertex
+    /// position, 2 for an edge position). The hot tick path uses this so
+    /// seeding a Dijkstra expansion touches no allocator.
+    pub fn seed_array(&self, net: &RoadNetwork) -> ([(VertexId, f64); 2], usize) {
         match *self {
-            NetPosition::Vertex(v) => vec![(v, 0.0)],
+            NetPosition::Vertex(v) => ([(v, 0.0), (v, 0.0)], 1),
             NetPosition::OnEdge { edge, offset } => {
                 let rec = net.edge(edge);
-                vec![(rec.u, offset), (rec.v, rec.len - offset)]
+                ([(rec.u, offset), (rec.v, rec.len - offset)], 2)
             }
         }
     }
@@ -162,5 +171,18 @@ mod tests {
             NetPosition::Vertex(VertexId(0)).seeds(&net),
             vec![(VertexId(0), 0.0)]
         );
+    }
+
+    #[test]
+    fn seed_array_agrees_with_seeds() {
+        let net = path_net();
+        for pos in [
+            NetPosition::Vertex(VertexId(1)),
+            NetPosition::on_edge(&net, EdgeId(0), 0.75).unwrap(),
+            NetPosition::on_edge(&net, EdgeId(1), 2.25).unwrap(),
+        ] {
+            let (arr, n) = pos.seed_array(&net);
+            assert_eq!(&arr[..n], pos.seeds(&net).as_slice());
+        }
     }
 }

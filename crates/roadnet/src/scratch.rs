@@ -1,0 +1,47 @@
+//! Reusable per-query scratch for network expansions.
+//!
+//! Every Dijkstra-style search in this crate needs the same two
+//! transients: a distance array over the vertices and a min-heap
+//! frontier. [`DijkstraScratch`] owns both persistently so the per-tick
+//! hot paths ([`crate::ine::network_knn_into`],
+//! [`crate::subnetwork::restricted_knn_into`]) touch no allocator in
+//! steady state: the distance array is a generation-stamped
+//! [`DistSlots`] (O(1) logical reset to `+∞`), and the heap keeps its
+//! backing buffer across queries.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use insq_geom::{DistEntry, DistSlots};
+
+use crate::graph::VertexId;
+
+/// Persistent scratch for one concurrent network expansion.
+///
+/// Obtain one with `Default::default()`, keep it alongside the query
+/// object, and pass it to every `*_into` search. Reuse across different
+/// networks (different vertex counts) is safe — the scratch re-sizes
+/// itself — it just costs one reallocation on the first query after the
+/// switch.
+#[derive(Debug, Clone, Default)]
+pub struct DijkstraScratch {
+    /// Tentative distances, logically reset to `+∞` per query.
+    pub(crate) dist: DistSlots,
+    /// The frontier min-heap (via [`Reverse`]); cleared per query, the
+    /// backing buffer survives.
+    pub(crate) heap: BinaryHeap<Reverse<DistEntry<VertexId>>>,
+}
+
+impl DijkstraScratch {
+    /// Creates an empty scratch (no backing storage until first use).
+    pub fn new() -> DijkstraScratch {
+        DijkstraScratch::default()
+    }
+
+    /// Readies the scratch for a query over `n` vertices: logically
+    /// resets every distance slot to `+∞` and empties the frontier.
+    pub(crate) fn begin(&mut self, n: usize) {
+        self.dist.begin(n);
+        self.heap.clear();
+    }
+}

@@ -10,15 +10,18 @@
 //! Rather than materialising a subgraph, [`restricted_knn`] runs Dijkstra
 //! on the original adjacency but only relaxes along edge fragments owned by
 //! the allowed sites (border points act as walls). This is equivalent to
-//! searching `D_{Oknn ∪ I(Oknn)}` and allocates nothing per query beyond
-//! the distance array.
+//! searching `D_{Oknn ∪ I(Oknn)}`; with a caller-held
+//! [`DijkstraScratch`] ([`restricted_knn_into`]) it allocates nothing
+//! per query at all.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-use crate::graph::{RoadNetwork, VertexId};
+use insq_geom::DistEntry;
+
+use crate::graph::RoadNetwork;
 use crate::nvd::{EdgeOwnership, NetworkVoronoi};
 use crate::position::NetPosition;
+use crate::scratch::DijkstraScratch;
 use crate::sites::{SiteIdx, SiteSet};
 
 /// A reusable mask of allowed sites, sized to the site set.
@@ -109,23 +112,42 @@ pub fn restricted_knn(
     pos: NetPosition,
     k: usize,
 ) -> (Vec<(SiteIdx, f64)>, RestrictedStats) {
+    let mut scratch = DijkstraScratch::new();
+    let mut result = Vec::with_capacity(k);
+    let stats = restricted_knn_into(net, sites, nvd, mask, &mut scratch, pos, k, &mut result);
+    (result, stats)
+}
+
+/// Allocation-free [`restricted_knn`]: the expansion runs inside
+/// `scratch` and the result lands in `out` (cleared first). This is the
+/// per-tick **validation** path of the road-network processors — in
+/// steady state it touches no allocator.
+#[allow(clippy::too_many_arguments)]
+pub fn restricted_knn_into(
+    net: &RoadNetwork,
+    sites: &SiteSet,
+    nvd: &NetworkVoronoi,
+    mask: &SiteMask,
+    scratch: &mut DijkstraScratch,
+    pos: NetPosition,
+    k: usize,
+    out: &mut Vec<(SiteIdx, f64)>,
+) -> RestrictedStats {
     let mut stats = RestrictedStats::default();
-    let mut result: Vec<(SiteIdx, f64)> = Vec::with_capacity(k);
+    out.clear();
     if k == 0 {
-        return (result, stats);
+        return stats;
     }
 
-    let n = net.num_vertices();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut heap: BinaryHeap<Reverse<(FloatOrd, VertexId)>> = BinaryHeap::new();
+    scratch.begin(net.num_vertices());
 
     // Seed: from a vertex, or from an edge position — but only across edge
     // fragments owned by masked sites.
     match pos {
         NetPosition::Vertex(v) => {
             if mask.contains(nvd.owner(v)) {
-                dist[v.idx()] = 0.0;
-                heap.push(Reverse((FloatOrd(0.0), v)));
+                scratch.dist.set(v.idx(), 0.0);
+                scratch.heap.push(Reverse(DistEntry { dist: 0.0, id: v }));
                 stats.pushes += 1;
             }
         }
@@ -157,32 +179,32 @@ pub fn restricted_knn(
             };
             if reach_u {
                 let d = offset;
-                if d < dist[rec.u.idx()] {
-                    dist[rec.u.idx()] = d;
-                    heap.push(Reverse((FloatOrd(d), rec.u)));
+                if d < scratch.dist.get(rec.u.idx()) {
+                    scratch.dist.set(rec.u.idx(), d);
+                    scratch.heap.push(Reverse(DistEntry { dist: d, id: rec.u }));
                     stats.pushes += 1;
                 }
             }
             if reach_v {
                 let d = rec.len - offset;
-                if d < dist[rec.v.idx()] {
-                    dist[rec.v.idx()] = d;
-                    heap.push(Reverse((FloatOrd(d), rec.v)));
+                if d < scratch.dist.get(rec.v.idx()) {
+                    scratch.dist.set(rec.v.idx(), d);
+                    scratch.heap.push(Reverse(DistEntry { dist: d, id: rec.v }));
                     stats.pushes += 1;
                 }
             }
         }
     }
 
-    while let Some(Reverse((FloatOrd(d), u))) = heap.pop() {
-        if d > dist[u.idx()] {
+    while let Some(Reverse(DistEntry { dist: d, id: u })) = scratch.heap.pop() {
+        if d > scratch.dist.get(u.idx()) {
             continue;
         }
         stats.settled += 1;
         if let Some(s) = sites.site_at(u) {
             if mask.contains(s) {
-                result.push((s, d));
-                if result.len() == k {
+                out.push((s, d));
+                if out.len() == k {
                     break;
                 }
             }
@@ -199,35 +221,23 @@ pub fn restricted_knn(
                 continue;
             }
             let nd = d + net.edge(e).len;
-            if nd < dist[w.idx()] {
-                dist[w.idx()] = nd;
-                heap.push(Reverse((FloatOrd(nd), w)));
+            if nd < scratch.dist.get(w.idx()) {
+                scratch.dist.set(w.idx(), nd);
+                scratch.heap.push(Reverse(DistEntry { dist: nd, id: w }));
                 stats.pushes += 1;
             }
         }
     }
-    result.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-    (result, stats)
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct FloatOrd(f64);
-impl Eq for FloatOrd {}
-impl PartialOrd for FloatOrd {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for FloatOrd {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
+    // Total-order comparator: the unstable (allocation-free) sort is
+    // deterministic.
+    out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::EdgeRec;
+    use crate::graph::{EdgeRec, VertexId};
     use crate::ine::network_knn;
     use crate::nvd::NetworkVoronoi;
     use insq_geom::Point;
@@ -341,6 +351,33 @@ mod tests {
             3,
         );
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh() {
+        let (net, sites) = grid();
+        let nvd = NetworkVoronoi::build(&net, &sites);
+        let k = 3;
+        let mut mask = SiteMask::new(sites.len());
+        let mut scratch = DijkstraScratch::new();
+        let mut out = Vec::new();
+        for v in 0..net.num_vertices() as u32 {
+            let pos = NetPosition::Vertex(VertexId(v));
+            let knn: Vec<SiteIdx> = network_knn(&net, &sites, pos, k)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
+            let mut members = knn.clone();
+            for &s in &knn {
+                members.extend_from_slice(nvd.neighbors(s));
+            }
+            mask.set(members);
+            let stats =
+                restricted_knn_into(&net, &sites, &nvd, &mask, &mut scratch, pos, k, &mut out);
+            let (want, want_stats) = restricted_knn(&net, &sites, &nvd, &mask, pos, k);
+            assert_eq!(out, want, "vertex {v}");
+            assert_eq!(stats, want_stats, "vertex {v}");
+        }
     }
 
     #[test]

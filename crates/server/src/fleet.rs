@@ -56,7 +56,12 @@ pub struct FleetConfig {
     /// fleets of thousands.
     pub shards: usize,
     /// Worker threads for `tick_all` (≥ 1). `1` means strictly
-    /// sequential execution on the calling thread.
+    /// sequential execution on the calling thread. This is a *cap*: the
+    /// effective worker count of a tick is additionally clamped to the
+    /// shard count and to the hardware parallelism available at engine
+    /// construction — oversubscribing a host buys nothing but scheduler
+    /// overhead, and the tick results are bit-identical at every worker
+    /// count anyway.
     pub threads: usize,
 }
 
@@ -288,10 +293,20 @@ impl FleetStats {
 /// `W` is the world snapshot payload, `Q` the fleet client type (see
 /// [`crate::InsFleetQuery`] / [`crate::NetFleetQuery`]).
 #[derive(Debug)]
-pub struct FleetEngine<W, Q> {
+pub struct FleetEngine<W, Q: FleetQuery<W>> {
     world: Arc<World<W>>,
     shards: Vec<Vec<Entry<Q>>>,
+    /// One search scratch per shard, persistent across ticks — every
+    /// per-query search transient (frontier heaps, visited marks,
+    /// distance slots) of the shard's queries runs through it, so
+    /// steady-state ticks allocate nothing.
+    scratches: Vec<Q::Scratch>,
+    /// Per-shard tick summaries, reused across ticks.
+    summaries: Vec<TickSummary>,
     threads: usize,
+    /// Hardware parallelism probed once at construction; the effective
+    /// worker count of a tick never exceeds it.
+    hw: usize,
     next_id: u64,
     len: usize,
     elapsed: Duration,
@@ -309,7 +324,12 @@ where
         FleetEngine {
             world,
             shards: (0..shards).map(|_| Vec::new()).collect(),
+            scratches: (0..shards).map(|_| Q::Scratch::default()).collect(),
+            summaries: vec![TickSummary::default(); shards],
             threads: cfg.threads.max(1),
+            hw: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(usize::MAX),
             next_id: 0,
             len: 0,
             elapsed: Duration::ZERO,
@@ -486,8 +506,13 @@ where
         let t0 = Instant::now();
         let (epoch, snapshot) = self.world.snapshot();
         let n_shards = self.shards.len();
-        let threads = self.threads.min(n_shards).max(1);
-        let mut per_shard = vec![TickSummary::default(); n_shards];
+        // Never oversubscribe: more workers than the host has cores buys
+        // nothing but scheduler overhead (results are bit-identical at
+        // every worker count), so the configured thread cap is clamped to
+        // the hardware parallelism probed at construction.
+        let threads = self.threads.min(n_shards).min(self.hw).max(1);
+        self.summaries.clear();
+        self.summaries.resize(n_shards, TickSummary::default());
         let mut recorded: Vec<R> = (0..n_shards).map(|_| R::default()).collect();
 
         // Pre-tick bookkeeping shared by every path that actually
@@ -499,7 +524,10 @@ where
                 out.rebinds += 1;
             }
         };
-        let tick_shard = |shard: &mut Vec<Entry<Q>>, out: &mut TickSummary, rec: &mut R| {
+        let tick_shard = |shard: &mut Vec<Entry<Q>>,
+                          scratch: &mut Q::Scratch,
+                          out: &mut TickSummary,
+                          rec: &mut R| {
             out.epoch = epoch;
             match policy {
                 TickPolicy::Barrier => {
@@ -508,7 +536,7 @@ where
                             panic!("TickPolicy::Barrier requires a fresh position for every live query");
                         };
                         tick_entry(entry, out);
-                        let outcome = entry.query.tick(pos);
+                        let outcome = entry.query.tick_with(scratch, pos);
                         out.record(outcome);
                         rec.record(entry.id, TickDisposition::Fresh(outcome));
                     }
@@ -518,7 +546,7 @@ where
                         match positions(entry.id) {
                             TickPos::Fresh(pos) => {
                                 tick_entry(entry, out);
-                                let outcome = entry.query.tick(pos);
+                                let outcome = entry.query.tick_with(scratch, pos);
                                 out.record(outcome);
                                 rec.record(entry.id, TickDisposition::Fresh(outcome));
                             }
@@ -526,7 +554,7 @@ where
                                 entry.stale += 1;
                                 if entry.stale > max_staleness {
                                     tick_entry(entry, out);
-                                    let outcome = entry.query.tick(pos);
+                                    let outcome = entry.query.tick_with(scratch, pos);
                                     out.record(outcome);
                                     out.refreshed += 1;
                                     rec.record(entry.id, TickDisposition::Refreshed(outcome));
@@ -547,29 +575,34 @@ where
         };
 
         if threads == 1 {
-            for ((shard, out), rec) in self
+            for (((shard, scratch), out), rec) in self
                 .shards
                 .iter_mut()
-                .zip(per_shard.iter_mut())
+                .zip(self.scratches.iter_mut())
+                .zip(self.summaries.iter_mut())
                 .zip(recorded.iter_mut())
             {
-                tick_shard(shard, out, rec);
+                tick_shard(shard, scratch, out, rec);
             }
         } else {
             let chunk = n_shards.div_ceil(threads);
             let tick_shard = &tick_shard;
             std::thread::scope(|scope| {
-                for ((shards, outs), recs) in self
+                for (((shards, scratches), outs), recs) in self
                     .shards
                     .chunks_mut(chunk)
-                    .zip(per_shard.chunks_mut(chunk))
+                    .zip(self.scratches.chunks_mut(chunk))
+                    .zip(self.summaries.chunks_mut(chunk))
                     .zip(recorded.chunks_mut(chunk))
                 {
                     scope.spawn(move || {
-                        for ((shard, out), rec) in
-                            shards.iter_mut().zip(outs.iter_mut()).zip(recs.iter_mut())
+                        for (((shard, scratch), out), rec) in shards
+                            .iter_mut()
+                            .zip(scratches.iter_mut())
+                            .zip(outs.iter_mut())
+                            .zip(recs.iter_mut())
                         {
-                            tick_shard(shard, out, rec);
+                            tick_shard(shard, scratch, out, rec);
                         }
                     });
                 }
@@ -581,7 +614,7 @@ where
             epoch,
             ..TickSummary::default()
         };
-        for s in &per_shard {
+        for s in &self.summaries {
             summary.absorb(s);
         }
         self.elapsed += t0.elapsed();

@@ -27,6 +27,11 @@ pub trait FleetQuery<W>: MovingKnn<Self::Pos, Self::Id> + Send {
     type Pos: Copy + Send;
     /// The data-object identifier type of results.
     type Id;
+    /// Reusable search scratch threaded through [`FleetQuery::tick_with`].
+    /// A default scratch is empty (backing storage appears on first use,
+    /// sized to the bound index), so the [`crate::FleetEngine`] keeps one
+    /// per *shard* — persistent across ticks — instead of one per query.
+    type Scratch: Default + Send + std::fmt::Debug;
 
     /// The epoch of the snapshot the query currently holds.
     fn bound_epoch(&self) -> Epoch;
@@ -34,6 +39,11 @@ pub trait FleetQuery<W>: MovingKnn<Self::Pos, Self::Id> + Send {
     /// Rebinds the query to a newly published snapshot. The next tick
     /// pays one full recomputation; statistics are preserved.
     fn bind(&mut self, epoch: Epoch, snapshot: &Arc<W>);
+
+    /// Advances the query one timestamp using a caller-provided scratch
+    /// — the allocation-free hot path [`crate::FleetEngine::tick`] runs,
+    /// bit-identical to `MovingKnn::tick` at the same position.
+    fn tick_with(&mut self, scratch: &mut Self::Scratch, pos: Self::Pos) -> TickOutcome;
 }
 
 /// An INS fleet client over a `World<S::Index>`, for any [`Space`] `S`.
@@ -103,9 +113,14 @@ impl<S: Space> MovingKnn<S::Pos, S::SiteId> for SpaceQuery<S> {
 impl<S: Space> FleetQuery<S::Index> for SpaceQuery<S> {
     type Pos = S::Pos;
     type Id = S::SiteId;
+    type Scratch = S::Scratch;
 
     fn bound_epoch(&self) -> Epoch {
         self.epoch
+    }
+
+    fn tick_with(&mut self, scratch: &mut S::Scratch, pos: S::Pos) -> TickOutcome {
+        self.proc.tick_with(scratch, pos)
     }
 
     fn bind(&mut self, epoch: Epoch, snapshot: &Arc<S::Index>) {

@@ -33,6 +33,23 @@ impl std::fmt::Display for SiteId {
     }
 }
 
+/// A frozen, flat (CSR) snapshot of the per-site neighbor lists.
+///
+/// One contiguous `targets` array plus an `offsets` fence per site:
+/// the neighbor expansion of a kNN query then walks a single cache-line
+/// friendly slice instead of chasing one heap pointer per visited site.
+/// Only valid while the diagram is immutable — any insert/remove drops
+/// it and reads fall back to the nested lists.
+#[derive(Debug, Clone)]
+struct AdjCsr {
+    /// `offsets[s]..offsets[s + 1]` indexes `targets` for site `s`
+    /// (length `n + 1`).
+    offsets: Vec<u32>,
+    /// All neighbor lists, concatenated in site order (each sorted
+    /// ascending, exactly like the nested form).
+    targets: Vec<SiteId>,
+}
+
 /// An order-1 Voronoi diagram over a set of sites, clipped to a bounding
 /// window, maintainable under site insertions and removals.
 #[derive(Debug, Clone)]
@@ -42,6 +59,9 @@ pub struct Voronoi {
     tri: DynamicDelaunay,
     /// Per-site Voronoi neighbor lists, each sorted ascending.
     adj: Vec<Vec<SiteId>>,
+    /// CSR view of `adj`, present iff the diagram is frozen (no
+    /// mutation since the last [`Voronoi::freeze`]).
+    csr: Option<AdjCsr>,
 }
 
 impl Voronoi {
@@ -61,12 +81,42 @@ impl Voronoi {
             list.sort_unstable();
         }
 
-        Ok(Voronoi {
+        let mut v = Voronoi {
             points,
             bounds,
             tri,
             adj,
-        })
+            csr: None,
+        };
+        v.freeze();
+        Ok(v)
+    }
+
+    /// Freezes the neighbor lists into a flat CSR layout.
+    ///
+    /// Epoch snapshots are immutable, so the index layer calls this at
+    /// publish time (after a build or a delta apply); subsequent
+    /// [`Voronoi::neighbors`] reads come from one contiguous array.
+    /// A later [`Voronoi::insert_site`] / [`Voronoi::remove_site`]
+    /// silently drops the frozen view and falls back to the nested
+    /// lists — freezing is a layout change, never a semantic one.
+    pub fn freeze(&mut self) {
+        let total: usize = self.adj.iter().map(Vec::len).sum();
+        debug_assert!(total <= u32::MAX as usize, "adjacency exceeds u32 range");
+        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
+        let mut targets = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for list in &self.adj {
+            targets.extend_from_slice(list);
+            offsets.push(targets.len() as u32);
+        }
+        self.csr = Some(AdjCsr { offsets, targets });
+    }
+
+    /// Whether the diagram currently carries a frozen CSR neighbor view.
+    #[inline]
+    pub fn is_frozen(&self) -> bool {
+        self.csr.is_some()
     }
 
     /// Inserts a new site at `p` (which must lie inside the clipping
@@ -83,6 +133,7 @@ impl Voronoi {
                 index: self.points.len(),
             });
         }
+        self.csr = None;
         let v = self.points.len() as u32;
         self.points.push(p);
         match self.tri.insert(&self.points, v, hint.map(|s| s.0)) {
@@ -118,6 +169,7 @@ impl Voronoi {
         if n <= 3 {
             return Err(VoronoiError::TooFewSites { needed: 4, got: n });
         }
+        self.csr = None;
         let affected = self.tri.remove(&self.points, s.0)?;
         let last = (n - 1) as u32;
         let moved = if s.0 != last {
@@ -197,7 +249,13 @@ impl Voronoi {
     /// which only requires a superset of the true neighbor set.
     #[inline]
     pub fn neighbors(&self, s: SiteId) -> &[SiteId] {
-        &self.adj[s.idx()]
+        if let Some(csr) = &self.csr {
+            let lo = csr.offsets[s.idx()] as usize;
+            let hi = csr.offsets[s.idx() + 1] as usize;
+            &csr.targets[lo..hi]
+        } else {
+            &self.adj[s.idx()]
+        }
     }
 
     /// Whether sites `a` and `b` are Voronoi neighbors.
@@ -470,6 +528,37 @@ mod tests {
             }
         }
         assert_matches_rebuild(&v);
+    }
+
+    #[test]
+    fn freeze_is_a_pure_layout_change() {
+        let mut next = lcg(0xc50f_f5e7);
+        let points: Vec<Point> = (0..40)
+            .map(|_| Point::new(next() * 10.0, next() * 10.0))
+            .collect();
+        let bounds = Aabb::new(Point::new(-1.0, -1.0), Point::new(11.0, 11.0));
+        let mut v = Voronoi::build(points, bounds).unwrap();
+        // A fresh build is frozen; capture its CSR-backed neighbor lists.
+        assert!(v.is_frozen());
+        let frozen: Vec<Vec<SiteId>> = (0..v.len() as u32)
+            .map(|s| v.neighbors(SiteId(s)).to_vec())
+            .collect();
+        // Mutation drops the frozen view and reads fall back to the
+        // nested lists — with identical content for untouched sites.
+        let id = v.insert_site(Point::new(5.05, 5.05), None).unwrap();
+        assert!(!v.is_frozen());
+        v.remove_site(id).unwrap();
+        assert!(!v.is_frozen());
+        let nested: Vec<Vec<SiteId>> = (0..v.len() as u32)
+            .map(|s| v.neighbors(SiteId(s)).to_vec())
+            .collect();
+        // Re-freezing restores the flat layout with the same content.
+        v.freeze();
+        assert!(v.is_frozen());
+        for s in 0..v.len() as u32 {
+            assert_eq!(v.neighbors(SiteId(s)), &nested[s as usize][..]);
+        }
+        assert_eq!(frozen, nested, "insert+remove round-trip changed lists");
     }
 
     #[test]
