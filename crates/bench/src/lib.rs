@@ -21,6 +21,7 @@ pub mod latency;
 pub mod net_exp;
 pub mod network_exp;
 pub mod space_exp;
+pub mod traffic_exp;
 pub mod update_exp;
 
 /// How much work to spend per experiment.
@@ -142,6 +143,11 @@ pub fn experiments() -> Vec<Experiment> {
             id: "e_update",
             title: "E-update — incremental delta epochs vs full rebuild republishes",
             run: update_exp::e_update,
+        },
+        Experiment {
+            id: "e_traffic",
+            title: "E-traffic — edge-weight delta epochs: NVD repair vs rebuild, rush-hour stream",
+            run: traffic_exp::e_traffic,
         },
         Experiment {
             id: "e_net",

@@ -1,0 +1,297 @@
+//! E-traffic: dynamic road networks — traffic as edge-weight delta
+//! epochs.
+//!
+//! Two sections:
+//!
+//! 1. **Storm apply vs rebuild** — a weight storm of `d` edges through
+//!    `World::apply(NetDelta::reweight(..))` (copy-on-write clone +
+//!    [`insq_roadnet::NetworkVoronoi::reweight_edges`] repair seeded
+//!    from the changed edges) against the publish path (re-weight the
+//!    network, rebuild the NVD from scratch), across network sizes up
+//!    to ≥ 10k vertices. Expected shape: apply has an O(V+E) clone
+//!    floor plus repair cost proportional to the *invalidated region*,
+//!    so small storms beat the full multi-source Dijkstra rebuild by a
+//!    wide margin and the gap narrows as the storm saturates the
+//!    network.
+//! 2. **Rush-hour fleet stream** — a [`RushHour`] commuter fleet
+//!    (correlated hub-bound tours) served through alternating
+//!    congest/clear storms every few ticks, apply-mode vs publish-mode:
+//!    per-tick query cost and the storm-epoch stall a fleet actually
+//!    observes.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use insq_core::NetInsConfig;
+use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig, SplitMix64};
+use insq_roadnet::{EdgeId, EdgeWeight, NetDelta, NetPosition, NetTrajectory, SiteSet};
+use insq_server::{FleetConfig, FleetEngine, NetFleetQuery, NetworkWorld, World};
+use insq_workload::RushHour;
+
+use crate::bench_json::{obj, snapshot_status, Json};
+use crate::Effort;
+
+/// A congest/clear storm pair over `d` distinct random edges: even reps
+/// scale free-flow lengths by 2.5x, odd reps restore them — so the
+/// world returns to free flow after every pair and storms never
+/// compound.
+fn storm_pair(
+    base: &insq_roadnet::RoadNetwork,
+    d: usize,
+    rng: &mut SplitMix64,
+) -> [Vec<EdgeWeight>; 2] {
+    let mut edges = std::collections::BTreeSet::new();
+    while edges.len() < d.min(base.num_edges()) {
+        edges.insert(rng.below(base.num_edges()) as u32);
+    }
+    let congest: Vec<EdgeWeight> = edges
+        .iter()
+        .map(|&e| EdgeWeight {
+            edge: EdgeId(e),
+            len: base.edge(EdgeId(e)).len * 2.5,
+        })
+        .collect();
+    let clear: Vec<EdgeWeight> = edges
+        .iter()
+        .map(|&e| EdgeWeight {
+            edge: EdgeId(e),
+            len: base.edge(EdgeId(e)).len,
+        })
+        .collect();
+    [congest, clear]
+}
+
+fn storm_section(effort: Effort, out: &mut String, runs: &mut Vec<Json>) {
+    let sides: Vec<u32> = match effort {
+        Effort::Quick => vec![40, 104],
+        Effort::Full => vec![40, 72, 104],
+    };
+    let reps = match effort {
+        Effort::Quick => 4usize,
+        Effort::Full => 10,
+    };
+    out.push_str(
+        "Weight storms (jittered grids, sites ~ V/12): \
+         World::apply(NetDelta::reweight) vs publish(rebuild NVD)\n",
+    );
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>13} {:>13} {:>9}\n",
+        "vertices", "storm", "apply_us", "rebuild_us", "speedup"
+    ));
+    for &side in &sides {
+        let net = Arc::new(
+            grid_network(
+                &GridConfig {
+                    cols: side,
+                    rows: side,
+                    ..GridConfig::default()
+                },
+                3,
+            )
+            .expect("valid grid"),
+        );
+        let n_vertices = net.num_vertices();
+        let n_sites = (n_vertices / 12).max(4);
+        let sites = SiteSet::new(&net, random_site_vertices(&net, n_sites, 19).unwrap()).unwrap();
+        let world = World::new(NetworkWorld::build(Arc::clone(&net), sites.clone()));
+
+        // The publish baseline: re-weight the network and rebuild the
+        // NVD from scratch (what a traffic update costs without
+        // edge-seeded repair). Uses a fixed small storm — rebuild cost
+        // is storm-size independent.
+        let mut rng = SplitMix64::new(0x7AFF1C);
+        let pair = storm_pair(&net, 8, &mut rng);
+        let t0 = Instant::now();
+        for rep in 0..reps {
+            let (_, snap) = world.snapshot();
+            let rw = Arc::new(snap.net.reweighted(&pair[rep % 2]).expect("valid storm"));
+            world.publish(NetworkWorld::build(rw, (*snap.sites).clone()));
+        }
+        let rebuild_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        // Clear any leftover congestion so apply reps start at free flow.
+        if reps % 2 == 1 {
+            let (_, snap) = world.snapshot();
+            let rw = Arc::new(snap.net.reweighted(&pair[1]).expect("valid storm"));
+            world.publish(NetworkWorld::build(rw, (*snap.sites).clone()));
+        }
+
+        for &d in &effort.thin(&[1usize, 8, 64, 512]) {
+            let mut rng = SplitMix64::new(0x57081 + d as u64);
+            let mut total = Duration::ZERO;
+            for rep in 0..reps {
+                // A fresh edge set per pair; congest on even reps, clear
+                // the same edges on odd reps.
+                if rep % 2 == 0 {
+                    let pair = storm_pair(&net, d, &mut rng);
+                    let t0 = Instant::now();
+                    world
+                        .apply(&NetDelta::reweight(pair[0].clone()))
+                        .expect("valid storm");
+                    total += t0.elapsed();
+                    let t0 = Instant::now();
+                    world
+                        .apply(&NetDelta::reweight(pair[1].clone()))
+                        .expect("valid storm");
+                    total += t0.elapsed();
+                }
+            }
+            let pairs = reps.div_ceil(2);
+            let apply_us = total.as_secs_f64() * 1e6 / (2 * pairs) as f64;
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>13.1} {:>13.1} {:>8.1}x\n",
+                n_vertices,
+                d,
+                apply_us,
+                rebuild_us,
+                rebuild_us / apply_us
+            ));
+            runs.push(obj([
+                ("section", "storm".into()),
+                ("n_vertices", n_vertices.into()),
+                ("n_sites", n_sites.into()),
+                ("storm", d.into()),
+                ("apply_us", apply_us.into()),
+                ("rebuild_us", rebuild_us.into()),
+                ("speedup", (rebuild_us / apply_us).into()),
+            ]));
+        }
+    }
+}
+
+/// Returns the apply-mode fleet cost in us per query-tick (the
+/// experiment's headline `us_per_tick`).
+fn rush_section(effort: Effort, out: &mut String, runs: &mut Vec<Json>) -> f64 {
+    let (side, commuters, ticks) = match effort {
+        Effort::Quick => (24u32, 16usize, 200usize),
+        Effort::Full => (48, 48, 600),
+    };
+    let rush = RushHour {
+        commuters,
+        storm_edges: 48,
+        peak_factor: 2.5,
+        storm_every: 10,
+        seed: 42,
+    };
+    let k = 4usize;
+    let net = Arc::new(
+        grid_network(
+            &GridConfig {
+                cols: side,
+                rows: side,
+                ..GridConfig::default()
+            },
+            rush.seed,
+        )
+        .expect("valid grid"),
+    );
+    let n_sites = (net.num_vertices() / 12).max(8);
+    let sites = SiteSet::new(&net, random_site_vertices(&net, n_sites, 23).unwrap()).unwrap();
+    out.push_str(&format!(
+        "\nRush hour: {commuters} hub-bound commuters on a {side}x{side} grid \
+         ({n_sites} sites), a {}-edge storm every {} ticks (congest/clear)\n",
+        rush.storm_edges, rush.storm_every
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>14} {:>14}\n",
+        "mode", "us_per_tick", "mean_storm_us", "max_storm_us"
+    ));
+
+    let tours: Vec<NetTrajectory> = (0..commuters)
+        .map(|c| rush.commuter_tour(&net, c).expect("connected network"))
+        .collect();
+    let speed = 0.12;
+
+    let mut apply_us_per_tick = 0.0;
+    for mode in ["apply", "publish"] {
+        let world = Arc::new(World::new(NetworkWorld::build(
+            Arc::clone(&net),
+            sites.clone(),
+        )));
+        let mut fleet: FleetEngine<NetworkWorld, NetFleetQuery> =
+            FleetEngine::new(Arc::clone(&world), FleetConfig::with_threads(2));
+        for _ in 0..commuters {
+            fleet.register(
+                NetFleetQuery::new(&world, NetInsConfig::new(k, 1.6)).expect("valid config"),
+            );
+        }
+        let mut stalls: Vec<Duration> = Vec::new();
+        for tick in 0..ticks {
+            if let Some(epoch) = rush.storm_epoch_at(tick) {
+                let t0 = Instant::now();
+                if mode == "apply" {
+                    world
+                        .apply(&rush.storm_delta(&net, epoch))
+                        .expect("valid storm");
+                } else {
+                    let (_, snap) = world.snapshot();
+                    let rw = Arc::new(
+                        net.reweighted(&rush.storm(&net, epoch))
+                            .expect("valid storm"),
+                    );
+                    world.publish(NetworkWorld::build(rw, (*snap.sites).clone()));
+                }
+                stalls.push(t0.elapsed());
+            }
+            let positions: Vec<NetPosition> = (0..commuters)
+                .map(|c| tours[c].position_looped(&net, speed * tick as f64 + 0.37 * c as f64))
+                .collect();
+            fleet.tick_all(|id| positions[id.index()]);
+        }
+        let stats = fleet.stats();
+        let us_per_tick = stats.elapsed.as_secs_f64() * 1e6 / stats.total.ticks.max(1) as f64;
+        let mean = stalls.iter().sum::<Duration>().as_secs_f64() * 1e6 / stalls.len().max(1) as f64;
+        let max = stalls
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e6)
+            .fold(0.0f64, f64::max);
+        if mode == "apply" {
+            apply_us_per_tick = us_per_tick;
+        }
+        out.push_str(&format!(
+            "{:<10} {:>12.2} {:>14.1} {:>14.1}\n",
+            mode, us_per_tick, mean, max
+        ));
+        runs.push(obj([
+            ("section", format!("rush_{mode}").as_str().into()),
+            ("clients", commuters.into()),
+            ("storms", stalls.len().into()),
+            ("us_per_tick", us_per_tick.into()),
+            ("mean_storm_us", mean.into()),
+            ("max_storm_us", max.into()),
+        ]));
+    }
+    apply_us_per_tick
+}
+
+/// E-traffic: dynamic road networks — traffic delta epochs vs rebuilds.
+pub fn e_traffic(effort: Effort) -> String {
+    let mut out = String::new();
+    let mut runs: Vec<Json> = Vec::new();
+    storm_section(effort, &mut out, &mut runs);
+    let us_per_tick = rush_section(effort, &mut out, &mut runs);
+    out.push_str(
+        "\nexpected shape: storm apply latency has an O(V+E) copy-on-write floor plus a\n\
+         repair cost proportional to the invalidated region, so small storms beat the\n\
+         from-scratch NVD rebuild by a wide margin at n >= 10k vertices and the gap\n\
+         narrows as the storm saturates the network; in the rush-hour stream both\n\
+         modes answer identically (the traffic conformance suites prove\n\
+         bit-equality) but apply-mode storm stalls are a fraction of publish-mode's.\n",
+    );
+    let snapshot = obj([
+        ("experiment", "e_traffic".into()),
+        (
+            "effort",
+            match effort {
+                Effort::Quick => "quick",
+                Effort::Full => "full",
+            }
+            .into(),
+        ),
+        // Headline cost: the apply-mode rush-hour stream's us per
+        // query-tick.
+        ("us_per_tick", us_per_tick.into()),
+        ("runs", Json::Arr(runs)),
+    ]);
+    out.push_str(&snapshot_status("e_traffic", &snapshot));
+    out
+}

@@ -19,7 +19,7 @@ use insq_core::InsConfig;
 use insq_geom::{Point, Trajectory};
 use insq_index::{SiteDelta, VorTree};
 use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig, SplitMix64};
-use insq_roadnet::{NetSiteDelta, SiteIdx, VertexId};
+use insq_roadnet::{NetDelta, NetSiteDelta, SiteIdx, VertexId};
 use insq_server::{FleetConfig, FleetEngine, InsFleetQuery, NetworkWorld, World};
 use insq_voronoi::SiteId;
 use insq_workload::{Distribution, FleetScenario};
@@ -157,6 +157,7 @@ fn network_section(effort: Effort, out: &mut String, runs: &mut Vec<Json>) {
                     delta.added.push(v);
                 }
             }
+            let delta = NetDelta::from(delta);
             let t0 = Instant::now();
             world.apply(&delta).expect("valid delta");
             total += t0.elapsed();

@@ -47,13 +47,14 @@ fn committed_snapshots_parse_and_carry_us_per_tick() {
         );
         found.push(name);
     }
-    // The five snapshot-emitting experiments must all be committed.
+    // The six snapshot-emitting experiments must all be committed.
     for required in [
         "BENCH_e_net.json",
         "BENCH_e_fleet.json",
         "BENCH_e_cluster.json",
         "BENCH_e_update.json",
         "BENCH_e_spaces.json",
+        "BENCH_e_traffic.json",
     ] {
         assert!(
             found.iter().any(|n| n == required),

@@ -30,7 +30,7 @@
 use std::fmt::Debug;
 
 use insq_index::{SiteDelta, VorTree, WeightedVorTree};
-use insq_roadnet::{NetSiteDelta, NetworkWorld, RoadNetError};
+use insq_roadnet::{NetDelta, NetworkWorld, RoadNetError};
 use insq_voronoi::VoronoiError;
 
 /// A query setting the INS algorithm can run in.
@@ -295,10 +295,13 @@ impl DeltaIndex for WeightedVorTree {
 }
 
 impl DeltaIndex for NetworkWorld {
-    type Delta = NetSiteDelta;
+    /// The combined delta: site insertions/removals *and* edge re-weights
+    /// (traffic). A pure site churn delta converts via
+    /// `NetDelta::from(NetSiteDelta)`.
+    type Delta = NetDelta;
     type Error = RoadNetError;
 
-    fn apply_delta(&self, delta: &NetSiteDelta) -> Result<NetworkWorld, RoadNetError> {
+    fn apply_delta(&self, delta: &NetDelta) -> Result<NetworkWorld, RoadNetError> {
         NetworkWorld::apply_delta(self, delta)
     }
 }

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use insq_core::{DeltaIndex, InsConfig, MovingKnn, TickOutcome};
 use insq_index::SiteDelta;
 use insq_net::{NetClient, NetServer, NetServerConfig, ReadinessKind, WireOutcome, WireSpace};
-use insq_roadnet::{NetSiteDelta, SiteIdx, VertexId};
+use insq_roadnet::{EdgeId, EdgeWeight, NetDelta, NetSiteDelta, SiteIdx, VertexId};
 use insq_server::{FleetConfig, FleetEngine, QueryId, SpaceQuery, World};
 use insq_workload::{FleetScenario, SpaceWorkload};
 
@@ -239,15 +239,21 @@ fn network_tcp_streams_match_in_process_across_delta_epoch() {
     };
     soak::<insq_core::Network>(&sc, |idx| {
         // Insert a site at the first free vertex, remove site 1 — both
-        // derived deterministically from the shared initial snapshot.
+        // derived deterministically from the shared initial snapshot —
+        // and congest two edges 1.8x, so the mid-run epoch is a full
+        // traffic delta (site churn + re-weights) over the wire.
         let free = (0..idx.net.num_vertices() as u32)
             .map(VertexId)
             .find(|&v| idx.sites.site_at(v).is_none())
             .expect("a free vertex exists");
-        NetSiteDelta {
+        NetDelta::from(NetSiteDelta {
             added: vec![free],
             removed: vec![SiteIdx(1)],
-        }
+        })
+        .with_weights(vec![
+            EdgeWeight::scaled(&idx.net, EdgeId(0), 1.8),
+            EdgeWeight::scaled(&idx.net, EdgeId(3), 1.8),
+        ])
     });
 }
 

@@ -71,6 +71,31 @@ impl EdgeRec {
     }
 }
 
+/// One edge re-weight: `edge` takes the new absolute length `len`.
+///
+/// This is how traffic enters the model: congestion multiplies a
+/// free-flow length up, clearing restores it, and a closure is a very
+/// large (but finite) weight so the network stays connected. Lengths
+/// must satisfy the same invariant as construction: finite and `> 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeWeight {
+    /// The edge whose length changes.
+    pub edge: EdgeId,
+    /// The new length (`len > 0.0 && len.is_finite()`).
+    pub len: f64,
+}
+
+impl EdgeWeight {
+    /// A re-weight scaling the edge's current length in `net` by `factor`.
+    pub fn scaled(net: &RoadNetwork, edge: EdgeId, factor: f64) -> EdgeWeight {
+        EdgeWeight {
+            edge,
+            len: net.edge(edge).len * factor,
+        }
+    }
+}
+
 /// A connected undirected road network with positive edge lengths.
 #[derive(Debug, Clone)]
 pub struct RoadNetwork {
@@ -223,6 +248,51 @@ impl RoadNetwork {
         count == n
     }
 
+    /// A copy of the network with the given edge lengths replaced.
+    ///
+    /// The whole batch is validated *before* anything is copied (see
+    /// [`RoadNetwork::validate_reweight`]), so an invalid batch changes
+    /// nothing. Topology — vertex set, edge endpoints, CSR adjacency —
+    /// is untouched: edge ids, vertex ids and on-edge positions with
+    /// offsets within the *old* length remain valid on the re-weighted
+    /// network.
+    pub fn reweighted(&self, changes: &[EdgeWeight]) -> Result<RoadNetwork, RoadNetError> {
+        self.validate_reweight(changes)?;
+        let mut net = self.clone();
+        for w in changes {
+            net.edges[w.edge.idx()].len = w.len;
+        }
+        Ok(net)
+    }
+
+    /// Checks a re-weight batch without applying it: every edge id in
+    /// range and named at most once, every new length finite and positive
+    /// (the [`RoadNetwork::new`] invariant must hold after every
+    /// re-weight).
+    pub fn validate_reweight(&self, changes: &[EdgeWeight]) -> Result<(), RoadNetError> {
+        for w in changes {
+            if w.edge.idx() >= self.edges.len() {
+                return Err(RoadNetError::EdgeOutOfRange { edge: w.edge.idx() });
+            }
+            if !(w.len > 0.0 && w.len.is_finite()) {
+                return Err(RoadNetError::BadEdgeLength {
+                    edge: w.edge.idx(),
+                    len: w.len,
+                });
+            }
+        }
+        let mut ids: Vec<u32> = changes.iter().map(|w| w.edge.0).collect();
+        ids.sort_unstable();
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(RoadNetError::DuplicateEdgeChange {
+                    edge: pair[0] as usize,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Finds the edge between `u` and `v`, if one exists (the first of any
     /// parallel edges).
     pub fn find_edge(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
@@ -324,6 +394,57 @@ mod tests {
         let net = RoadNetwork::new(vec![pt(0.0, 0.0)], vec![]).unwrap();
         assert!(net.is_connected());
         assert_eq!(net.degree(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn reweighted_patches_lengths_only() {
+        let net = triangle();
+        let new = net
+            .reweighted(&[
+                EdgeWeight {
+                    edge: EdgeId(1),
+                    len: 4.5,
+                },
+                EdgeWeight::scaled(&net, EdgeId(0), 2.0),
+            ])
+            .unwrap();
+        assert_eq!(new.edge(EdgeId(0)).len, 2.0);
+        assert_eq!(new.edge(EdgeId(1)).len, 4.5);
+        assert_eq!(new.edge(EdgeId(2)).len, 1.0);
+        // Topology untouched; the original keeps its lengths.
+        assert_eq!(new.num_edges(), net.num_edges());
+        assert_eq!(new.neighbors(VertexId(0)), net.neighbors(VertexId(0)));
+        assert_eq!(net.edge(EdgeId(0)).len, 1.0);
+    }
+
+    #[test]
+    fn reweighted_rejects_bad_batches() {
+        let net = triangle();
+        let w = |e: u32, len: f64| EdgeWeight {
+            edge: EdgeId(e),
+            len,
+        };
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    net.reweighted(&[w(0, bad)]),
+                    Err(RoadNetError::BadEdgeLength { edge: 0, .. })
+                ),
+                "length {bad} must be rejected"
+            );
+        }
+        assert!(matches!(
+            net.reweighted(&[w(3, 1.0)]),
+            Err(RoadNetError::EdgeOutOfRange { edge: 3 })
+        ));
+        assert!(matches!(
+            net.reweighted(&[w(1, 2.0), w(1, 3.0)]),
+            Err(RoadNetError::DuplicateEdgeChange { edge: 1 })
+        ));
+        // A failed batch with one valid and one invalid entry changes
+        // nothing (validation happens before any copy).
+        assert!(net.reweighted(&[w(0, 9.0), w(9, 1.0)]).is_err());
+        assert_eq!(net.edge(EdgeId(0)).len, 1.0);
     }
 
     #[test]

@@ -34,11 +34,11 @@ pub mod subnetwork;
 pub mod trajectory;
 pub mod world;
 
-pub use graph::{EdgeId, EdgeRec, RoadNetwork, VertexId};
+pub use graph::{EdgeId, EdgeRec, EdgeWeight, RoadNetwork, VertexId};
 pub use nvd::{BorderPoint, EdgeFragment, EdgeOwnership, NetworkVoronoi};
 pub use position::NetPosition;
 pub use scratch::DijkstraScratch;
-pub use sites::{NetSiteDelta, SiteIdx, SiteSet};
+pub use sites::{NetDelta, NetSiteDelta, SiteIdx, SiteSet};
 pub use subnetwork::SiteMask;
 pub use trajectory::NetTrajectory;
 pub use world::NetworkWorld;
@@ -108,6 +108,20 @@ pub enum RoadNetError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A re-weight batch names the same edge more than once.
+    DuplicateEdgeChange {
+        /// The edge id changed twice.
+        edge: usize,
+    },
+    /// The site set and the NVD assigned different indices to a newly
+    /// inserted site — the snapshot's parts were assembled inconsistently
+    /// (e.g. via [`NetworkWorld::from_parts`] with a mismatched diagram).
+    SiteIndexDesync {
+        /// Index the site set assigned.
+        site_set: usize,
+        /// Index the NVD assigned.
+        nvd: usize,
+    },
 }
 
 impl std::fmt::Display for RoadNetError {
@@ -141,6 +155,15 @@ impl std::fmt::Display for RoadNetError {
             }
             RoadNetError::BadGeneratorConfig { reason } => {
                 write!(f, "bad generator config: {reason}")
+            }
+            RoadNetError::DuplicateEdgeChange { edge } => {
+                write!(f, "edge {edge} re-weighted more than once in one delta")
+            }
+            RoadNetError::SiteIndexDesync { site_set, nvd } => {
+                write!(
+                    f,
+                    "site set and NVD disagree on a new site's index: {site_set} vs {nvd}"
+                )
             }
         }
     }

@@ -12,12 +12,15 @@
 //! demo renders as the green/yellow edge sets.
 //!
 //! The diagram is also *incrementally maintainable*
-//! ([`NetworkVoronoi::insert_site`] / [`NetworkVoronoi::remove_site`]): a
-//! site insertion runs one pruned Dijkstra limited to the new cell, a
-//! removal re-expands only the orphaned cell from its boundary, and edge
-//! ownership plus neighbor sets are re-tallied for exactly the edges
-//! incident to re-owned vertices — cost proportional to the changed
-//! region, not the network (the delta-epoch path of `insq-server`).
+//! ([`NetworkVoronoi::insert_site`] / [`NetworkVoronoi::remove_site`] /
+//! [`NetworkVoronoi::reweight_edges`]): a site insertion runs one pruned
+//! Dijkstra limited to the new cell, a removal re-expands only the
+//! orphaned cell from its boundary, an edge re-weight invalidates and
+//! re-expands only the region whose shortest paths crossed the changed
+//! edges, and edge ownership plus neighbor sets are re-tallied for
+//! exactly the edges incident to re-owned vertices — cost proportional
+//! to the changed region, not the network (the delta-epoch path of
+//! `insq-server`).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -265,6 +268,155 @@ impl NetworkVoronoi {
         // fully re-tallied above, so the popped tail slot is empty.
         let tail = self.adj.pop().expect("at least one site");
         debug_assert!(tail.is_empty(), "tail adjacency drained by re-tally");
+    }
+
+    /// Repairs the diagram after a batch of edge re-weights, seeded from
+    /// the changed edges — the traffic analogue of
+    /// [`NetworkVoronoi::insert_site`] / [`NetworkVoronoi::remove_site`].
+    ///
+    /// `self` must be the diagram of `old_net`; `new_net` must share its
+    /// topology with only the lengths of `changed` replaced. Three
+    /// localized passes:
+    ///
+    /// 1. *Invalidate.* Vertices whose shortest path runs through an edge
+    ///    that got **longer** are found by walking the old shortest-path
+    ///    DAG outward from the changed edges — a vertex joins iff its old
+    ///    label equals a predecessor's old label plus the old edge length
+    ///    — then orphaned exactly like a removed cell. Site vertices keep
+    ///    their zero labels, so a cell is never orphaned at its source.
+    /// 2. *Re-expand.* One lazy-deletion Dijkstra over the new lengths,
+    ///    seeded from the orphan boundary plus the endpoints of every
+    ///    edge that got **shorter** (the only entry points for a new,
+    ///    shorter path). Every surviving label is still an exact upper
+    ///    bound, so the expansion settles only the changed region.
+    /// 3. *Re-tally.* Edge ownership and neighbor sets are refreshed for
+    ///    edges incident to re-labelled vertices plus the changed edges
+    ///    themselves (a border moves with its edge's length even when
+    ///    both endpoint labels survive).
+    ///
+    /// Distances are rebuilt by the same left-to-right `label + len`
+    /// accumulation as [`NetworkVoronoi::build`], so on tie-free networks
+    /// the repaired diagram is bit-identical to a from-scratch build over
+    /// `new_net`; on degenerate (tie-heavy) networks it is exact up to
+    /// tie-breaks.
+    pub fn reweight_edges(
+        &mut self,
+        old_net: &RoadNetwork,
+        new_net: &RoadNetwork,
+        changed: &[EdgeId],
+    ) {
+        debug_assert_eq!(old_net.num_vertices(), new_net.num_vertices());
+        debug_assert_eq!(old_net.num_edges(), new_net.num_edges());
+
+        // Pass 1: orphan every vertex whose old label depends on an
+        // increased edge (BFS over the old shortest-path DAG).
+        let mut touched = vec![false; old_net.num_vertices()];
+        let mut orphans: Vec<VertexId> = Vec::new();
+        for &e in changed {
+            let old_len = old_net.edge(e).len;
+            if new_net.edge(e).len <= old_len {
+                continue;
+            }
+            let rec = old_net.edge(e);
+            for (a, b) in [(rec.u, rec.v), (rec.v, rec.u)] {
+                if !touched[b.idx()] && self.dist[b.idx()] == self.dist[a.idx()] + old_len {
+                    touched[b.idx()] = true;
+                    orphans.push(b);
+                }
+            }
+        }
+        let mut cursor = 0;
+        while cursor < orphans.len() {
+            let x = orphans[cursor];
+            cursor += 1;
+            for &(y, e) in old_net.neighbors(x) {
+                if !touched[y.idx()]
+                    && self.dist[y.idx()] == self.dist[x.idx()] + old_net.edge(e).len
+                {
+                    touched[y.idx()] = true;
+                    orphans.push(y);
+                }
+            }
+        }
+        let mut changed_verts = orphans.clone();
+        for &x in &orphans {
+            debug_assert!(self.dist[x.idx()] > 0.0, "site vertices keep their labels");
+            self.dist[x.idx()] = f64::INFINITY;
+            self.owner[x.idx()] = NO_SITE;
+        }
+
+        // Pass 2: seed from the orphan boundary and from decreased edges,
+        // then settle with one Dijkstra over the new lengths (`touched`
+        // now doubles as the re-labelled mark).
+        let mut heap: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        for &u in &orphans {
+            for &(w, e) in new_net.neighbors(u) {
+                if self.owner[w.idx()] == NO_SITE {
+                    continue;
+                }
+                let nd = self.dist[w.idx()] + new_net.edge(e).len;
+                if nd < self.dist[u.idx()] {
+                    self.dist[u.idx()] = nd;
+                    self.owner[u.idx()] = self.owner[w.idx()];
+                    heap.push(Reverse(Cand {
+                        dist: nd,
+                        vertex: u,
+                    }));
+                }
+            }
+        }
+        for &e in changed {
+            if new_net.edge(e).len >= old_net.edge(e).len {
+                continue;
+            }
+            let rec = new_net.edge(e);
+            for (a, b) in [(rec.u, rec.v), (rec.v, rec.u)] {
+                if self.owner[a.idx()] == NO_SITE {
+                    continue;
+                }
+                let nd = self.dist[a.idx()] + rec.len;
+                if nd < self.dist[b.idx()] {
+                    if !touched[b.idx()] {
+                        touched[b.idx()] = true;
+                        changed_verts.push(b);
+                    }
+                    self.dist[b.idx()] = nd;
+                    self.owner[b.idx()] = self.owner[a.idx()];
+                    heap.push(Reverse(Cand {
+                        dist: nd,
+                        vertex: b,
+                    }));
+                }
+            }
+        }
+        while let Some(Reverse(Cand { dist: d, vertex: u })) = heap.pop() {
+            if d > self.dist[u.idx()] {
+                continue;
+            }
+            for &(w, e) in new_net.neighbors(u) {
+                let nd = d + new_net.edge(e).len;
+                if nd < self.dist[w.idx()] {
+                    if !touched[w.idx()] {
+                        touched[w.idx()] = true;
+                        changed_verts.push(w);
+                    }
+                    self.dist[w.idx()] = nd;
+                    self.owner[w.idx()] = self.owner[u.idx()];
+                    heap.push(Reverse(Cand {
+                        dist: nd,
+                        vertex: w,
+                    }));
+                }
+            }
+        }
+
+        // Pass 3: refresh ownership around everything that moved, plus
+        // the changed edges themselves.
+        let mut edges = incident_edges(new_net, &changed_verts);
+        edges.extend_from_slice(changed);
+        edges.sort_unstable();
+        edges.dedup();
+        self.refresh_edges(new_net, &edges);
     }
 
     /// Recomputes ownership of the given edges from the current
@@ -598,6 +750,65 @@ mod tests {
                 "border on {:?} not equidistant: {du} vs {dv}",
                 b.edge
             );
+        }
+    }
+
+    #[test]
+    fn reweight_repair_matches_rebuild_on_path() {
+        // 0-1-2-3-4, sites at 0 and 4. Congest edge (1,2), then clear it,
+        // then shorten edge (2,3): repair must match a fresh build each
+        // time, and a congestion wave must shift the border.
+        let (net, sites) = path_net();
+        let mut nvd = NetworkVoronoi::build(&net, &sites);
+        let mut cur = net.clone();
+        for (e, new_len) in [(EdgeId(1), 3.0), (EdgeId(1), 0.8), (EdgeId(2), 0.25)] {
+            let next = cur
+                .reweighted(&[crate::EdgeWeight {
+                    edge: e,
+                    len: new_len,
+                }])
+                .unwrap();
+            nvd.reweight_edges(&cur, &next, &[e]);
+            let fresh = NetworkVoronoi::build(&next, &sites);
+            for v in 0..next.num_vertices() {
+                let v = VertexId(v as u32);
+                assert_eq!(nvd.dist(v).to_bits(), fresh.dist(v).to_bits(), "{v}");
+                assert_eq!(nvd.owner(v), fresh.owner(v), "{v}");
+            }
+            for i in 0..next.num_edges() {
+                assert_eq!(
+                    nvd.edge_ownership(EdgeId(i as u32)),
+                    fresh.edge_ownership(EdgeId(i as u32)),
+                    "edge {i}"
+                );
+            }
+            cur = next;
+        }
+        // After the congestion wave and the (2,3) shortcut, site 1's
+        // cell reaches past vertex 2.
+        assert_eq!(nvd.owner(VertexId(2)), SiteIdx(1));
+    }
+
+    #[test]
+    fn reweight_noop_batch_changes_nothing() {
+        let (net, sites) = grid_net();
+        let mut nvd = NetworkVoronoi::build(&net, &sites);
+        let before = nvd.clone();
+        // Same lengths re-asserted: the repair must be an exact no-op.
+        let same = net
+            .reweighted(&[
+                crate::EdgeWeight::scaled(&net, EdgeId(0), 1.0),
+                crate::EdgeWeight::scaled(&net, EdgeId(5), 1.0),
+            ])
+            .unwrap();
+        nvd.reweight_edges(&net, &same, &[EdgeId(0), EdgeId(5)]);
+        for v in 0..net.num_vertices() {
+            let v = VertexId(v as u32);
+            assert_eq!(nvd.dist(v).to_bits(), before.dist(v).to_bits());
+            assert_eq!(nvd.owner(v), before.owner(v));
+        }
+        for s in 0..sites.len() as u32 {
+            assert_eq!(nvd.neighbors(SiteIdx(s)), before.neighbors(SiteIdx(s)));
         }
     }
 

@@ -1,6 +1,8 @@
-//! Data objects (sites) placed on network vertices.
+//! Data objects (sites) placed on network vertices, and the delta types
+//! that change them — and, since traffic became delta-patchable, the
+//! combined [`NetDelta`] that also carries edge re-weights.
 
-use crate::graph::{RoadNetwork, VertexId};
+use crate::graph::{EdgeWeight, RoadNetwork, VertexId};
 use crate::RoadNetError;
 
 /// Index of a site within a [`SiteSet`] (0-based, dense).
@@ -182,6 +184,68 @@ impl NetSiteDelta {
     /// Whether the delta changes nothing.
     pub fn is_empty(&self) -> bool {
         self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A combined road-network delta: site changes *and* edge re-weights
+/// (traffic), applied together as one epoch bump by
+/// `insq_server::World::apply`.
+///
+/// Application order: edge re-weights first (the NVD is repaired over
+/// the new lengths), then site removals, then site additions — so site
+/// changes always see post-traffic distances. The whole batch is
+/// validated atomically before anything is built: an invalid delta
+/// returns `Err` and produces no new epoch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetDelta {
+    /// Site insertions and removals.
+    pub sites: NetSiteDelta,
+    /// Edge re-weights, each edge named at most once per delta.
+    pub weights: Vec<EdgeWeight>,
+}
+
+impl NetDelta {
+    /// A delta that only inserts sites.
+    pub fn insert(added: Vec<VertexId>) -> NetDelta {
+        NetSiteDelta::insert(added).into()
+    }
+
+    /// A delta that only removes sites.
+    pub fn remove(removed: Vec<SiteIdx>) -> NetDelta {
+        NetSiteDelta::remove(removed).into()
+    }
+
+    /// A delta that only re-weights edges.
+    pub fn reweight(weights: Vec<EdgeWeight>) -> NetDelta {
+        NetDelta {
+            sites: NetSiteDelta::default(),
+            weights,
+        }
+    }
+
+    /// This delta with `weights` attached (builder style).
+    pub fn with_weights(mut self, weights: Vec<EdgeWeight>) -> NetDelta {
+        self.weights = weights;
+        self
+    }
+
+    /// Number of individual changes (site changes plus re-weights).
+    pub fn len(&self) -> usize {
+        self.sites.len() + self.weights.len()
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty() && self.weights.is_empty()
+    }
+}
+
+impl From<NetSiteDelta> for NetDelta {
+    fn from(sites: NetSiteDelta) -> NetDelta {
+        NetDelta {
+            sites,
+            weights: Vec::new(),
+        }
     }
 }
 

@@ -6,22 +6,27 @@
 //! processor in `insq-core`, the epoch-versioned `World` in
 //! `insq-server`) can treat every space through one index handle.
 //!
-//! Data-object updates replace `sites`/`nvd`; the network itself is
-//! assumed fixed across epochs (the paper's setting: POIs change, streets
-//! do not), so it is shared via `Arc` and delta epochs never copy it.
+//! Data-object updates replace `sites`/`nvd`. The network is *no longer*
+//! fixed across epochs (the paper's simplifying assumption): a
+//! [`NetDelta`] may re-weight edges — traffic congestion and clearing —
+//! and the NVD is repaired locally from the changed edges. Epochs whose
+//! delta carries no weight changes still share the network `Arc`
+//! untouched, so pure data-object churn never copies the graph.
 
 use std::sync::Arc;
 
-use crate::graph::RoadNetwork;
+use crate::graph::{EdgeId, RoadNetwork};
 use crate::nvd::NetworkVoronoi;
-use crate::sites::{NetSiteDelta, SiteSet};
+use crate::sites::{NetDelta, SiteSet};
 use crate::RoadNetError;
 
-/// A road-network snapshot: the (stable) network plus the per-epoch site
-/// set and its precomputed network Voronoi diagram.
+/// A road-network snapshot: the network as of this epoch (re-weighted by
+/// traffic deltas, topology fixed) plus the per-epoch site set and its
+/// precomputed network Voronoi diagram.
 #[derive(Debug, Clone)]
 pub struct NetworkWorld {
-    /// The road network (shared unchanged across epochs).
+    /// The road network (shared across epochs until a weight delta
+    /// replaces it; topology is identical in every epoch).
     pub net: Arc<RoadNetwork>,
     /// The data objects of this epoch.
     pub sites: Arc<SiteSet>,
@@ -67,30 +72,103 @@ impl NetworkWorld {
         self.sites.is_empty()
     }
 
-    /// The next epoch's snapshot produced *incrementally*: the network is
-    /// shared untouched via `Arc`, the site set and NVD are cloned and
-    /// patched per delta entry (removals first, descending pre-delta
-    /// indices with swap-remove renames, then insertions in order). The
-    /// original snapshot is never modified; on error it stays the live
-    /// one.
-    pub fn apply_delta(&self, delta: &NetSiteDelta) -> Result<NetworkWorld, RoadNetError> {
-        let mut sites = (*self.sites).clone();
-        let mut nvd = (*self.nvd).clone();
-        let mut removed = delta.removed.clone();
+    /// Checks a delta against this snapshot without changing anything.
+    ///
+    /// This is the atomicity gate of [`NetworkWorld::apply_delta`] (the
+    /// same pre-validate-then-commit discipline as `ClusterPlan::split`):
+    /// weight entries must name in-range edges at most once with finite
+    /// positive lengths; removals (after dedup) must be in range and
+    /// leave at least one site; additions must be in range, pairwise
+    /// distinct, and target a vertex that is free or vacated by a
+    /// removal in the same delta.
+    pub fn validate_delta(&self, delta: &NetDelta) -> Result<(), RoadNetError> {
+        self.net.validate_reweight(&delta.weights)?;
+        let n = self.sites.len();
+        let mut removed = delta.sites.removed.clone();
         removed.sort_unstable();
         removed.dedup();
-        for &s in removed.iter().rev() {
-            let moved = sites.remove(s)?;
-            nvd.remove_site(&self.net, s, moved);
+        for &s in &removed {
+            if s.idx() >= n {
+                return Err(RoadNetError::SiteOutOfRange { site: s.idx() });
+            }
         }
-        for &v in &delta.added {
-            let idx = sites.insert(&self.net, v)?;
-            let got = nvd.insert_site(&self.net, v);
-            debug_assert_eq!(idx, got, "site set and NVD agree on indices");
+        if removed.len() >= n {
+            return Err(RoadNetError::NoSites);
         }
+        let base = n - removed.len();
+        for (i, &v) in delta.sites.added.iter().enumerate() {
+            if v.idx() >= self.net.num_vertices() {
+                return Err(RoadNetError::SiteOutOfRange { site: base + i });
+            }
+            if let Some(prior) = delta.sites.added[..i].iter().position(|&w| w == v) {
+                return Err(RoadNetError::DuplicateSite {
+                    first: base + prior,
+                    second: base + i,
+                });
+            }
+            if let Some(s) = self.sites.site_at(v) {
+                if removed.binary_search(&s).is_err() {
+                    return Err(RoadNetError::DuplicateSite {
+                        first: s.idx(),
+                        second: base + i,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The next epoch's snapshot produced *incrementally*. The whole
+    /// delta is pre-validated atomically ([`NetworkWorld::validate_delta`]):
+    /// an invalid delta returns `Err` having built nothing, and the
+    /// snapshot — which is never modified either way — stays the live,
+    /// fully usable epoch.
+    ///
+    /// Application order: edge re-weights first (the network is cloned
+    /// with patched lengths and the NVD repaired via
+    /// [`NetworkVoronoi::reweight_edges`]; a weight-free delta keeps
+    /// sharing the network `Arc` untouched), then site removals
+    /// (descending pre-delta indices with swap-remove renames), then
+    /// site insertions in order — all against the new lengths.
+    pub fn apply_delta(&self, delta: &NetDelta) -> Result<NetworkWorld, RoadNetError> {
+        self.validate_delta(delta)?;
+        let mut nvd = (*self.nvd).clone();
+        let net = if delta.weights.is_empty() {
+            Arc::clone(&self.net)
+        } else {
+            let next = Arc::new(self.net.reweighted(&delta.weights)?);
+            let changed: Vec<EdgeId> = delta.weights.iter().map(|w| w.edge).collect();
+            nvd.reweight_edges(&self.net, &next, &changed);
+            next
+        };
+        let sites = if delta.sites.is_empty() {
+            // A pure traffic delta leaves the data objects untouched —
+            // share them like a site-only delta shares the network.
+            Arc::clone(&self.sites)
+        } else {
+            let mut sites = (*self.sites).clone();
+            let mut removed = delta.sites.removed.clone();
+            removed.sort_unstable();
+            removed.dedup();
+            for &s in removed.iter().rev() {
+                let moved = sites.remove(s)?;
+                nvd.remove_site(&net, s, moved);
+            }
+            for &v in &delta.sites.added {
+                let idx = sites.insert(&net, v)?;
+                let got = nvd.insert_site(&net, v);
+                if idx != got {
+                    return Err(RoadNetError::SiteIndexDesync {
+                        site_set: idx.idx(),
+                        nvd: got.idx(),
+                    });
+                }
+            }
+            Arc::new(sites)
+        };
         Ok(NetworkWorld {
-            net: Arc::clone(&self.net),
-            sites: Arc::new(sites),
+            net,
+            sites,
             nvd: Arc::new(nvd),
         })
     }
@@ -100,6 +178,8 @@ impl NetworkWorld {
 mod tests {
     use super::*;
     use crate::generators::{grid_network, random_site_vertices, GridConfig};
+    use crate::graph::EdgeWeight;
+    use crate::sites::NetSiteDelta;
     use crate::{SiteIdx, VertexId};
 
     #[test]
@@ -113,10 +193,10 @@ mod tests {
             .map(VertexId)
             .find(|&v| snap0.sites.site_at(v).is_none())
             .unwrap();
-        let delta = NetSiteDelta {
+        let delta = NetDelta::from(NetSiteDelta {
             added: vec![free],
             removed: vec![SiteIdx(1)],
-        };
+        });
         let snap1 = snap0.apply_delta(&delta).unwrap();
         assert!(
             Arc::ptr_eq(&snap0.net, &snap1.net),
@@ -141,9 +221,37 @@ mod tests {
         let net = Arc::new(grid_network(&GridConfig::default(), 3).unwrap());
         let sites = SiteSet::new(&net, random_site_vertices(&net, 5, 8).unwrap()).unwrap();
         let snap = NetworkWorld::build(Arc::clone(&net), sites);
-        let err = snap.apply_delta(&NetSiteDelta::remove(vec![SiteIdx(999)]));
+        let err = snap.apply_delta(&NetDelta::remove(vec![SiteIdx(999)]));
         assert!(matches!(err, Err(RoadNetError::SiteOutOfRange { .. })));
         // The original is untouched and still answers.
         assert_eq!(snap.len(), 5);
+    }
+
+    #[test]
+    fn weight_delta_replaces_the_network_and_repairs_the_nvd() {
+        let net = Arc::new(grid_network(&GridConfig::default(), 21).unwrap());
+        let sites = SiteSet::new(&net, random_site_vertices(&net, 8, 13).unwrap()).unwrap();
+        let snap0 = NetworkWorld::build(Arc::clone(&net), sites);
+
+        let storm: Vec<EdgeWeight> = (0..6)
+            .map(|e| EdgeWeight::scaled(&net, crate::EdgeId(e), 2.5))
+            .collect();
+        let snap1 = snap0.apply_delta(&NetDelta::reweight(storm)).unwrap();
+        assert!(
+            !Arc::ptr_eq(&snap0.net, &snap1.net),
+            "a weight delta produces a new network epoch"
+        );
+        assert_eq!(snap0.net.edge(crate::EdgeId(0)).len * 2.5, {
+            snap1.net.edge(crate::EdgeId(0)).len
+        });
+        // Sites are untouched, and the repaired NVD matches a fresh build
+        // over the congested network bit-for-bit (jittered grid: no ties).
+        assert!(Arc::ptr_eq(&snap0.sites, &snap1.sites));
+        let fresh = NetworkVoronoi::build(&snap1.net, &snap1.sites);
+        for v in 0..snap1.net.num_vertices() as u32 {
+            let v = VertexId(v);
+            assert_eq!(snap1.nvd.dist(v).to_bits(), fresh.dist(v).to_bits());
+            assert_eq!(snap1.nvd.owner(v), fresh.owner(v));
+        }
     }
 }

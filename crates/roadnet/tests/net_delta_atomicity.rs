@@ -1,0 +1,249 @@
+//! Atomicity of [`NetworkWorld::apply_delta`]: the whole delta is
+//! validated before anything is built, so an invalid delta — bad
+//! weights, duplicate adds, out-of-range removals, any mix — returns
+//! `Err` and the live snapshot stays untouched and fully usable. The
+//! same pre-validate-then-commit discipline as `ClusterPlan::split`.
+
+use std::sync::Arc;
+
+use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig, SplitMix64};
+use insq_roadnet::{
+    EdgeId, EdgeWeight, NetDelta, NetSiteDelta, NetworkVoronoi, NetworkWorld, RoadNetError,
+    SiteIdx, SiteSet, VertexId,
+};
+
+fn snapshot() -> (Arc<insq_roadnet::RoadNetwork>, NetworkWorld) {
+    let net = Arc::new(
+        grid_network(
+            &GridConfig {
+                cols: 8,
+                rows: 8,
+                ..GridConfig::default()
+            },
+            5,
+        )
+        .unwrap(),
+    );
+    let sites = SiteSet::new(&net, random_site_vertices(&net, 7, 2).unwrap()).unwrap();
+    let snap = NetworkWorld::build(Arc::clone(&net), sites);
+    (net, snap)
+}
+
+/// The snapshot still answers exactly as before: same Arcs, same
+/// distances, and a follow-up *valid* delta applies cleanly.
+fn assert_untouched_and_usable(snap: &NetworkWorld, net: &Arc<insq_roadnet::RoadNetwork>) {
+    assert!(Arc::ptr_eq(&snap.net, net));
+    let fresh = NetworkVoronoi::build(net, &snap.sites);
+    for v in 0..net.num_vertices() {
+        let v = VertexId(v as u32);
+        assert_eq!(snap.nvd.dist(v).to_bits(), fresh.dist(v).to_bits());
+        assert_eq!(snap.nvd.owner(v), fresh.owner(v));
+    }
+    let free = (0..net.num_vertices() as u32)
+        .map(VertexId)
+        .find(|&v| snap.sites.site_at(v).is_none())
+        .unwrap();
+    let next = snap
+        .apply_delta(&NetDelta::insert(vec![free]))
+        .expect("a valid delta still applies after a rejected one");
+    assert_eq!(next.sites.len(), snap.sites.len() + 1);
+}
+
+#[test]
+fn mixed_delta_with_one_bad_weight_changes_nothing() {
+    let (net, snap) = snapshot();
+    let free = (0..net.num_vertices() as u32)
+        .map(VertexId)
+        .find(|&v| snap.sites.site_at(v).is_none())
+        .unwrap();
+    // Valid site changes riding with ONE invalid weight entry: the whole
+    // delta must be rejected with nothing applied.
+    for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let delta = NetDelta::from(NetSiteDelta {
+            added: vec![free],
+            removed: vec![SiteIdx(0)],
+        })
+        .with_weights(vec![
+            EdgeWeight::scaled(&net, EdgeId(0), 1.5),
+            EdgeWeight {
+                edge: EdgeId(1),
+                len: bad,
+            },
+        ]);
+        let err = snap.apply_delta(&delta);
+        assert!(
+            matches!(err, Err(RoadNetError::BadEdgeLength { edge: 1, len })
+                if len == bad || (len.is_nan() && bad.is_nan())),
+            "weight {bad} must reject the whole delta, got {err:?}"
+        );
+    }
+    // Same for a weight naming an out-of-range edge.
+    let delta = NetDelta::reweight(vec![EdgeWeight {
+        edge: EdgeId(net.num_edges() as u32),
+        len: 1.0,
+    }]);
+    assert!(matches!(
+        snap.apply_delta(&delta),
+        Err(RoadNetError::EdgeOutOfRange { .. })
+    ));
+    // And for the same edge named twice in one delta.
+    let delta = NetDelta::reweight(vec![
+        EdgeWeight::scaled(&net, EdgeId(3), 1.2),
+        EdgeWeight::scaled(&net, EdgeId(3), 1.4),
+    ]);
+    assert!(matches!(
+        snap.apply_delta(&delta),
+        Err(RoadNetError::DuplicateEdgeChange { edge: 3 })
+    ));
+    assert_untouched_and_usable(&snap, &net);
+}
+
+#[test]
+fn duplicate_adds_are_rejected_up_front() {
+    let (net, snap) = snapshot();
+    let free = (0..net.num_vertices() as u32)
+        .map(VertexId)
+        .find(|&v| snap.sites.site_at(v).is_none())
+        .unwrap();
+    // The same vertex twice within one delta.
+    let err = snap.apply_delta(&NetDelta::insert(vec![free, free]));
+    assert!(matches!(err, Err(RoadNetError::DuplicateSite { .. })));
+    // A vertex that already hosts a live (un-removed) site.
+    let taken = snap.sites.vertex(SiteIdx(2));
+    let err = snap.apply_delta(&NetDelta::insert(vec![taken]));
+    assert!(matches!(
+        err,
+        Err(RoadNetError::DuplicateSite { first: 2, .. })
+    ));
+    // Both riding with otherwise-valid weights: still rejected whole.
+    let err = snap.apply_delta(
+        &NetDelta::insert(vec![free, free]).with_weights(vec![EdgeWeight::scaled(
+            &net,
+            EdgeId(0),
+            2.0,
+        )]),
+    );
+    assert!(matches!(err, Err(RoadNetError::DuplicateSite { .. })));
+    assert_untouched_and_usable(&snap, &net);
+}
+
+#[test]
+fn add_to_a_vertex_vacated_in_the_same_delta_succeeds() {
+    let (net, snap) = snapshot();
+    let vacated = snap.sites.vertex(SiteIdx(1));
+    let delta = NetDelta::from(NetSiteDelta {
+        added: vec![vacated],
+        removed: vec![SiteIdx(1)],
+    });
+    let next = snap.apply_delta(&delta).expect("vacated vertex is free");
+    assert_eq!(next.sites.len(), snap.sites.len());
+    assert!(next.sites.site_at(vacated).is_some());
+    // But NOT when the removal set leaves the site alive.
+    let taken = snap.sites.vertex(SiteIdx(0));
+    let delta = NetDelta::from(NetSiteDelta {
+        added: vec![taken],
+        removed: vec![SiteIdx(1)],
+    });
+    assert!(matches!(
+        snap.apply_delta(&delta),
+        Err(RoadNetError::DuplicateSite { .. })
+    ));
+    assert_untouched_and_usable(&snap, &net);
+}
+
+#[test]
+fn removals_that_empty_or_miss_are_rejected() {
+    let (net, snap) = snapshot();
+    let n = snap.sites.len();
+    // Out-of-range removal.
+    assert!(matches!(
+        snap.apply_delta(&NetDelta::remove(vec![SiteIdx(n as u32)])),
+        Err(RoadNetError::SiteOutOfRange { .. })
+    ));
+    // Removing every site (duplicates dedup'd first, so listing one
+    // index n times is NOT emptying).
+    let all: Vec<SiteIdx> = (0..n as u32).map(SiteIdx).collect();
+    assert!(matches!(
+        snap.apply_delta(&NetDelta::remove(all)),
+        Err(RoadNetError::NoSites)
+    ));
+    let dup = vec![SiteIdx(0); n + 3];
+    let next = snap.apply_delta(&NetDelta::remove(dup)).unwrap();
+    assert_eq!(next.sites.len(), n - 1);
+    assert_untouched_and_usable(&snap, &net);
+}
+
+#[test]
+fn fuzzed_weight_bit_patterns_never_panic_or_corrupt() {
+    let (net, snap) = snapshot();
+    let mut rng = SplitMix64::new(0xF0_22);
+    let specials = [
+        0.0f64,
+        -0.0,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,
+        f64::EPSILON,
+        -f64::MIN_POSITIVE,
+        f64::MAX,
+    ];
+    for i in 0..400 {
+        let len = if i % 4 == 0 {
+            specials[rng.below(specials.len())]
+        } else {
+            // Raw bit pattern: mostly garbage — NaNs, negatives,
+            // subnormals, huge magnitudes.
+            f64::from_bits(rng.next_u64())
+        };
+        let edge = EdgeId(rng.below(net.num_edges()) as u32);
+        let delta = NetDelta::reweight(vec![EdgeWeight { edge, len }]);
+        match snap.apply_delta(&delta) {
+            Ok(next) => {
+                // Accepted weights are exactly the finite positive ones,
+                // applied verbatim.
+                assert!(len.is_finite() && len > 0.0, "accepted bad weight {len}");
+                assert_eq!(next.net.edge(edge).len.to_bits(), len.to_bits());
+                assert!(Arc::ptr_eq(&next.sites, &snap.sites));
+            }
+            Err(e) => {
+                assert!(
+                    !(len.is_finite() && len > 0.0),
+                    "rejected good weight {len}: {e}"
+                );
+            }
+        }
+    }
+    assert_untouched_and_usable(&snap, &net);
+}
+
+#[test]
+fn index_desync_is_a_real_error_not_a_debug_assert() {
+    // Build a snapshot whose NVD deliberately disagrees with its site
+    // set (fewer sites), as a corrupted-state stand-in: the next insert
+    // must surface SiteIndexDesync instead of silently diverging.
+    let net = Arc::new(grid_network(&GridConfig::default(), 13).unwrap());
+    let vs = random_site_vertices(&net, 6, 9).unwrap();
+    let sites = SiteSet::new(&net, vs.clone()).unwrap();
+    let fewer = SiteSet::new(&net, vs[..3].to_vec()).unwrap();
+    let nvd = NetworkVoronoi::build(&net, &fewer);
+    let snap = NetworkWorld::from_parts(Arc::clone(&net), Arc::new(sites), Arc::new(nvd));
+
+    let free = (0..net.num_vertices() as u32)
+        .map(VertexId)
+        .find(|&v| snap.sites.site_at(v).is_none())
+        .unwrap();
+    let err = snap.apply_delta(&NetDelta::insert(vec![free]));
+    assert!(
+        matches!(
+            err,
+            Err(RoadNetError::SiteIndexDesync {
+                site_set: 6,
+                nvd: 3
+            })
+        ),
+        "expected SiteIndexDesync, got {err:?}"
+    );
+    let msg = err.unwrap_err().to_string();
+    assert!(msg.contains('6') && msg.contains('3'), "diagnostic: {msg}");
+}

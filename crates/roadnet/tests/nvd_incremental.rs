@@ -1,14 +1,16 @@
 //! Incremental NVD conformance: a [`NetworkVoronoi`] maintained through
-//! interleaved site insertions/removals must match a from-scratch
-//! `NetworkVoronoi::build` over the same site set — structurally
-//! (distances bit-identical; owners, edge ownership and neighbor sets
-//! equal) on tie-free jittered networks, and up to tie choices on
-//! degenerate unit-length grids.
+//! interleaved site insertions/removals *and edge-weight deltas* must
+//! match a from-scratch `NetworkVoronoi::build` over the same site set
+//! and current edge lengths — structurally (distances bit-identical;
+//! owners, edge ownership and neighbor sets equal) on tie-free jittered
+//! networks, and up to tie choices on degenerate unit-length grids.
+
+use std::sync::Arc;
 
 use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig, SplitMix64};
 use insq_roadnet::{
-    dijkstra::distances_from_vertex, EdgeId, EdgeOwnership, NetworkVoronoi, RoadNetwork, SiteIdx,
-    SiteSet, VertexId,
+    dijkstra::distances_from_vertex, EdgeId, EdgeOwnership, EdgeWeight, NetDelta, NetSiteDelta,
+    NetworkVoronoi, NetworkWorld, RoadNetwork, SiteIdx, SiteSet, VertexId,
 };
 
 /// Full structural equivalence — valid when shortest-path ties are absent
@@ -158,6 +160,175 @@ fn degenerate_unit_grid_stays_exact_up_to_ties() {
             nvd.remove_site(&net, s, moved);
         }
         assert_exact_up_to_ties(&net, &nvd, &sites);
+    }
+}
+
+/// A random weight batch over `d` distinct edges, each length drawn
+/// absolutely against the free-flow `base` (factor in [0.5, 3.0]) so
+/// repeated storms never drift the network toward 0 or infinity.
+fn random_storm(base: &RoadNetwork, d: usize, rng: &mut SplitMix64) -> Vec<EdgeWeight> {
+    let mut edges = std::collections::BTreeSet::new();
+    while edges.len() < d.min(base.num_edges()) {
+        edges.insert(rng.below(base.num_edges()) as u32);
+    }
+    edges
+        .into_iter()
+        .map(|e| EdgeWeight {
+            edge: EdgeId(e),
+            len: base.edge(EdgeId(e)).len * rng.range(0.5, 3.0),
+        })
+        .collect()
+}
+
+#[test]
+fn interleaved_weight_and_site_updates_match_rebuild_exactly() {
+    // Jittered grid scaled by random factors: shortest-path ties stay
+    // absent, so the repaired diagram must be bit-identical to a
+    // from-scratch build over the *current* lengths after every step.
+    let base = grid_network(
+        &GridConfig {
+            cols: 12,
+            rows: 12,
+            ..GridConfig::default()
+        },
+        17,
+    )
+    .unwrap();
+    let mut cur = base.clone();
+    let mut sites = SiteSet::new(&base, random_site_vertices(&base, 14, 5).unwrap()).unwrap();
+    let mut nvd = NetworkVoronoi::build(&cur, &sites);
+    let mut rng = SplitMix64::new(0xD017A);
+
+    for step in 0..80 {
+        match rng.below(3) {
+            0 if sites.len() > 3 => {
+                let s = SiteIdx(rng.below(sites.len()) as u32);
+                let moved = sites.remove(s).unwrap();
+                nvd.remove_site(&cur, s, moved);
+            }
+            1 => {
+                let v = VertexId(rng.below(cur.num_vertices()) as u32);
+                if sites.site_at(v).is_some() {
+                    continue;
+                }
+                let idx = sites.insert(&cur, v).unwrap();
+                assert_eq!(nvd.insert_site(&cur, v), idx);
+            }
+            _ => {
+                let d = 1 + rng.below(12);
+                let storm = random_storm(&base, d, &mut rng);
+                let changed: Vec<EdgeId> = storm.iter().map(|w| w.edge).collect();
+                let next = cur.reweighted(&storm).unwrap();
+                nvd.reweight_edges(&cur, &next, &changed);
+                cur = next;
+            }
+        }
+        assert_structurally_equal(&cur, &nvd, &sites);
+        if step % 10 == 0 {
+            assert_exact_up_to_ties(&cur, &nvd, &sites);
+        }
+    }
+}
+
+#[test]
+fn degenerate_grid_weight_deltas_stay_exact_up_to_ties() {
+    // Unit grid with integer re-weights (1.0 <-> 2.0): ties everywhere,
+    // in every epoch. The repaired diagram may pick different owners
+    // than a rebuild, but distances stay exact and cells partition the
+    // network after every step.
+    let net = grid_network(
+        &GridConfig {
+            cols: 7,
+            rows: 7,
+            jitter: 0.0,
+            ..GridConfig::default()
+        },
+        0,
+    )
+    .unwrap();
+    let mut cur = net.clone();
+    let mut sites = SiteSet::new(&net, vec![VertexId(0), VertexId(24), VertexId(48)]).unwrap();
+    let mut nvd = NetworkVoronoi::build(&cur, &sites);
+    let mut rng = SplitMix64::new(44);
+
+    for _ in 0..40 {
+        match rng.below(3) {
+            0 if sites.len() > 2 => {
+                let s = SiteIdx(rng.below(sites.len()) as u32);
+                let moved = sites.remove(s).unwrap();
+                nvd.remove_site(&cur, s, moved);
+            }
+            1 => {
+                let v = VertexId(rng.below(cur.num_vertices()) as u32);
+                if sites.site_at(v).is_some() {
+                    continue;
+                }
+                let idx = sites.insert(&cur, v).unwrap();
+                assert_eq!(nvd.insert_site(&cur, v), idx);
+            }
+            _ => {
+                // Toggle a handful of edges between 1.0 and 2.0 —
+                // integer lengths preserve massive tie structure.
+                let d = 1 + rng.below(6);
+                let mut edges = std::collections::BTreeSet::new();
+                while edges.len() < d {
+                    edges.insert(rng.below(cur.num_edges()) as u32);
+                }
+                let storm: Vec<EdgeWeight> = edges
+                    .into_iter()
+                    .map(|e| EdgeWeight {
+                        edge: EdgeId(e),
+                        len: if cur.edge(EdgeId(e)).len == 1.0 {
+                            2.0
+                        } else {
+                            1.0
+                        },
+                    })
+                    .collect();
+                let changed: Vec<EdgeId> = storm.iter().map(|w| w.edge).collect();
+                let next = cur.reweighted(&storm).unwrap();
+                nvd.reweight_edges(&cur, &next, &changed);
+                cur = next;
+            }
+        }
+        assert_exact_up_to_ties(&cur, &nvd, &sites);
+    }
+}
+
+#[test]
+fn apply_delta_epoch_chain_matches_rebuild_exactly() {
+    // The composed path: NetworkWorld::apply_delta carrying weight
+    // changes and site changes in ONE delta, chained across epochs.
+    // Each epoch's snapshot must equal a from-scratch build over its
+    // own network and site set, bit for bit (jittered grid: no ties).
+    let base = Arc::new(
+        grid_network(
+            &GridConfig {
+                cols: 10,
+                rows: 10,
+                ..GridConfig::default()
+            },
+            77,
+        )
+        .unwrap(),
+    );
+    let sites = SiteSet::new(&base, random_site_vertices(&base, 12, 31).unwrap()).unwrap();
+    let mut snap = NetworkWorld::build(Arc::clone(&base), sites);
+    let mut rng = SplitMix64::new(0xEC0);
+
+    for _ in 0..25 {
+        let storm = random_storm(&base, 1 + rng.below(8), &mut rng);
+        let mut sd = NetSiteDelta::default();
+        if snap.sites.len() > 4 && rng.next_f64() < 0.5 {
+            sd.removed.push(SiteIdx(rng.below(snap.sites.len()) as u32));
+        }
+        let v = VertexId(rng.below(base.num_vertices()) as u32);
+        if snap.sites.site_at(v).is_none() {
+            sd.added.push(v);
+        }
+        let delta = NetDelta::from(sd).with_weights(storm);
+        snap = snap.apply_delta(&delta).unwrap();
+        assert_structurally_equal(&snap.net, &snap.nvd, &snap.sites);
     }
 }
 

@@ -12,10 +12,14 @@
 //!   all of them). The current snapshot is patched copy-on-write (cost
 //!   proportional to the delta's neighborhood, see
 //!   `insq_index::VorTree::apply` /
-//!   `insq_roadnet::NetworkVoronoi::insert_site`) and the patched clone
-//!   published. Structures untouched by the delta are shared via `Arc`
-//!   where the snapshot allows it (a [`NetworkWorld`] keeps its road
-//!   network).
+//!   `insq_roadnet::NetworkVoronoi::insert_site` /
+//!   `insq_roadnet::NetworkVoronoi::reweight_edges`) and the patched
+//!   clone published. Structures untouched by the delta are shared via
+//!   `Arc` where the snapshot allows it (a [`NetworkWorld`] keeps its
+//!   road network across pure site-churn deltas; a traffic delta — a
+//!   `NetDelta` carrying edge re-weights — replaces it with a
+//!   re-weighted copy and repairs the NVD locally from the changed
+//!   edges).
 //!
 //! Either way the [`World`] swaps its snapshot atomically and bumps the
 //! [`Epoch`]. Live queries keep reading their old `Arc`-held snapshot —
@@ -152,7 +156,7 @@ impl<S: DeltaIndex> World<S> {
 mod tests {
     use super::*;
     use insq_index::{SiteDelta, VorTree};
-    use insq_roadnet::{NetSiteDelta, NetworkVoronoi, SiteSet};
+    use insq_roadnet::{NetDelta, NetSiteDelta, NetworkVoronoi, SiteSet};
 
     #[test]
     fn epochs_bump_and_snapshots_stay_alive() {
@@ -289,15 +293,15 @@ mod tests {
             .map(VertexId)
             .find(|&v| snap0.sites.site_at(v).is_none())
             .unwrap();
-        let delta = NetSiteDelta {
+        let delta = NetDelta::from(NetSiteDelta {
             added: vec![free],
             removed: vec![SiteIdx(1)],
-        };
+        });
         world.apply(&delta).unwrap();
         let (_, snap1) = world.snapshot();
         assert!(
             Arc::ptr_eq(&snap0.net, &snap1.net),
-            "the network is shared across delta epochs"
+            "the network is shared across site-only delta epochs"
         );
         assert!(!Arc::ptr_eq(&snap0.nvd, &snap1.nvd));
         assert_eq!(snap1.sites.len(), snap0.sites.len());
@@ -309,5 +313,44 @@ mod tests {
                 rebuilt.neighbors(SiteIdx(s))
             );
         }
+    }
+
+    #[test]
+    fn network_traffic_delta_is_an_epoch_like_any_other() {
+        use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
+        use insq_roadnet::{EdgeId, EdgeWeight};
+        let net = Arc::new(grid_network(&GridConfig::default(), 77).unwrap());
+        let sites = SiteSet::new(&net, random_site_vertices(&net, 6, 4).unwrap()).unwrap();
+        let world = World::new(NetworkWorld::build(Arc::clone(&net), sites));
+        let (e0, snap0) = world.snapshot();
+
+        // Congest three edges 2x; the epoch bumps and the new snapshot
+        // carries the re-weighted network, while live holders of the old
+        // snapshot keep free-flow lengths.
+        let storm: Vec<EdgeWeight> = (0..3)
+            .map(|e| EdgeWeight::scaled(&net, EdgeId(e), 2.0))
+            .collect();
+        let e1 = world.apply(&NetDelta::reweight(storm)).unwrap();
+        assert_eq!(e1, e0.next());
+        let (_, snap1) = world.snapshot();
+        assert!(!Arc::ptr_eq(&snap0.net, &snap1.net));
+        assert_eq!(snap1.net.edge(EdgeId(0)).len, net.edge(EdgeId(0)).len * 2.0);
+        assert_eq!(snap0.net.edge(EdgeId(0)).len, net.edge(EdgeId(0)).len);
+
+        // A rejected traffic delta (zero length) publishes nothing and
+        // leaves the world usable.
+        let bad = NetDelta::reweight(vec![EdgeWeight {
+            edge: EdgeId(1),
+            len: 0.0,
+        }]);
+        assert!(world.apply(&bad).is_err());
+        assert_eq!(world.epoch(), e1);
+        let clear: Vec<EdgeWeight> = (0..3)
+            .map(|e| EdgeWeight {
+                edge: EdgeId(e),
+                len: net.edge(EdgeId(e)).len,
+            })
+            .collect();
+        assert_eq!(world.apply(&NetDelta::reweight(clear)).unwrap(), e1.next());
     }
 }

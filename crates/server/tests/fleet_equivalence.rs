@@ -9,7 +9,9 @@ use insq_core::{InsConfig, InsProcessor, MovingKnn, NetInsConfig, NetInsProcesso
 use insq_geom::{Point, Trajectory};
 use insq_index::{SiteDelta, VorTree};
 use insq_roadnet::generators::{grid_network, random_site_vertices, GridConfig};
-use insq_roadnet::{NetPosition, NetSiteDelta, NetTrajectory, SiteIdx, SiteSet};
+use insq_roadnet::{
+    EdgeId, EdgeWeight, NetDelta, NetPosition, NetSiteDelta, NetTrajectory, SiteIdx, SiteSet,
+};
 use insq_server::{
     FleetConfig, FleetEngine, InsFleetQuery, NetFleetQuery, NetworkWorld, QueryId, World,
 };
@@ -404,15 +406,16 @@ fn network_delta_epoch_matches_full_publish() {
     let world_a = NetworkWorld::build(Arc::clone(&net), sites_a.clone());
 
     // Delta: remove 5 sites, add 4 fresh vertices.
-    let mut delta = NetSiteDelta::remove((0..5).map(|i| SiteIdx(i * 3)).collect());
+    let mut sites_delta = NetSiteDelta::remove((0..5).map(|i| SiteIdx(i * 3)).collect());
     let mut cursor = 0u32;
-    while delta.added.len() < 4 {
+    while sites_delta.added.len() < 4 {
         let v = insq_roadnet::VertexId(cursor);
         cursor += 7;
         if sites_a.site_at(v).is_none() {
-            delta.added.push(v);
+            sites_delta.added.push(v);
         }
     }
+    let delta = NetDelta::from(sites_delta);
     let equivalent_sites = {
         let patched = world_a.apply_delta(&delta).unwrap();
         (*patched.sites).clone()
@@ -474,6 +477,118 @@ fn network_delta_epoch_matches_full_publish() {
             assert_eq!(
                 run[c].1, reference[c].1,
                 "stats diverged (run {r}, client {c})"
+            );
+        }
+    }
+}
+
+/// Traffic epochs: a mid-run [`NetDelta`] carrying edge re-weights (a
+/// rush-hour congestion storm) *and* site churn must stream bit-identical
+/// to a full `publish` of a from-scratch [`NetworkWorld`] over the
+/// re-weighted network — at 1, 2 and 8 threads. Client positions are
+/// generated against the free-flow network; congestion only scales
+/// lengths up, so on-edge offsets stay valid in every epoch.
+#[test]
+fn network_fleet_streams_through_a_traffic_epoch() {
+    let ticks = 40usize;
+    let swap_at = 20usize;
+    let clients = 20usize;
+    let k = 3usize;
+    let speed = 0.14;
+
+    let net = Arc::new(
+        grid_network(
+            &GridConfig {
+                cols: 9,
+                rows: 9,
+                ..GridConfig::default()
+            },
+            29,
+        )
+        .unwrap(),
+    );
+    let sites_a = SiteSet::new(&net, random_site_vertices(&net, 20, 7).unwrap()).unwrap();
+    let world_a = NetworkWorld::build(Arc::clone(&net), sites_a.clone());
+
+    // The rush-hour delta: congest a contiguous block of streets 2.2x,
+    // remove 3 sites, add 3 fresh vertices — one atomic epoch.
+    let storm: Vec<EdgeWeight> = (0..14)
+        .map(|e| EdgeWeight::scaled(&net, EdgeId(e), 2.2))
+        .collect();
+    let mut sites_delta = NetSiteDelta::remove((0..3).map(|i| SiteIdx(i * 5)).collect());
+    let mut cursor = 1u32;
+    while sites_delta.added.len() < 3 {
+        let v = insq_roadnet::VertexId(cursor);
+        cursor += 11;
+        if sites_a.site_at(v).is_none() {
+            sites_delta.added.push(v);
+        }
+    }
+    let delta = NetDelta::from(sites_delta).with_weights(storm);
+
+    // The publish-mode equivalent: a from-scratch world over the
+    // congested network and the post-delta site set.
+    let patched = world_a.apply_delta(&delta).unwrap();
+    let equivalent = NetworkWorld::build(Arc::clone(&patched.net), (*patched.sites).clone());
+
+    let tours: Vec<NetTrajectory> = (0..clients)
+        .map(|c| NetTrajectory::random_tour(&net, 5, 4300 + c as u64).unwrap())
+        .collect();
+    let pos_of = |c: usize, tick: usize| -> NetPosition {
+        tours[c].position_looped(&net, speed * tick as f64 + 0.23 * c as f64)
+    };
+
+    let mut runs: Vec<Vec<(Vec<SiteIdx>, QueryStats)>> = Vec::new();
+    for (threads, use_delta) in [(1usize, false), (1, true), (2, true), (8, true)] {
+        let world = Arc::new(World::new(NetworkWorld::build(
+            Arc::clone(&net),
+            sites_a.clone(),
+        )));
+        let mut fleet: FleetEngine<NetworkWorld, NetFleetQuery> =
+            FleetEngine::new(Arc::clone(&world), FleetConfig { shards: 4, threads });
+        for _ in 0..clients {
+            fleet.register(NetFleetQuery::new(&world, NetInsConfig::new(k, 1.6)).unwrap());
+        }
+        for tick in 0..ticks {
+            if tick == swap_at {
+                if use_delta {
+                    world.apply(&delta).unwrap();
+                } else {
+                    world.publish(equivalent.clone());
+                }
+            }
+            let positions: Vec<NetPosition> = (0..clients).map(|c| pos_of(c, tick)).collect();
+            fleet.tick_all(|id| positions[id.index()]);
+        }
+        let (_, snap) = world.snapshot();
+        assert!(
+            !Arc::ptr_eq(&snap.net, &net),
+            "a traffic epoch replaces the network"
+        );
+        assert_eq!(
+            snap.net.edge(EdgeId(0)).len,
+            net.edge(EdgeId(0)).len * 2.2,
+            "congestion applied"
+        );
+        runs.push(
+            (0..clients)
+                .map(|c| {
+                    let q = fleet.query(QueryId(c as u64)).unwrap();
+                    (q.current_knn(), *q.stats())
+                })
+                .collect(),
+        );
+    }
+    let reference = &runs[0];
+    for (r, run) in runs.iter().enumerate().skip(1) {
+        for c in 0..clients {
+            assert_eq!(
+                run[c].0, reference[c].0,
+                "traffic-epoch kNN diverged (run {r}, client {c})"
+            );
+            assert_eq!(
+                run[c].1, reference[c].1,
+                "traffic-epoch stats diverged (run {r}, client {c})"
             );
         }
     }

@@ -124,8 +124,8 @@ pub mod prelude {
         WireSpace,
     };
     pub use insq_roadnet::{
-        NetPosition, NetSiteDelta, NetTrajectory, NetworkVoronoi, NetworkWorld, RoadNetwork,
-        SiteIdx, SiteSet, VertexId,
+        EdgeId, EdgeWeight, NetDelta, NetPosition, NetSiteDelta, NetTrajectory, NetworkVoronoi,
+        NetworkWorld, RoadNetwork, SiteIdx, SiteSet, VertexId,
     };
     pub use insq_server::{
         Epoch, FleetConfig, FleetEngine, FleetQuery, FleetStats, InsFleetQuery, NetFleetQuery,
